@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one experiment (DESIGN.md §3) and writes its
+result table to ``benchmarks/results/<experiment>.txt`` so the regenerated
+"figures" survive pytest's output capture. Run with ``-s`` to also see the
+tables inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Persist an ExperimentResult table and echo it to stdout."""
+
+    def _record(result) -> None:
+        text = result.table()
+        (results_dir / f"{result.experiment.lower()}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

@@ -1,0 +1,37 @@
+"""Bench — ablation sweeps over the deployment knobs DESIGN.md §4 lists."""
+
+from repro.experiments.ablations import run
+
+
+def test_ablations(benchmark, record):
+    result = benchmark.pedantic(lambda: run(), rounds=1, iterations=1)
+    record(result)
+
+    lease_rows = [r for r in result.rows if r["sweep"] == "A-lease"]
+    renew_rates = [r["renew_bytes_per_s"] for r in lease_rows]
+    assert renew_rates == sorted(renew_rates, reverse=True)  # 1/lease scaling
+
+    beacon_rows = [r for r in result.rows if r["sweep"] == "A-beacon"]
+    latencies = [r["reattach_latency"] for r in beacon_rows]
+    assert latencies == sorted(latencies)  # recovery tracks the interval
+
+    ttl_rows = [r for r in result.rows if r["sweep"] == "A-ttl"]
+    recalls = [r["recall"] for r in ttl_rows]
+    assert recalls == sorted(recalls)       # reach grows with TTL
+    assert recalls[-1] == 1.0               # full chain covered
+
+    zip_rows = [r for r in result.rows if r["sweep"] == "A-zip"]
+    publish = [r["publish_msg_bytes"] for r in zip_rows]
+    assert publish == sorted(publish, reverse=True)  # bytes track the ratio
+
+
+def test_narrowband_sweep(benchmark, record):
+    from repro.experiments.ablations import narrowband_sweep
+
+    result = benchmark.pedantic(lambda: narrowband_sweep(), rounds=1,
+                                iterations=1)
+    record(result)
+    at_64k = {row["model"]: row["query_latency_ms"]
+              for row in result.rows if row["bandwidth_kbps"] == 64.0}
+    assert at_64k["semantic"] > 3 * at_64k["uri"]
+    assert at_64k["semantic+zip"] < at_64k["semantic"] / 2

@@ -1,0 +1,17 @@
+"""Bench E10 — Figure 5: description models on one generic stack."""
+
+from repro.experiments.e10_stack import run
+
+
+def test_e10_stack(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(n_services=6, n_queries=6),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    uri = result.single(model="uri")
+    semantic = result.single(model="semantic")
+    zipped = result.single(model="semantic+zip")
+    assert semantic["ad_payload_bytes"] > 10 * uri["ad_payload_bytes"]
+    assert zipped["publish_msg_bytes"] < semantic["publish_msg_bytes"]
+    assert semantic["recall_proxy"] == 1.0

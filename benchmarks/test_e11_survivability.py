@@ -1,0 +1,16 @@
+"""Bench E11 — survivability metrics of the three topologies (MILCOM)."""
+
+from repro.experiments.e11_survivability import run
+
+
+def test_e11_survivability(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(lans=6, services_per_lan=3,
+                    removal_fractions=(0.1, 0.3)),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    central = result.single(arch="centralized", attack="targeted")
+    distributed = result.single(arch="distributed", attack="targeted")
+    assert central["reach@10%"] < distributed["reach@10%"]
+    assert distributed["path_length"] > 0

@@ -1,0 +1,14 @@
+"""Bench E12 — §4.6: the registry network as ontology repository."""
+
+from repro.experiments.e12_repository import run
+
+
+def test_e12_repository(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(n_services=3, n_queries=5),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    assert result.single(variant="sync=off")["recall"] == 0.0
+    assert result.single(variant="sync=on")["recall"] == 1.0
+    assert result.single(variant="thin-client")["recall"] == 1.0

@@ -1,0 +1,18 @@
+"""Bench E13 — notifications (optional feature) vs polling."""
+
+from repro.experiments.e13_notifications import run
+
+
+def test_e13_notifications(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(n_arrivals=5, spacing=10.0, poll_periods=(2.0, 10.0)),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    push = result.single(mode="subscribe")
+    fast_poll = result.single(mode="poll@2s")
+    slow_poll = result.single(mode="poll@10s")
+    assert push["detected"] == push["of"]
+    assert push["mean_detection_s"] < fast_poll["mean_detection_s"]
+    assert push["bytes"] < fast_poll["bytes"]
+    assert slow_poll["mean_detection_s"] > fast_poll["mean_detection_s"]

@@ -1,0 +1,13 @@
+"""Bench E14 — §4.3: mediator selection (two-step discovery)."""
+
+from repro.experiments.e14_mediation import run
+
+
+def test_e14_mediation(benchmark, record):
+    result = benchmark.pedantic(lambda: run(), rounds=1, iterations=1)
+    record(result)
+    assert result.single(mode="plain")["satisfied"] == 0
+    mediated = result.single(mode="mediated")
+    assert mediated["satisfied"] == mediated["needs"]
+    assert mediated["mean_extra_queries"] >= 2.0
+    assert result.single(mode="mediated-no-translators")["satisfied"] == 0

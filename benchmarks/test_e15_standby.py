@@ -1,0 +1,14 @@
+"""Bench E15 — §4.9: registry-role negotiation via standby promotion."""
+
+from repro.experiments.e15_standby import run
+
+
+def test_e15_standby(benchmark, record):
+    result = benchmark.pedantic(lambda: run(n_queries=30), rounds=1,
+                                iterations=1)
+    record(result)
+    without = result.single(standby="no")
+    with_standby = result.single(standby="yes")
+    assert with_standby["registry_mode_frac"] > without["registry_mode_frac"]
+    assert with_standby["promotions"] >= 1
+    assert with_standby["served"] == with_standby["queries"]

@@ -1,0 +1,19 @@
+"""Bench E16 — roaming services across LANs."""
+
+from repro.experiments.e16_mobility import run
+
+
+def test_e16_mobility(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(move_intervals=(None, 30.0, 10.0), n_queries=10),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    rows = result.rows
+    assert rows[0]["moves"] == 0
+    assert rows[2]["moves"] > rows[1]["moves"] > 0
+    # Discovery keeps tracking the roamers.
+    assert all(row["recall"] >= 0.9 for row in rows)
+    # Mobility costs maintenance bandwidth, monotonically.
+    upkeep = [row["maintenance_bytes_per_s"] for row in rows]
+    assert upkeep == sorted(upkeep)

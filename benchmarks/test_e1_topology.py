@@ -1,0 +1,18 @@
+"""Bench E1 — Figure 1/§3: topology comparison (bandwidth, load, recall)."""
+
+from repro.experiments.e1_topology import run
+
+
+def test_e1_topology(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(service_counts=(4, 8, 16), n_clients=3, n_queries=12),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    # The paper's §3 shape must hold at bench scale too.
+    for services in (4, 8, 16):
+        rows = {r["arch"]: r for r in result.where(services=services)}
+        assert rows["decentralized"]["upkeep_bytes_per_s"] < \
+            rows["distributed"]["upkeep_bytes_per_s"]
+        assert rows["decentralized"]["mean_responses"] >= 1.0
+        assert rows["centralized"]["mean_responses"] == 1.0

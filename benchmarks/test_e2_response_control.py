@@ -1,0 +1,17 @@
+"""Bench E2 — §3.1: response implosion vs registry response control."""
+
+from repro.experiments.e2_response_control import run
+
+
+def test_e2_response_control(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(n_services=16, caps=(None, 1, 3, 5)),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    for cap in (1, 3, 5):
+        dec = result.single(arch="decentralized", max_results=cap)
+        reg = result.single(arch="registry", max_results=cap)
+        assert dec["response_messages"] == 16   # implosion, cap or not
+        assert reg["response_messages"] == 1
+        assert reg["hits_returned"] == cap

@@ -1,0 +1,32 @@
+"""Bench E3 — §3: recall under random vs targeted registry failures."""
+
+from repro.experiments.e3_robustness import run
+
+
+def test_e3_robustness(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(lans=4, services_per_lan=3, n_queries=10,
+                    fractions=(0.0, 0.25, 0.5, 1.0),
+                    strategies=("random", "targeted")),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    assert result.single(arch="uddi", attack="targeted",
+                         killed_fraction=1.0)["recall"] == 0.0
+    fed = result.single(arch="federated", attack="targeted",
+                        killed_fraction=1.0)
+    assert fed["recall"] > 0.0
+
+
+def test_e3_recovery(benchmark, record):
+    """Self-healing: the same failures, measured after two renew cycles."""
+    result = benchmark.pedantic(
+        lambda: run(lans=4, services_per_lan=3, n_queries=10,
+                    fractions=(0.5,), strategies=("targeted",),
+                    recovery=120.0),
+        rounds=1, iterations=1,
+    )
+    result.experiment = "E3-recovery"
+    record(result)
+    fed = result.single(arch="federated", killed_fraction=0.5)
+    assert fed["recall"] >= 0.9  # orphans republished to survivors

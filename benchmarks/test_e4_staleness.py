@@ -1,0 +1,17 @@
+"""Bench E4 — §4.8: stale advertisements under churn, leasing vs none."""
+
+from repro.experiments.e4_staleness import run
+
+
+def test_e4_staleness(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(n_services=10, churn_rates=(0.05, 0.2),
+                    churn_window=120.0, n_queries=10),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    for rate in (0.05, 0.2):
+        assert result.single(arch="leasing", churn_per_s=rate)[
+            "registry_staleness"] == 0.0
+        assert result.single(arch="uddi", churn_per_s=rate)[
+            "registry_staleness"] > 0.0

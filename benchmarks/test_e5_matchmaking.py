@@ -1,0 +1,46 @@
+"""Bench E5 — §4.2: semantic vs syntactic matchmaking quality and cost.
+
+Includes micro-benchmarks for the per-evaluation cost claim ("it can
+become more costly to evaluate queries, since reasoning … may be
+necessary").
+"""
+
+from repro.descriptions.semantic import SemanticModel
+from repro.descriptions.uri import UriModel
+from repro.experiments.e5_matchmaking import run
+from repro.semantics.generator import ProfileGenerator, battlefield_ontology
+
+
+def test_e5_matchmaking(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(n_profiles=60, n_requests=40,
+                    generalize_levels=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    for row in result.where(model="semantic"):
+        assert row["f1"] == 1.0
+    for row in result.where(model="uri", generalize=2):
+        assert row["f1"] < 0.5
+
+
+def _matcher_workload(model):
+    ontology = battlefield_ontology()
+    generator = ProfileGenerator(ontology, seed=0)
+    profiles = generator.profiles(50)
+    descriptions = [model.describe(p, "svc://x") for p in profiles]
+    query = model.query_from(generator.request_for(profiles[0], generalize=1))
+
+    def evaluate_all():
+        return sum(1 for d in descriptions if model.evaluate(d, query).matched)
+
+    return evaluate_all
+
+
+def test_e5_cost_semantic_evaluation(benchmark):
+    model = SemanticModel(battlefield_ontology())
+    benchmark(_matcher_workload(model))
+
+
+def test_e5_cost_uri_evaluation(benchmark):
+    benchmark(_matcher_workload(UriModel()))

@@ -1,0 +1,16 @@
+"""Bench E6 — Figure 3: LAN discovery modes across a registry outage."""
+
+from repro.experiments.e6_lan_fallback import run
+
+
+def test_e6_lan_fallback(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(n_services=4, queries_per_phase=8),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    assert result.single(phase="registry")["via"] == "registry"
+    outage = result.single(phase="outage")
+    assert outage["via"] == "fallback"
+    assert outage["recall"] == 1.0
+    assert result.single(phase="recovered")["via"] == "registry"

@@ -1,0 +1,19 @@
+"""Bench E7 — Figures 2/4: WAN federation, cooperation, gateway election."""
+
+from repro.experiments.e7_wan_federation import run
+
+
+def test_e7_wan_federation(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(lans=4, services_per_lan=3, n_queries=10),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    assert result.single(study="seeding", variant="none")["recall"] < 0.6
+    assert result.single(study="seeding", variant="ring")["recall"] == 1.0
+    forward = result.single(study="cooperation", variant="forward-queries")
+    replicate = result.single(study="cooperation", variant="replicate-ads")
+    assert replicate["query_bytes_per_q"] < forward["query_bytes_per_q"]
+    elected = result.single(study="gateway", variant="elected")
+    flooded = result.single(study="gateway", variant="all-forward")
+    assert elected["wan_bytes"] < flooded["wan_bytes"]

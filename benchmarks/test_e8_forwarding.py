@@ -1,0 +1,28 @@
+"""Bench E8 — §4.9: flooding vs expanding ring vs random walk."""
+
+from repro.experiments.e8_forwarding import run
+
+
+def test_e8_forwarding(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(lans=6, services_per_lan=2, n_queries=12),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    flood = result.single(strategy="flooding")
+    ring = result.single(strategy="expanding-ring")
+    walk = result.single(strategy="random-walk")
+    assert flood["recall"] == 1.0
+    assert flood["forward_bytes"] >= ring["forward_bytes"]
+    assert walk["query_bytes_per_q"] < flood["query_bytes_per_q"]
+
+
+def test_e8_forwarding_with_response_control(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(lans=6, services_per_lan=2, n_queries=12, max_results=3),
+        rounds=1, iterations=1,
+    )
+    result.experiment = "E8-capped"
+    record(result)
+    for row in result.rows:
+        assert row["completed"] == 12

@@ -1,0 +1,16 @@
+"""Bench E9 — §4.5/§4.9: registry signalling vs multicast re-bootstrap."""
+
+from repro.experiments.e9_signalling import run
+
+
+def test_e9_signalling(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: run(lans=3, services_per_lan=2, n_queries=6),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    on = result.single(signalling="on")
+    off = result.single(signalling="off")
+    assert on["probes_after_crash"] == 0
+    assert off["probes_after_crash"] >= 1
+    assert on["recall"] >= off["recall"]

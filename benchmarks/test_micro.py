@@ -1,0 +1,64 @@
+"""Micro-benchmarks for the hot paths under the experiments.
+
+Not tied to a paper figure; these guard the substrate's throughput so the
+experiment runtimes stay tractable (and quantify the reasoning-cost story
+behind E5 at the primitive level).
+"""
+
+from repro.netsim.network import Network
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.semantics.generator import ProfileGenerator, battlefield_ontology
+from repro.semantics.matchmaker import Matchmaker
+from repro.semantics.reasoner import Reasoner
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator(seed=0)
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+
+        for i in range(10_000):
+            sim.schedule(i * 0.001, tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_multicast_delivery_throughput(benchmark):
+    def run_multicasts():
+        sim = Simulator(seed=0)
+        net = Network(sim)
+        net.add_lan("lan")
+        nodes = [net.add_node(Node(f"n{i}"), "lan") for i in range(20)]
+        for _ in range(100):
+            nodes[0].multicast("beacon", payload="b" * 64)
+        sim.run(until=10.0)
+        return net.stats.messages_delivered
+
+    assert benchmark(run_multicasts) == 100 * 19
+
+
+def test_reasoner_subsumption_warm_cache(benchmark):
+    reasoner = Reasoner(battlefield_ontology())
+    classes = reasoner.ontology.classes()
+    pairs = [(a, b) for a in classes[:20] for b in classes[:20]]
+
+    def check_all():
+        return sum(1 for a, b in pairs if reasoner.subsumes(a, b))
+
+    check_all()  # warm
+    benchmark(check_all)
+
+
+def test_matchmaker_rank_100_profiles(benchmark):
+    ontology = battlefield_ontology()
+    generator = ProfileGenerator(ontology, seed=0)
+    matchmaker = Matchmaker(Reasoner(ontology))
+    profiles = generator.profiles(100)
+    request = generator.request_for(profiles[0], generalize=1)
+    benchmark(lambda: matchmaker.rank(profiles, request, limit=10))

@@ -1,0 +1,47 @@
+"""Bench — shape robustness across seeds.
+
+Single-seed experiment shapes could be flukes; this bench re-runs the two
+most variance-sensitive experiments (E4 staleness, E8 forwarding) across
+several seeds, aggregates mean ± sd, and asserts the paper's shapes on the
+*means*.
+"""
+
+from repro.experiments.common import repeat_runs
+from repro.experiments.e4_staleness import run as e4
+from repro.experiments.e8_forwarding import run as e8
+
+SEEDS = (0, 1, 2)
+
+
+def test_e4_shape_across_seeds(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: repeat_runs(
+            e4, seeds=SEEDS, group_by=["arch", "churn_per_s"],
+            n_services=8, churn_rates=(0.1,), churn_window=80.0, n_queries=6,
+        ),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    leased = result.single(arch="leasing", churn_per_s=0.1)
+    uddi = result.single(arch="uddi", churn_per_s=0.1)
+    assert leased["registry_staleness"] == 0.0
+    assert uddi["registry_staleness"] > 0.0
+    assert leased["n"] == len(SEEDS)
+
+
+def test_e8_shape_across_seeds(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: repeat_runs(
+            e8, seeds=SEEDS, group_by=["strategy"],
+            lans=4, services_per_lan=2, n_queries=8,
+        ),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    flood = result.single(strategy="flooding")
+    walk = result.single(strategy="random-walk")
+    informed = result.single(strategy="informed")
+    assert flood["recall"] == 1.0                    # deterministic coverage
+    assert walk["recall"] < 1.0                      # misses on average
+    assert walk["forward_bytes"] < flood["forward_bytes"]
+    assert informed["recall"] > walk["recall"]

@@ -1,0 +1,88 @@
+"""Network-centric battlefield discovery (the MILCOM companion scenario).
+
+Tactical units form a chain of LANs ("a hybrid topology probably maps best
+to a military organization"). The script demonstrates:
+
+1. opportunistic discovery: a company client finds an air-surveillance
+   radar two units up the chain, using subsumption ("a Radar is a kind of
+   Sensor") and QoS constraints;
+2. a WAN partition between branches — units keep discovering their own
+   services ("a network disconnect between branches will not prevent
+   services running on the same organizational level from discovering
+   each other");
+3. partition healing.
+
+Run:  python examples/battlefield_discovery.py
+"""
+
+from repro import DiscoverySystem, ServiceProfile, ServiceRequest
+from repro.core.config import DiscoveryConfig
+from repro.semantics import battlefield_ontology
+
+
+def main() -> None:
+    config = DiscoveryConfig(query_timeout=3.0, aggregation_timeout=0.3,
+                             ping_interval=2.0, signalling_interval=4.0)
+    system = DiscoverySystem(seed=42, ontology=battlefield_ontology(),
+                             config=config)
+
+    units = ["battalion-hq", "company-a", "company-b"]
+    registries = {}
+    for unit in units:
+        system.add_lan(unit)
+        registries[unit] = system.add_registry(unit)
+    system.federate_chain()  # hq - company-a - company-b
+
+    # Services along the chain.
+    system.add_service("battalion-hq", ServiceProfile.build(
+        "asr-1", "ncw:AirSurveillanceRadarService",
+        outputs=["ncw:AirTrack"],
+        qos={"coverage_km": 80.0, "update_rate_hz": 1.0},
+    ))
+    system.add_service("company-a", ServiceProfile.build(
+        "uav-cam", "ncw:IRCameraService",
+        outputs=["ncw:GroundTrack"],
+        qos={"coverage_km": 10.0, "update_rate_hz": 5.0},
+    ))
+    system.add_service("company-b", ServiceProfile.build(
+        "bft", "ncw:BlueForceTrackingService",
+        outputs=["ncw:GroundTrack", "ncw:GridPosition"],
+        qos={"update_rate_hz": 0.5},
+    ))
+
+    client = system.add_client("company-b")
+    system.run(until=5.0)
+
+    print("== 1. opportunistic WAN discovery with subsumption + QoS ==")
+    request = ServiceRequest.build(
+        "ncw:SensorService",            # any sensor...
+        outputs=["ncw:Track"],          # ...producing tracks...
+        qos={"coverage_km": (50.0, None)},  # ...covering >= 50 km
+    )
+    call = system.discover(client, request)
+    print(f"  sensors with >=50km coverage: {call.service_names()}")
+    assert call.service_names() == ["asr-1"]  # only the battalion radar
+
+    relaxed = ServiceRequest.build("ncw:SensorService", outputs=["ncw:Track"])
+    call = system.discover(client, relaxed)
+    print(f"  any track-producing sensor : {sorted(call.service_names())}")
+
+    print("== 2. WAN partition between hq and the companies ==")
+    system.network.partition([["battalion-hq"], ["company-a", "company-b"]])
+    call = system.discover(client, relaxed, timeout=30.0)
+    print(f"  during partition           : {sorted(call.service_names())}")
+    assert "asr-1" not in call.service_names()
+    assert "uav-cam" in call.service_names()  # same-branch discovery works
+
+    print("== 3. partition heals ==")
+    system.network.heal_partition()
+    call = system.discover(client, relaxed, timeout=30.0)
+    print(f"  after healing              : {sorted(call.service_names())}")
+    assert "asr-1" in call.service_names()
+
+    gateway = registries["company-b"].federation.gateway()
+    print(f"  company-b LAN gateway      : {gateway}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""The extension features working together in one dynamic operation.
+
+A long-running crisis deployment where:
+
+1. a client *watches* for medical services — new arrivals are pushed to
+   it (no polling);
+2. the LAN's registry is destroyed — a *standby registry* promotes itself
+   within a few beacon intervals and discovery continues in registry mode;
+3. a need no service satisfies directly is *mediated* through a
+   translation service (two-step plan).
+
+Run:  python examples/dynamic_operations.py
+"""
+
+from repro import DiscoverySystem, MediationPlanner, ServiceProfile, ServiceRequest
+from repro.core.config import DiscoveryConfig
+from repro.semantics import emergency_ontology
+
+
+def main() -> None:
+    config = DiscoveryConfig(
+        beacon_interval=1.0, lease_duration=6.0, purge_interval=1.0,
+        query_timeout=2.0, aggregation_timeout=0.3,
+    )
+    system = DiscoverySystem(seed=21, ontology=emergency_ontology(),
+                             config=config)
+    system.add_lan("staging-area")
+    primary = system.add_registry("staging-area")
+    standby = system.add_standby_registry("staging-area", lan_target=1)
+    client = system.add_client("staging-area")
+    system.run(until=3.0)
+
+    print("== 1. standing query: watch for medical services ==")
+    watch = client.watch(ServiceRequest.build("ems:MedicalService"))
+    system.run_for(1.0)
+    print(f"  watch registered (acked={watch.acked}); nothing deployed yet")
+
+    system.add_service("staging-area", ServiceProfile.build(
+        "field-hospital", "ems:HospitalCapacityService",
+        outputs=["ems:HospitalBed"]))
+    system.run_for(2.0)
+    print(f"  pushed on arrival: {watch.service_names()}")
+
+    print("== 2. registry destroyed; standby takes over ==")
+    primary.crash()
+    system.run_for(8.0)
+    print(f"  standby active: {standby.active} "
+          f"(promotions={standby.promotions})")
+    call = system.discover(client, ServiceRequest.build("ems:MedicalService"),
+                           timeout=30.0)
+    print(f"  discovery via {call.via}: {call.service_names()}")
+
+    print("== 3. mediated discovery through a translator ==")
+    system.add_service("staging-area", ServiceProfile.build(
+        "damage-assessor", "ems:AlertingService",
+        outputs=["ems:DamageReport"]))
+    system.add_service("staging-area", ServiceProfile.build(
+        "report-translator", "ems:TranslationService",
+        inputs=["ems:DamageReport"], outputs=["ems:CasualtyReport"]))
+    system.run_for(2.0)
+    planner = MediationPlanner(system,
+                               translator_category="ems:TranslationService")
+    need = ServiceRequest.build(None, outputs=["ems:CasualtyReport"],
+                                inputs=["ems:IncidentLocation"])
+    outcome = planner.discover(client, need)
+    print(f"  direct hits: {[h.advertisement.service_name for h in outcome.direct_hits]}")
+    print(f"  plan: {outcome.plans[0].describe()} "
+          f"(extra queries: {outcome.extra_queries})")
+    assert outcome.satisfied
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: one LAN, one registry, one service, one query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DiscoverySystem, ServiceProfile, ServiceRequest
+from repro.semantics import emergency_ontology
+
+
+def main() -> None:
+    # A deployment is a simulated network plus the discovery architecture.
+    system = DiscoverySystem(seed=1, ontology=emergency_ontology())
+    system.add_lan("field-hq")
+    system.add_registry("field-hq")
+
+    # A provider advertises an OWL-S-style capability profile.
+    system.add_service(
+        "field-hq",
+        ServiceProfile.build(
+            "medevac-dispatch",
+            "ems:AmbulanceDispatchService",
+            outputs=["ems:UnitLocation"],
+            qos={"latency_ms": 120.0},
+        ),
+    )
+
+    client = system.add_client("field-hq")
+    system.run(until=2.0)  # bootstrap: probe, attach, publish, lease
+
+    # The client asks for any *medical* service producing *locations* —
+    # broader terms than the advertisement used; the registry's
+    # degree-of-match reasoning bridges the gap.
+    call = system.discover(
+        client,
+        ServiceRequest.build("ems:MedicalService", outputs=["ems:Location"]),
+    )
+
+    print(f"query completed via: {call.via}")
+    print(f"services found     : {call.service_names()}")
+    print(f"invoke at          : {call.endpoints()}")
+    print(f"latency            : {call.latency * 1000:.1f} ms simulated")
+    assert call.service_names() == ["medevac-dispatch"]
+
+
+if __name__ == "__main__":
+    main()

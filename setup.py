@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that legacy editable installs
+(``pip install -e . --no-use-pep517``) work on machines without the
+``wheel`` package (e.g. offline environments).
+"""
+
+from setuptools import setup
+
+setup()

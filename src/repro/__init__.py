@@ -1,0 +1,69 @@
+"""repro — semantic service discovery in dynamic environments.
+
+A complete implementation and experimental reproduction of:
+
+    T. Gagnes, T. Plagemann, E. Munthe-Kaas. "A Conceptual Service
+    Discovery Architecture for Semantic Web Services in Dynamic
+    Environments." SeNS Workshop, ICDE Workshops, 2006.
+
+Quickstart::
+
+    from repro import DiscoverySystem, ServiceProfile, ServiceRequest
+    from repro.semantics import emergency_ontology
+
+    system = DiscoverySystem(seed=1, ontology=emergency_ontology())
+    system.add_lan("field-hq")
+    system.add_registry("field-hq")
+    system.add_service("field-hq", ServiceProfile.build(
+        "medevac", "ems:AmbulanceDispatchService",
+        outputs=["ems:UnitLocation"]))
+    client = system.add_client("field-hq")
+    system.run(until=2.0)
+    call = system.discover(client, ServiceRequest.build(
+        "ems:MedicalService", outputs=["ems:Location"]))
+    print(call.service_names())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-claim vs measured results.
+"""
+
+from repro.core import (
+    ClientNode,
+    DiscoveryCall,
+    DiscoveryConfig,
+    DiscoverySystem,
+    MediationPlanner,
+    RegistryNode,
+    ServiceNode,
+    StandbyRegistry,
+    Watch,
+    make_models,
+)
+from repro.semantics import (
+    Matchmaker,
+    Ontology,
+    Reasoner,
+    ServiceProfile,
+    ServiceRequest,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientNode",
+    "DiscoveryCall",
+    "DiscoveryConfig",
+    "DiscoverySystem",
+    "Matchmaker",
+    "MediationPlanner",
+    "Ontology",
+    "Reasoner",
+    "RegistryNode",
+    "StandbyRegistry",
+    "Watch",
+    "ServiceNode",
+    "ServiceProfile",
+    "ServiceRequest",
+    "make_models",
+    "__version__",
+]

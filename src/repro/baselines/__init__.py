@@ -1,0 +1,43 @@
+"""Baseline discovery technologies the paper compares against.
+
+The paper's argument is comparative: current Web Service discovery
+standards are "not sufficient for opportunistic service discovery … in
+dynamic environments". To measure that, behavioural models of the three
+technology families it surveys are provided:
+
+* :mod:`~repro.baselines.uddi` — a centralized UDDI-like registry:
+  manually configured endpoint, **no leasing** (stale advertisements
+  accumulate; "neither UDDI nor ebXML use leasing … a serious
+  shortcoming"), no dynamic registry discovery, no federation.
+* :mod:`~repro.baselines.wsdiscovery` — WS-Discovery: fully decentralized
+  LAN multicast probing (services answer for themselves), optionally with
+  a *discovery proxy* — which reintroduces the no-leasing staleness
+  problem ("when used with a discovery proxy the same shortcoming applies
+  to WS-Discovery").
+* :mod:`~repro.baselines.cluster` — a replicated registry cluster
+  ("clusters are basically one registry replicated on several nodes …
+  an example of this is UDDI"), built from our registry nodes in
+  replicate-advertisements cooperation over a full mesh.
+
+All baselines run on the same simulator, network, description models, and
+workloads as the paper's architecture, so every comparison is
+apples-to-apples.
+"""
+
+from repro.baselines.uddi import UddiClient, UddiRegistry, build_uddi_system
+from repro.baselines.wsdiscovery import (
+    WsDiscoveryClient,
+    WsDiscoveryProxy,
+    build_wsdiscovery_system,
+)
+from repro.baselines.cluster import build_cluster_system
+
+__all__ = [
+    "UddiClient",
+    "UddiRegistry",
+    "WsDiscoveryClient",
+    "WsDiscoveryProxy",
+    "build_cluster_system",
+    "build_uddi_system",
+    "build_wsdiscovery_system",
+]

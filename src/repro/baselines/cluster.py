@@ -1,0 +1,72 @@
+"""Replicated registry cluster baseline.
+
+"One could view a clustered registry as a hybrid topology as well. With
+this scheme, one registry is replicated on several nodes. This means that
+exactly the same content is present at different nodes. An example of a
+system using this principle is UDDI, where either replication between
+registry nodes or a hierarchical model may be used."
+
+The cluster reuses our registry nodes with the *replicate-advertisements*
+cooperation strategy over a full-mesh federation: every publish (and every
+lease refresh) is pushed to every member, so each member can answer any
+query locally (queries are issued with TTL 0). The cost shows up as
+publish/renew replication traffic; the benefit as query-time locality and
+robustness to member failures — the trade experiment E7 measures against
+query-forwarding federation.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import COOPERATION_REPLICATE_ADS, DiscoveryConfig
+from repro.core.registry_node import RegistryNode
+from repro.core.system import DiscoverySystem
+from repro.netsim.messages import SizeModel
+from repro.semantics.ontology import Ontology
+
+
+def cluster_config(**overrides) -> DiscoveryConfig:
+    """Deployment configuration for a replicated cluster."""
+    defaults = dict(
+        cooperation=COOPERATION_REPLICATE_ADS,
+        default_ttl=0,        # every member has all content
+        gateway_election=False,  # replication wants all links used
+    )
+    defaults.update(overrides)
+    return DiscoveryConfig(**defaults)
+
+
+class ClusterSystem(DiscoverySystem):
+    """A deployment whose registries form one replicated cluster."""
+
+    def __init__(self, *, seed: int = 0, ontology: Ontology | None = None,
+                 size_model: SizeModel | None = None, loss_rate: float = 0.0,
+                 config: DiscoveryConfig | None = None) -> None:
+        super().__init__(
+            seed=seed,
+            config=config or cluster_config(),
+            ontology=ontology,
+            size_model=size_model,
+            loss_rate=loss_rate,
+        )
+
+    def finalize_cluster(self) -> None:
+        """Mesh-federate all members. Call after adding every registry."""
+        self.federate_mesh()
+
+    def members(self) -> list[RegistryNode]:
+        """The cluster members."""
+        return list(self.registries)
+
+
+def build_cluster_system(*, seed: int = 0, ontology: Ontology | None = None,
+                         lans: tuple[str, ...] = ("lan-0", "lan-1"),
+                         members_per_lan: int = 1,
+                         loss_rate: float = 0.0) -> ClusterSystem:
+    """Convenience: a cluster with one (or more) members per LAN, meshed."""
+    system = ClusterSystem(seed=seed, ontology=ontology, loss_rate=loss_rate)
+    for lan in lans:
+        system.add_lan(lan)
+        for _ in range(members_per_lan):
+            system.add_registry(lan)
+    system.finalize_cluster()
+    return system

@@ -1,0 +1,124 @@
+"""WS-Discovery baseline: decentralized LAN multicast, optional proxy.
+
+Ad hoc mode models "WS-Dynamic Discovery is based on local-scoped
+multicast": there are no registries; clients multicast probes and every
+service node evaluates and answers for itself. This is the paper's
+*decentralized* topology — always-fresh answers, no single point of
+failure, but per-query multicast cost and "response implosion" with broad
+queries (experiments E1/E2).
+
+Managed mode adds the *discovery proxy* ("a discovery proxy is also
+specified to reduce the burden on the network"): a registry-like node
+that answers probes; clients and services switch from multicast to
+unicast when one is present. Crucially the proxy has **no leasing**
+("when used with a discovery proxy the same shortcoming applies to
+WS-Discovery"), so it accumulates stale advertisements under churn just
+like UDDI (E4).
+"""
+
+from __future__ import annotations
+
+from repro.core.client_node import ClientNode
+from repro.core.config import DiscoveryConfig
+from repro.core.registry_node import RegistryNode
+from repro.core.service_node import ServiceNode
+from repro.core.system import ALL_MODEL_IDS, DiscoverySystem, make_models
+from repro.netsim.messages import SizeModel
+from repro.semantics.ontology import Ontology
+from repro.semantics.profiles import ServiceProfile
+
+
+def wsdiscovery_config(*, managed: bool = False, **overrides) -> DiscoveryConfig:
+    """Deployment configuration for WS-Discovery.
+
+    Ad hoc mode never finds a registry, so every query takes the
+    decentralized fallback path; managed mode finds the proxy through the
+    standard probe/beacon machinery (WS-Discovery HELLO messages).
+    """
+    defaults = dict(
+        leasing_enabled=False,
+        signalling_interval=None,
+        gateway_election=False,
+        fallback_enabled=True,
+        default_ttl=0,
+        beacon_interval=5.0 if managed else None,
+    )
+    defaults.update(overrides)
+    return DiscoveryConfig(**defaults)
+
+
+class WsDiscoveryClient(ClientNode):
+    """An ad hoc/managed WS-Discovery client."""
+
+    role = "wsd-client"
+
+
+class WsDiscoveryProxy(RegistryNode):
+    """The WS-Discovery proxy: a single LAN registry without leasing.
+
+    It reuses the registry node's probe/beacon handling (modelling HELLO
+    announcements) but never federates — the paper's point about the
+    "non-existing coherence between WS-Dynamic Discovery and e.g. UDDI"
+    is precisely that the proxy has no WAN story.
+    """
+
+    role = "wsd-proxy"
+
+
+class WsDiscoverySystem(DiscoverySystem):
+    """A WS-Discovery deployment (ad hoc unless a proxy is added)."""
+
+    def __init__(self, *, seed: int = 0, ontology: Ontology | None = None,
+                 managed: bool = False, size_model: SizeModel | None = None,
+                 loss_rate: float = 0.0, config: DiscoveryConfig | None = None) -> None:
+        super().__init__(
+            seed=seed,
+            config=config or wsdiscovery_config(managed=managed),
+            ontology=ontology,
+            size_model=size_model,
+            loss_rate=loss_rate,
+        )
+
+    def add_proxy(self, lan: str, *, node_id: str | None = None,
+                  model_ids: tuple[str, ...] = ALL_MODEL_IDS) -> WsDiscoveryProxy:
+        """Place a discovery proxy on ``lan`` (switches it to managed mode)."""
+        node_id = node_id or f"wsd-proxy-{next(self._counters['registry']):02d}"
+        proxy = WsDiscoveryProxy(node_id, self.config, make_models(self.ontology, model_ids))
+        self.network.add_node(proxy, lan)
+        self.registries.append(proxy)
+        self._schedule_start(proxy)
+        return proxy
+
+    def add_client(self, lan, *, node_id=None, model_ids=ALL_MODEL_IDS, with_ontology=True):
+        node_id = node_id or f"client-{next(self._counters['client']):03d}"
+        client = WsDiscoveryClient(
+            node_id,
+            self.config,
+            make_models(self.ontology, model_ids, with_ontology=with_ontology),
+        )
+        self.network.add_node(client, lan)
+        self.clients.append(client)
+        self._schedule_start(client)
+        return client
+
+    def add_service(self, lan, profile: ServiceProfile, *, node_id=None,
+                    model_ids=ALL_MODEL_IDS) -> ServiceNode:
+        """Service nodes in ad hoc mode just answer multicast probes;
+        in managed mode they additionally publish to the proxy they find."""
+        return super().add_service(lan, profile, node_id=node_id, model_ids=model_ids)
+
+
+def build_wsdiscovery_system(*, seed: int = 0, ontology: Ontology | None = None,
+                             lans: tuple[str, ...] = ("lan-0",), managed: bool = False,
+                             loss_rate: float = 0.0) -> WsDiscoverySystem:
+    """Convenience: a WS-Discovery deployment with LANs placed.
+
+    With ``managed=True`` one proxy is placed on the first LAN.
+    """
+    system = WsDiscoverySystem(seed=seed, ontology=ontology, managed=managed,
+                               loss_rate=loss_rate)
+    for lan in lans:
+        system.add_lan(lan)
+    if managed:
+        system.add_proxy(lans[0])
+    return system

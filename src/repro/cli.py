@@ -1,0 +1,177 @@
+"""Command-line interface: run experiments and demos without writing code.
+
+Usage (installed entry point or ``python -m repro``)::
+
+    python -m repro list                       # available experiments
+    python -m repro experiment e4              # run one, print its table
+    python -m repro experiment e4 --seed 3
+    python -m repro experiment all             # run everything
+    python -m repro ablations                  # the knob sweeps
+    python -m repro demo                       # 30-second guided demo
+
+Experiment runners are imported lazily so ``list`` stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Callable
+
+#: Experiment id -> (module, human description). Kept in sync with
+#: DESIGN.md §3.
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "e1": ("repro.experiments.e1_topology",
+           "Fig. 1/§3 — the three discovery topologies"),
+    "e2": ("repro.experiments.e2_response_control",
+           "§3.1 — response implosion vs registry response control"),
+    "e3": ("repro.experiments.e3_robustness",
+           "§3 — recall under random/targeted registry failures"),
+    "e4": ("repro.experiments.e4_staleness",
+           "§4.8 — stale advertisements under churn (leasing vs none)"),
+    "e5": ("repro.experiments.e5_matchmaking",
+           "§4.2 — semantic vs syntactic matchmaking"),
+    "e6": ("repro.experiments.e6_lan_fallback",
+           "Fig. 3 — LAN discovery modes across a registry outage"),
+    "e7": ("repro.experiments.e7_wan_federation",
+           "Figs. 2/4 — WAN federation: seeding, cooperation, gateways"),
+    "e8": ("repro.experiments.e8_forwarding",
+           "§4.9 — flooding vs ring vs walk vs informed forwarding"),
+    "e9": ("repro.experiments.e9_signalling",
+           "§4.5 — failover via registry signalling"),
+    "e10": ("repro.experiments.e10_stack",
+            "Fig. 5 — description models on one generic stack"),
+    "e11": ("repro.experiments.e11_survivability",
+            "MILCOM — survivability of the three topologies"),
+    "e12": ("repro.experiments.e12_repository",
+            "§4.6 — the registry network as ontology repository"),
+    "e13": ("repro.experiments.e13_notifications",
+            "extension — notification push vs polling"),
+    "e14": ("repro.experiments.e14_mediation",
+            "§4.3 — mediator selection / translator chains"),
+    "e15": ("repro.experiments.e15_standby",
+            "§4.9 — registry-role negotiation (standby promotion)"),
+    "e16": ("repro.experiments.e16_mobility",
+            "§1 — roaming services across LANs"),
+}
+
+
+def _runner(experiment_id: str) -> Callable:
+    module_name, _description = EXPERIMENTS[experiment_id]
+    module = importlib.import_module(module_name)
+    return module.run
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(key) for key in EXPERIMENTS)
+    for key, (_module, description) in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {description}")
+    print(f"{'ablations'.ljust(width)}  §4 knob sweeps (lease/beacon/ttl/zip)")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    targets = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} "
+              f"(try 'list')", file=sys.stderr)
+        return 2
+    for target in targets:
+        result = _runner(target)(seed=args.seed)
+        print(result.table())
+        if args.chart:
+            _print_chart(result, args.chart)
+        print()
+    return 0
+
+
+def _print_chart(result, value_column: str) -> int:
+    """Render one numeric column as ASCII bars under the table."""
+    from repro.experiments.common import bar_chart
+
+    if value_column not in result.columns():
+        print(f"no column {value_column!r}; columns: "
+              f"{', '.join(result.columns())}", file=sys.stderr)
+        return 2
+    label = result.columns()[0]
+    print()
+    print(bar_chart(result, label=label, value=value_column))
+    return 0
+
+
+def cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import run
+
+    print(run(seed=args.seed).table())
+    return 0
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    """A guided single-LAN walk-through (the quickstart, narrated)."""
+    from repro import DiscoverySystem, ServiceProfile, ServiceRequest
+    from repro.semantics import emergency_ontology
+
+    print("building a one-LAN deployment (registry + ambulance service)...")
+    system = DiscoverySystem(seed=1, ontology=emergency_ontology())
+    system.add_lan("field-hq")
+    system.add_registry("field-hq")
+    system.add_service("field-hq", ServiceProfile.build(
+        "medevac-dispatch", "ems:AmbulanceDispatchService",
+        outputs=["ems:UnitLocation"], qos={"latency_ms": 120.0}))
+    client = system.add_client("field-hq")
+    system.run(until=2.0)
+    print("bootstrap done: probe -> attach -> publish -> lease")
+    request = ServiceRequest.build("ems:MedicalService",
+                                   outputs=["ems:Location"])
+    print("querying for any MedicalService producing Locations "
+          "(broader terms than advertised)...")
+    call = system.discover(client, request)
+    print(f"  found {call.service_names()} via {call.via} "
+          f"in {call.latency * 1000:.1f} ms simulated")
+    print("crashing the registry; querying again (fallback mode)...")
+    system.registries[0].crash()
+    call = system.discover(client, request, timeout=30.0)
+    print(f"  found {call.service_names()} via {call.via} — "
+          "the decentralized LAN fallback (Fig. 3)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic service discovery in dynamic environments — "
+                    "experiments and demos",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=cmd_list)
+
+    experiment = sub.add_parser("experiment",
+                                help="run one experiment (or 'all')")
+    experiment.add_argument("id", help="experiment id, e.g. e4, or 'all'")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--chart", metavar="COLUMN", default=None,
+        help="also render COLUMN as an ASCII bar chart",
+    )
+    experiment.set_defaults(func=cmd_experiment)
+
+    ablations = sub.add_parser("ablations", help="run the §4 knob sweeps")
+    ablations.add_argument("--seed", type=int, default=0)
+    ablations.set_defaults(func=cmd_ablations)
+
+    sub.add_parser("demo", help="a 30-second guided demo").set_defaults(
+        func=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

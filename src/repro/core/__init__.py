@@ -1,0 +1,49 @@
+"""The paper's service discovery architecture.
+
+This package implements §4 of the paper: the three roles (client, service,
+registry) as protocol agents over :mod:`repro.netsim`, autonomous registry
+federation with signalling and gateway election, registry discovery
+(active probes, passive beacons, manual seeding), leasing-based
+advertisement maintenance, pluggable-payload query forwarding (flooding,
+expanding ring, random walk) with query-id loop avoidance, the
+decentralized LAN fallback mode, and the ontology repository.
+
+Entry point for most users: :class:`~repro.core.system.DiscoverySystem`.
+"""
+
+from repro.core.client_node import ClientNode, DiscoveryCall, Watch
+from repro.core.config import (
+    COOPERATION_FORWARD_QUERIES,
+    COOPERATION_REPLICATE_ADS,
+    DiscoveryConfig,
+    STRATEGY_EXPANDING_RING,
+    STRATEGY_FLOODING,
+    STRATEGY_INFORMED,
+    STRATEGY_RANDOM_WALK,
+)
+from repro.core.mediation import MediatedResult, MediationPlan, MediationPlanner
+from repro.core.registry_node import RegistryNode
+from repro.core.service_node import ServiceNode
+from repro.core.standby import StandbyRegistry
+from repro.core.system import DiscoverySystem, make_models
+
+__all__ = [
+    "COOPERATION_FORWARD_QUERIES",
+    "COOPERATION_REPLICATE_ADS",
+    "ClientNode",
+    "DiscoveryCall",
+    "DiscoveryConfig",
+    "DiscoverySystem",
+    "MediatedResult",
+    "MediationPlan",
+    "MediationPlanner",
+    "RegistryNode",
+    "STRATEGY_EXPANDING_RING",
+    "STRATEGY_FLOODING",
+    "STRATEGY_INFORMED",
+    "STRATEGY_RANDOM_WALK",
+    "ServiceNode",
+    "StandbyRegistry",
+    "Watch",
+    "make_models",
+]

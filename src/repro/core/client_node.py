@@ -1,0 +1,401 @@
+"""The client node: discovers registries, queries, falls back, fails over.
+
+"A client node … first has to discover whether there are any registry
+nodes available. When a client has obtained a connection to the registry
+network, it can issue a query. Based on the response it gets, it may
+invoke the service directly."
+
+The client exposes an asynchronous :meth:`ClientNode.discover` returning a
+:class:`DiscoveryCall` handle that experiments inspect after running the
+simulator. Failure handling follows the paper:
+
+* query timeout → the current registry is presumed dead → fail over to a
+  signalling-provided alternative (E9) and retry;
+* no registry at all → decentralized LAN multicast fallback (Fig. 3,
+  right-hand mode, E6) when enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import protocol
+from repro.core.bootstrap import RegistryTracker
+from repro.core.config import DiscoveryConfig
+from repro.descriptions.base import DescriptionModel, ModelRegistry
+from repro.descriptions.semantic import SemanticModel
+from repro.netsim.messages import Envelope
+from repro.netsim.node import Node
+from repro.registry.advertisements import new_uuid
+from repro.registry.matching import QueryEvaluator, QueryHit
+from repro.semantics.ontology import Ontology
+from repro.semantics.profiles import ServiceRequest
+
+#: Attempts before a query gives up on registries entirely.
+MAX_ATTEMPTS = 3
+
+
+@dataclass
+class Watch:
+    """A standing query: hits arrive as services are published.
+
+    Created by :meth:`ClientNode.watch`. The client keeps the
+    subscription alive (periodic re-subscribe, the lease principle) and
+    re-establishes it after registry failover.
+    """
+
+    sub_id: str
+    request: ServiceRequest
+    model_id: str
+    created_at: float
+    hits: list[QueryHit] = field(default_factory=list)
+    notified_at: list[float] = field(default_factory=list)
+    acked: bool = False
+    active: bool = True
+
+    def service_names(self) -> list[str]:
+        """Names of all services notified so far, in arrival order."""
+        return [hit.advertisement.service_name for hit in self.hits]
+
+
+@dataclass
+class DiscoveryCall:
+    """Handle for one discovery operation.
+
+    ``responses`` counts response *messages* received (the decentralized
+    "response implosion" metric of E2); ``response_bytes`` their wire
+    size; ``responders`` the registries/services that evaluated the query.
+    """
+
+    query_id: str
+    request: ServiceRequest
+    model_id: str
+    issued_at: float
+    hits: list[QueryHit] = field(default_factory=list)
+    completed: bool = False
+    via: str = ""
+    attempts: int = 1
+    ttl: int = 0
+    #: The registry the latest attempt was sent to ("" = none/fallback).
+    sent_to: str = ""
+    responses: int = 0
+    response_bytes: int = 0
+    responders: int = 0
+    completed_at: float = 0.0
+    _fallback_batches: list[list[QueryHit]] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """Completed with at least one hit."""
+        return self.completed and bool(self.hits)
+
+    @property
+    def latency(self) -> float:
+        """Seconds from issue to completion (0 while incomplete)."""
+        return (self.completed_at - self.issued_at) if self.completed else 0.0
+
+    def service_names(self) -> list[str]:
+        """Names of the discovered services, best first."""
+        return [hit.advertisement.service_name for hit in self.hits]
+
+    def endpoints(self) -> list[str]:
+        """Endpoints to invoke, best first."""
+        return [hit.advertisement.endpoint for hit in self.hits]
+
+
+class ClientNode(Node):
+    """A consumer node issuing discovery queries."""
+
+    role = "client"
+
+    def __init__(
+        self,
+        node_id: str,
+        config: DiscoveryConfig,
+        models: list[DescriptionModel],
+    ) -> None:
+        super().__init__(node_id)
+        self.config = config
+        self.models = ModelRegistry(models)
+        self.tracker = RegistryTracker(self, config,
+                                       on_attached=self._on_attached)
+        self.calls: list[DiscoveryCall] = []
+        self._by_wire_id: dict[str, DiscoveryCall] = {}
+        self.watches: dict[str, Watch] = {}
+        self.fallback_queries = 0
+        self.artifacts_fetched: dict[str, object] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self.tracker.probe()
+        self.tracker.start_signalling_refresh()
+        # Keep standing queries alive across their lease horizon.
+        self.every(self.config.renew_interval, self._refresh_watches)
+
+    def _on_attached(self, registry_id: str) -> None:
+        """New registry attachment: re-establish standing queries there."""
+        for watch in self.watches.values():
+            if watch.active:
+                self._send_subscribe(watch, registry_id)
+
+    def on_restart(self) -> None:
+        self.tracker.current = None
+        self.start()
+
+    def on_moved(self, old_lan: str, new_lan: str) -> None:
+        """Roamed to a new LAN: drop the old attachment and re-bootstrap.
+
+        The old registry may be unreachable from here (and is certainly no
+        longer local); standing queries re-establish on the next
+        attachment via the tracker's on_attached hook.
+        """
+        self.tracker.current = None
+        self.tracker.known.clear()
+        self.tracker.probe()
+
+    # -- the public discovery API ------------------------------------------------
+
+    def discover(
+        self,
+        request: ServiceRequest,
+        *,
+        model_id: str = "semantic",
+        ttl: int | None = None,
+    ) -> DiscoveryCall:
+        """Issue a discovery query; returns immediately with the call handle.
+
+        Run the simulator to let the call complete; then read
+        ``call.hits``. ``ttl`` overrides the configured registry-network
+        forwarding radius.
+        """
+        call = DiscoveryCall(
+            query_id=new_uuid("q"),
+            request=request,
+            model_id=model_id,
+            issued_at=self.sim.now,
+            ttl=self.config.default_ttl if ttl is None else ttl,
+        )
+        self.calls.append(call)
+        self._dispatch(call)
+        return call
+
+    def _wire_id(self, call: DiscoveryCall) -> str:
+        """Retries use fresh wire ids so loop suppression cannot eat them."""
+        return f"{call.query_id}/{call.attempts}"
+
+    def _dispatch(self, call: DiscoveryCall) -> None:
+        model = self.models.get(call.model_id)
+        query = model.query_from(call.request)
+        wire_id = self._wire_id(call)
+        self._by_wire_id[wire_id] = call
+        payload = protocol.QueryPayload(
+            query_id=wire_id,
+            model_id=call.model_id,
+            query=query,
+            max_results=call.request.max_results,
+            ttl=call.ttl,
+        )
+        registry = self.tracker.current
+        if registry is not None:
+            call.via = f"registry:{registry}"
+            call.sent_to = registry
+            self.send(registry, protocol.QUERY, payload, payload_type=call.model_id)
+            self.after(self.config.query_timeout, lambda: self._query_timed_out(call, wire_id))
+        elif self.config.fallback_enabled:
+            self._fallback(call, payload)
+        else:
+            self._complete(call, [], via="failed")
+
+    def _query_timed_out(self, call: DiscoveryCall, wire_id: str) -> None:
+        if call.completed or self._by_wire_id.get(wire_id) is not call:
+            return
+        del self._by_wire_id[wire_id]
+        call.attempts += 1
+        if self.tracker.current == call.sent_to:
+            # The registry this attempt used is still "current": blame it
+            # and fail over.
+            replacement = self.tracker.registry_failed()
+        else:
+            # A concurrent failover already replaced it; don't evict the
+            # (possibly healthy) new attachment — just retry there.
+            replacement = self.tracker.current
+        if replacement is not None and call.attempts <= MAX_ATTEMPTS:
+            self._dispatch(call)
+        elif self.config.fallback_enabled:
+            model = self.models.get(call.model_id)
+            payload = protocol.QueryPayload(
+                query_id=self._wire_id(call),
+                model_id=call.model_id,
+                query=model.query_from(call.request),
+                max_results=call.request.max_results,
+            )
+            self._fallback(call, payload)
+        else:
+            self._complete(call, [], via="failed")
+
+    # -- decentralized fallback ------------------------------------------------------
+
+    def _fallback(self, call: DiscoveryCall, payload: protocol.QueryPayload) -> None:
+        """Fig. 3 right-hand mode: multicast the query, collect replies."""
+        self.fallback_queries += 1
+        call.via = "fallback"
+        wire_id = payload.query_id
+        self._by_wire_id[wire_id] = call
+        self.multicast(protocol.DECENTRAL_QUERY, payload, payload_type=call.model_id)
+        self.after(
+            self.config.fallback_timeout,
+            lambda: self._fallback_done(call, wire_id),
+        )
+
+    def handle_decentral_response(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ResponsePayload):
+            return
+        call = self._by_wire_id.get(payload.query_id)
+        if call is None or call.completed:
+            return
+        call.responses += 1
+        call.response_bytes += envelope.size_bytes
+        call.responders += payload.responders
+        call._fallback_batches.append(list(payload.hits))
+
+    def _fallback_done(self, call: DiscoveryCall, wire_id: str) -> None:
+        if call.completed:
+            return
+        self._by_wire_id.pop(wire_id, None)
+        merged = QueryEvaluator.merge(
+            call._fallback_batches, max_results=call.request.max_results
+        )
+        self._complete(call, merged, via="fallback")
+
+    # -- responses ----------------------------------------------------------------------
+
+    def handle_query_response(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ResponsePayload):
+            return
+        call = self._by_wire_id.pop(payload.query_id, None)
+        if call is None or call.completed:
+            return
+        call.responses += 1
+        call.response_bytes += envelope.size_bytes
+        call.responders += payload.responders
+        self._complete(call, list(payload.hits), via=call.via)
+
+    def _complete(self, call: DiscoveryCall, hits: list[QueryHit], *, via: str) -> None:
+        call.hits = hits
+        call.via = via
+        call.completed = True
+        call.completed_at = self.sim.now
+
+    # -- standing queries (notification extension) ----------------------------------------
+
+    def watch(self, request: ServiceRequest, *, model_id: str = "semantic") -> Watch:
+        """Register interest in future matching advertisements.
+
+        Returns a :class:`Watch` that accumulates notified hits. The
+        subscription is leased: this client refreshes it periodically and
+        re-registers it after failover.
+        """
+        watch = Watch(
+            sub_id=new_uuid("sub"),
+            request=request,
+            model_id=model_id,
+            created_at=self.sim.now,
+        )
+        self.watches[watch.sub_id] = watch
+        registry = self.tracker.current
+        if registry is not None:
+            self._send_subscribe(watch, registry)
+        return watch
+
+    def unwatch(self, watch: Watch) -> None:
+        """Cancel a standing query."""
+        watch.active = False
+        registry = self.tracker.current
+        if registry is not None:
+            self.send(registry, protocol.UNSUBSCRIBE,
+                      protocol.UnsubscribePayload(sub_id=watch.sub_id))
+
+    def _send_subscribe(self, watch: Watch, registry: str) -> None:
+        model = self.models.get(watch.model_id)
+        self.send(
+            registry,
+            protocol.SUBSCRIBE,
+            protocol.SubscribePayload(
+                sub_id=watch.sub_id,
+                model_id=watch.model_id,
+                query=model.query_from(watch.request),
+                duration=self.config.lease_duration,
+            ),
+            payload_type=watch.model_id,
+        )
+
+    def _refresh_watches(self) -> None:
+        registry = self.tracker.current
+        if registry is None:
+            return
+        for watch in self.watches.values():
+            if watch.active:
+                self._send_subscribe(watch, registry)
+
+    def handle_subscribe_ack(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, protocol.SubscribeAck):
+            watch = self.watches.get(payload.sub_id)
+            if watch is not None:
+                watch.acked = True
+
+    def handle_notify(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.NotifyPayload):
+            return
+        watch = self.watches.get(payload.sub_id)
+        if watch is None or not watch.active:
+            return
+        # De-duplicate by advertisement UUID (failover re-subscription can
+        # replay publishes).
+        known = {hit.advertisement.ad_id for hit in watch.hits}
+        if payload.hit.advertisement.ad_id in known:
+            return
+        watch.hits.append(payload.hit)
+        watch.notified_at.append(self.sim.now)
+
+    # -- artifact fetching (§4.6) ----------------------------------------------------------
+
+    def fetch_artifact(self, name: str) -> None:
+        """Ask the current registry for an artifact (e.g. an ontology).
+
+        On arrival, ontologies are automatically attached to this client's
+        semantic description model, enabling local evaluation (E12).
+        """
+        registry = self.tracker.current
+        if registry is None:
+            return
+        self.send(
+            registry,
+            protocol.ARTIFACT_REQUEST,
+            protocol.ArtifactRequestPayload(artifact_name=name),
+        )
+
+    def handle_artifact_reply(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ArtifactReplyPayload) or not payload.found:
+            return
+        self.artifacts_fetched[payload.artifact_name] = payload.artifact
+        if isinstance(payload.artifact, Ontology) and self.models.supports("semantic"):
+            model = self.models.get("semantic")
+            if isinstance(model, SemanticModel):
+                model.attach_ontology(payload.artifact)
+
+    # -- registry discovery -----------------------------------------------------------------
+
+    def handle_registry_probe_reply(self, envelope: Envelope) -> None:
+        self.tracker.handle_registry_probe_reply(envelope)
+
+    def handle_registry_beacon(self, envelope: Envelope) -> None:
+        self.tracker.handle_registry_beacon(envelope)
+
+    def handle_registry_list_reply(self, envelope: Envelope) -> None:
+        self.tracker.handle_registry_list_reply(envelope)

@@ -1,0 +1,130 @@
+"""Deployment configuration.
+
+The paper insists the knobs "could even be made configurable on an
+individual deployment basis. Other configurable parameters could be the
+interval between registry beacons, the number of registry nodes to
+traverse for a query, and the advertisement lease period." Every such knob
+lives here, with defaults chosen so a LAN-scale scenario behaves sensibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Query forwarding strategies (§4.9: "increasing the reach of a query
+#: gradually in several rounds, random walks, or broadcasting in the
+#: registry network").
+STRATEGY_FLOODING = "flooding"
+STRATEGY_EXPANDING_RING = "expanding-ring"
+STRATEGY_RANDOM_WALK = "random-walk"
+#: Summary-informed routing: registries gossip content summaries ("send
+#: out summary information about the advertisements present in a
+#: registry") and queries go directly to the registries whose summaries
+#: match.
+STRATEGY_INFORMED = "informed"
+
+_STRATEGIES = frozenset({
+    STRATEGY_FLOODING, STRATEGY_EXPANDING_RING, STRATEGY_RANDOM_WALK,
+    STRATEGY_INFORMED,
+})
+
+#: Registry cooperation strategies (§4.9 forwarding vs replication — the
+#: "push or pull advertisements between registries" design choice).
+COOPERATION_FORWARD_QUERIES = "forward-queries"
+COOPERATION_REPLICATE_ADS = "replicate-ads"
+
+_COOPERATION = frozenset({COOPERATION_FORWARD_QUERIES, COOPERATION_REPLICATE_ADS})
+
+
+@dataclass(frozen=True)
+class DiscoveryConfig:
+    """All tunables of the discovery architecture.
+
+    Attributes are grouped by the paper's three operation categories.
+    """
+
+    # -- registry network maintenance ------------------------------------
+    #: Seconds between registry beacon multicasts (passive registry
+    #: discovery); ``None`` disables beacons.
+    beacon_interval: float | None = 5.0
+    #: How long a prober waits for REGISTRY-PROBE replies before deciding.
+    probe_timeout: float = 0.5
+    #: Seconds between aliveness pings among federated registries.
+    ping_interval: float = 5.0
+    #: Missed pongs before a neighbor is declared dead.
+    ping_failure_threshold: int = 2
+    #: Seconds between registry-list gossip rounds among neighbors
+    #: (registry signalling); ``None`` disables signalling.
+    signalling_interval: float | None = 10.0
+    #: Whether same-LAN registries elect a single WAN gateway.
+    gateway_election: bool = True
+    #: Whether registries fetch missing repository artifacts (ontologies,
+    #: schemas) from newly joined neighbors (§4.6).
+    artifact_sync: bool = True
+    #: Whether registry descriptions carry content summaries (index terms
+    #: of stored advertisements). Enabled implicitly by the "informed"
+    #: strategy; costs larger beacons/gossip.
+    content_summaries: bool = False
+
+    def summaries_enabled(self) -> bool:
+        """Content summaries are on explicitly or via the informed strategy."""
+        return self.content_summaries or self.strategy == STRATEGY_INFORMED
+
+    # -- publishing -------------------------------------------------------
+    #: Advertisement lease duration granted by registries (seconds).
+    lease_duration: float = 60.0
+    #: Service nodes renew after ``lease_duration * renew_fraction``.
+    renew_fraction: float = 0.4
+    #: Seconds between registry purge sweeps of expired leases.
+    purge_interval: float = 5.0
+    #: Whether leasing is enabled at all. Disabling reproduces the UDDI
+    #: shortcoming ("neither UDDI nor ebXML use leasing") inside our own
+    #: architecture for the E4 ablation.
+    leasing_enabled: bool = True
+    #: Cooperation strategy between registries.
+    cooperation: str = COOPERATION_FORWARD_QUERIES
+
+    # -- querying ---------------------------------------------------------
+    #: Forwarding strategy for WAN queries.
+    strategy: str = STRATEGY_FLOODING
+    #: Max registry-network hops for a query (the "number of registry
+    #: nodes to traverse").
+    default_ttl: int = 4
+    #: Seconds a registry waits for forwarded-query responses before
+    #: answering upstream.
+    aggregation_timeout: float = 1.0
+    #: Seconds a client waits for its registry's response before declaring
+    #: the query failed (and trying an alternative registry). Must exceed
+    #: ``aggregation_timeout * default_ttl`` or slow dead-branch waits get
+    #: misread as registry death.
+    query_timeout: float = 6.0
+    #: Expanding-ring TTL schedule.
+    ring_ttls: tuple[int, ...] = (0, 1, 2, 4)
+    #: Random-walk length (registries visited).
+    walk_length: int = 6
+    #: Whether clients fall back to decentralized LAN multicast discovery
+    #: when no registry is reachable (Fig. 3 right-hand mode).
+    fallback_enabled: bool = True
+    #: Seconds a client collects decentralized responses before reporting.
+    fallback_timeout: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _STRATEGIES:
+            raise ReproError(f"unknown strategy {self.strategy!r}; choose from {sorted(_STRATEGIES)}")
+        if self.cooperation not in _COOPERATION:
+            raise ReproError(
+                f"unknown cooperation {self.cooperation!r}; choose from {sorted(_COOPERATION)}"
+            )
+        if not 0.0 < self.renew_fraction < 1.0:
+            raise ReproError(f"renew_fraction must be in (0, 1), got {self.renew_fraction}")
+        if self.lease_duration <= 0:
+            raise ReproError(f"lease_duration must be positive, got {self.lease_duration}")
+        if self.default_ttl < 0:
+            raise ReproError(f"default_ttl must be >= 0, got {self.default_ttl}")
+
+    @property
+    def renew_interval(self) -> float:
+        """Seconds between lease renewals by service nodes."""
+        return self.lease_duration * self.renew_fraction

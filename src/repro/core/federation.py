@@ -1,0 +1,231 @@
+"""Registry federation: the dynamic registry network (Fig. 2).
+
+Registries are autonomous super-peers that "dynamically connect and
+disconnect to the system", keep aliveness state about their neighbors, and
+gossip registry lists so the network re-wires itself around failures
+("registry signalling" — §4.9).
+
+The :class:`Federation` component owns, for one registry node:
+
+* the neighbor set (direct federation links),
+* the known-registry cache (fed by joins, gossip, and LAN observation),
+* periodic neighbor pings with a missed-pong failure detector,
+* reconnection: when a neighbor dies, try a known non-neighbor so the
+  registry network stays connected,
+* same-LAN gateway election ("only one node … acts as the gateway to the
+  WAN-level registry network").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core import protocol
+from repro.core.config import DiscoveryConfig
+from repro.registry.rim import RegistryDescription
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.registry_node import RegistryNode
+
+
+class Federation:
+    """Neighbor management for one registry node."""
+
+    def __init__(
+        self,
+        registry: "RegistryNode",
+        config: DiscoveryConfig,
+        *,
+        describe: Callable[[], RegistryDescription],
+    ) -> None:
+        self.registry = registry
+        self.config = config
+        self.describe = describe
+        self.neighbors: set[str] = set()
+        self.known: dict[str, RegistryDescription] = {}
+        self._missed_pongs: dict[str, int] = {}
+        self.joins_sent = 0
+        self.neighbors_lost = 0
+        self.reconnects = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the periodic maintenance tasks."""
+        self.registry.every(self.config.ping_interval, self._ping_round)
+        if self.config.signalling_interval is not None:
+            self.registry.every(self.config.signalling_interval, self._gossip_round)
+
+    def reset(self) -> None:
+        """Drop all volatile federation state (registry crash)."""
+        self.neighbors.clear()
+        self.known.clear()
+        self._missed_pongs.clear()
+
+    # -- joining ------------------------------------------------------------
+
+    def join(self, other_id: str) -> None:
+        """Initiate a federation link with another registry (seeding)."""
+        if other_id == self.registry.node_id or other_id in self.neighbors:
+            return
+        self.joins_sent += 1
+        self.registry.send(other_id, protocol.FEDERATION_JOIN, self.describe())
+
+    def handle_join(self, src: str, description: RegistryDescription | None) -> None:
+        """A peer wants to federate: accept and acknowledge."""
+        self._add_neighbor(src, description)
+        self.registry.send(src, protocol.FEDERATION_JOIN_ACK, self.describe())
+
+    def handle_join_ack(self, src: str, description: RegistryDescription | None) -> None:
+        """Our join was accepted."""
+        self._add_neighbor(src, description)
+
+    def handle_leave(self, src: str) -> None:
+        """A peer announced a graceful departure."""
+        self.neighbors.discard(src)
+        self.known.pop(src, None)
+        self._missed_pongs.pop(src, None)
+
+    def leave(self) -> None:
+        """Announce graceful departure to all neighbors."""
+        for neighbor in sorted(self.neighbors):
+            self.registry.send(neighbor, protocol.FEDERATION_LEAVE)
+        self.neighbors.clear()
+
+    def _add_neighbor(self, other_id: str, description: RegistryDescription | None) -> None:
+        is_new = other_id not in self.neighbors
+        self.neighbors.add(other_id)
+        self._missed_pongs.setdefault(other_id, 0)
+        if description is not None:
+            self.known[other_id] = description
+        if is_new:
+            self.registry.on_neighbor_added(other_id)
+
+    # -- observation -----------------------------------------------------------
+
+    def observe(self, description: RegistryDescription) -> None:
+        """Record a registry seen via beacon/probe/gossip.
+
+        Same-LAN registries federate automatically: "if two registries can
+        discover each other through multicast, they are on the same network
+        segment" — this is what makes gateway election well-defined.
+        """
+        if description.registry_id == self.registry.node_id:
+            return
+        current = self.known.get(description.registry_id)
+        if current is not None and current.issued_at > description.issued_at:
+            # Gossip relayed an older snapshot: keep the fresher one.
+            return
+        self.known[description.registry_id] = description
+        if (
+            description.lan_name == self.registry.lan_name
+            and description.registry_id not in self.neighbors
+        ):
+            self.join(description.registry_id)
+
+    # -- aliveness ----------------------------------------------------------------
+
+    def _ping_round(self) -> None:
+        """Ping every neighbor; drop those that missed too many pongs.
+
+        Seeded peers that are currently not neighbors are re-joined each
+        round: seeds are durable manual configuration, so a link severed
+        by a partition (or a peer's crash) re-forms as soon as the peer is
+        reachable again — the join simply keeps failing until then.
+        """
+        for neighbor in sorted(self.neighbors):
+            self._missed_pongs[neighbor] = self._missed_pongs.get(neighbor, 0) + 1
+            if self._missed_pongs[neighbor] > self.config.ping_failure_threshold:
+                self._neighbor_lost(neighbor)
+            else:
+                self.registry.send(neighbor, protocol.REGISTRY_PING)
+        for seed in self.registry.seeds:
+            if seed not in self.neighbors and seed != self.registry.node_id:
+                self.join(seed)
+
+    def handle_pong(self, src: str) -> None:
+        """A neighbor answered: reset its failure counter."""
+        if src in self.neighbors:
+            self._missed_pongs[src] = 0
+
+    def _neighbor_lost(self, neighbor: str) -> None:
+        """Failure detector fired: unlink and try to re-wire the network."""
+        self.neighbors.discard(neighbor)
+        self.known.pop(neighbor, None)
+        self._missed_pongs.pop(neighbor, None)
+        self.neighbors_lost += 1
+        self._reconnect()
+
+    def _reconnect(self) -> None:
+        """Keep the registry network connected after a neighbor loss.
+
+        Deterministic policy: join the lowest-id known registry that is
+        not already a neighbor. Without signalling the known cache is
+        empty and the network may stay split — exactly the degradation E9
+        measures.
+        """
+        candidates = sorted(set(self.known) - self.neighbors - {self.registry.node_id})
+        if candidates:
+            self.reconnects += 1
+            self.join(candidates[0])
+
+    # -- signalling -------------------------------------------------------------------
+
+    def _gossip_round(self) -> None:
+        """Send our registry list (self + known) to every neighbor."""
+        payload = self.registry_list()
+        for neighbor in sorted(self.neighbors):
+            self.registry.send(neighbor, protocol.REGISTRY_LIST_REPLY, payload)
+
+    def registry_list(self) -> protocol.RegistryListPayload:
+        """The signalling payload: ourselves plus every known registry."""
+        entries = [self.describe()]
+        entries.extend(self.known[rid] for rid in sorted(self.known))
+        return protocol.RegistryListPayload(registries=tuple(entries))
+
+    def handle_registry_list(self, payload: protocol.RegistryListPayload) -> None:
+        """Merge a received registry list into the known cache."""
+        for description in payload.registries:
+            self.observe(description)
+
+    # -- gateway election ------------------------------------------------------------
+
+    def lan_registries(self) -> list[str]:
+        """Registries known to sit on our LAN, including ourselves."""
+        peers = [
+            rid for rid, desc in self.known.items()
+            if desc.lan_name == self.registry.lan_name
+        ]
+        peers.append(self.registry.node_id)
+        return sorted(set(peers))
+
+    def gateway(self) -> str:
+        """The elected WAN gateway for this LAN: lowest registry id."""
+        return self.lan_registries()[0]
+
+    def is_gateway(self) -> bool:
+        """Whether this registry is its LAN's WAN gateway."""
+        return self.gateway() == self.registry.node_id
+
+    # -- forwarding targets ------------------------------------------------------------
+
+    def forward_targets(self, exclude: set[str]) -> list[str]:
+        """Neighbors a query should be forwarded to.
+
+        With gateway election enabled, a non-gateway registry keeps its
+        same-LAN links but routes WAN-bound traffic through the gateway
+        only, avoiding the paper's "redundant queries being forwarded on
+        the registry network" when several registries share a LAN.
+        """
+        targets = set(self.neighbors)
+        if self.config.gateway_election and not self.is_gateway():
+            lan = self.registry.lan_name
+            same_lan = {
+                t for t in targets
+                if t in self.known and self.known[t].lan_name == lan
+            }
+            gateway = self.gateway()
+            targets = same_lan
+            if gateway in self.neighbors:
+                targets.add(gateway)
+        return sorted(targets - exclude - {self.registry.node_id})

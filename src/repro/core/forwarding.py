@@ -1,0 +1,216 @@
+"""Query forwarding machinery: aggregation state and strategies.
+
+"The key role of the registry network is to forward queries and
+advertisements between registry nodes on different LANs. Several different
+strategies for doing this can be used, including increasing the reach of a
+query gradually in several rounds, random walks, or broadcasting in the
+registry network … Loop avoidance must also be taken care of."
+
+This module holds the bookkeeping shared by all strategies:
+
+* :class:`SeenQueries` — query-id based loop avoidance with pruning,
+* :class:`PendingAggregation` — a fan-out awaiting responses (or a
+  timeout), completing exactly once,
+* :class:`RingController` — the expanding-ring round schedule,
+* :class:`WalkCoordinator` — collects random-walk hit streams.
+
+The registry node wires these to the protocol handlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core import protocol
+from repro.registry.matching import QueryEvaluator, QueryHit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.node import Node, Timer
+
+
+class SeenQueries:
+    """Loop avoidance: remembers recently seen query ids.
+
+    Entries are pruned after ``retention`` seconds so long runs do not
+    accumulate unbounded state — old ids cannot loop any more once every
+    TTL has elapsed.
+    """
+
+    def __init__(self, clock: Callable[[], float], retention: float = 120.0) -> None:
+        self._clock = clock
+        self._retention = retention
+        self._seen: dict[str, float] = {}
+
+    def check_and_mark(self, query_id: str) -> bool:
+        """True if the id is new (and marks it); False for a duplicate."""
+        self._prune()
+        if query_id in self._seen:
+            return False
+        self._seen[query_id] = self._clock()
+        return True
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def _prune(self) -> None:
+        horizon = self._clock() - self._retention
+        if len(self._seen) > 1024:
+            self._seen = {qid: t for qid, t in self._seen.items() if t >= horizon}
+
+    def clear(self) -> None:
+        """Drop all state (registry crash)."""
+        self._seen.clear()
+
+
+class PendingAggregation:
+    """One in-flight fan-out: local hits plus awaited neighbor responses.
+
+    Completes exactly once — either when every outstanding response has
+    arrived or when the aggregation timeout fires — by calling
+    ``on_complete`` with the merged, response-controlled hit list.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        *,
+        query_id: str,
+        local_hits: list[QueryHit],
+        outstanding: int,
+        timeout: float,
+        max_results: int | None,
+        on_complete: Callable[[list[QueryHit], int], None],
+    ) -> None:
+        self.query_id = query_id
+        self.batches: list[list[QueryHit]] = [local_hits]
+        self.outstanding = outstanding
+        self.max_results = max_results
+        self.responders = 1  # ourselves
+        self._on_complete = on_complete
+        self._done = False
+        self._timer: "Timer" = node.after(timeout, self._timeout)
+
+    def add_response(self, payload: protocol.ResponsePayload) -> None:
+        """A neighbor answered: record its hits, maybe complete."""
+        if self._done:
+            return
+        self.batches.append(list(payload.hits))
+        self.responders += payload.responders
+        self.outstanding -= 1
+        if self.outstanding <= 0:
+            self._complete()
+
+    def _timeout(self) -> None:
+        """Some neighbor never answered (crash/partition): finish anyway."""
+        if not self._done:
+            self._complete()
+
+    def _complete(self) -> None:
+        self._done = True
+        self._timer.cancel()
+        merged = QueryEvaluator.merge(self.batches, max_results=self.max_results)
+        self._on_complete(merged, self.responders)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+
+@dataclass
+class RingController:
+    """Expanding-ring search: grow the TTL until satisfied.
+
+    "Increasing the reach of a query gradually in several rounds." Each
+    round is an independent flood with the round's TTL (and a round-scoped
+    query id, so peers do not suppress it as a duplicate); hits accumulate
+    across rounds. The search stops as soon as the satisfaction target is
+    met — ``max_results`` hits when response control is on, one hit
+    otherwise — or the TTL schedule is exhausted.
+    """
+
+    payload: protocol.QueryPayload
+    ttls: tuple[int, ...]
+    round_index: int = 0
+    batches: list[list[QueryHit]] = field(default_factory=list)
+    rounds_run: int = 0
+
+    def round_query_id(self) -> str:
+        """The query id used for the current round's flood."""
+        return f"{self.payload.query_id}#r{self.round_index}"
+
+    def current_ttl(self) -> int:
+        return self.ttls[self.round_index]
+
+    def record_round(self, hits: list[QueryHit]) -> None:
+        """Fold one round's merged hits into the accumulated result."""
+        self.batches.append(hits)
+        self.rounds_run += 1
+
+    def merged(self) -> list[QueryHit]:
+        """All hits so far, de-duplicated and response-controlled."""
+        return QueryEvaluator.merge(self.batches, max_results=self.payload.max_results)
+
+    def satisfied(self) -> bool:
+        """Whether the accumulated hits meet the round-stop target."""
+        target = self.payload.max_results if self.payload.max_results is not None else 1
+        return len(self.merged()) >= target
+
+    def advance(self) -> bool:
+        """Move to the next ring; returns False when the schedule is done."""
+        self.round_index += 1
+        return self.round_index < len(self.ttls)
+
+
+class WalkCoordinator:
+    """Collects the hit stream of one random walk.
+
+    Visited registries unicast their hits straight back to the coordinator
+    (``WALK_HITS``); the final registry sends ``WALK_END``. A timeout
+    bounds the wait when the walk dies mid-way (crashed registry,
+    partition).
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        *,
+        query_id: str,
+        local_hits: list[QueryHit],
+        timeout: float,
+        max_results: int | None,
+        on_complete: Callable[[list[QueryHit], int], None],
+    ) -> None:
+        self.query_id = query_id
+        self.batches: list[list[QueryHit]] = [local_hits]
+        self.responders = 1
+        self.max_results = max_results
+        self._on_complete = on_complete
+        self._done = False
+        self._timer: "Timer" = node.after(timeout, self._finish)
+
+    def add_hits(self, hits: tuple[QueryHit, ...]) -> None:
+        """One visited registry reported its local matches."""
+        if self._done:
+            return
+        self.batches.append(list(hits))
+        self.responders += 1
+
+    def walk_ended(self) -> None:
+        """The walk reached its end: complete now."""
+        self._finish()
+
+    def _finish(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._timer.cancel()
+        merged = QueryEvaluator.merge(self.batches, max_results=self.max_results)
+        self._on_complete(merged, self.responders)
+
+    @property
+    def done(self) -> bool:
+        return self._done

@@ -1,0 +1,334 @@
+"""The generic service discovery protocol.
+
+"We would like to reuse the same generic operations and messages,
+regardless of the payload (based on the service description model). We
+classify such operations and messages in three categories: registry
+network maintenance, publishing, and querying."
+
+This module defines exactly those message types and their payload records.
+Service descriptions and queries ride *inside* these payloads, typed by
+the envelope's ``payload_type`` field ("next header"), so the protocol
+never depends on any particular description model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.registry.advertisements import Advertisement
+from repro.registry.matching import QueryHit
+from repro.registry.rim import RegistryDescription
+
+# -- message types: registry network maintenance --------------------------
+
+#: Client/service multicast: "any registries on this LAN?" (active discovery)
+REGISTRY_PROBE = "registry-probe"
+#: Registry unicast reply to a probe.
+REGISTRY_PROBE_REPLY = "registry-probe-reply"
+#: Registry multicast heartbeat (passive discovery).
+REGISTRY_BEACON = "registry-beacon"
+#: Registry-to-registry aliveness check.
+REGISTRY_PING = "registry-ping"
+REGISTRY_PONG = "registry-pong"
+#: Ask any registry for other registries it knows (registry signalling).
+REGISTRY_LIST_REQUEST = "registry-list-request"
+REGISTRY_LIST_REPLY = "registry-list-reply"
+#: Registry-to-registry federation handshake.
+FEDERATION_JOIN = "federation-join"
+FEDERATION_JOIN_ACK = "federation-join-ack"
+FEDERATION_LEAVE = "federation-leave"
+#: Repository operations (§4.6): fetch ontologies/schemas from a registry.
+ARTIFACT_REQUEST = "artifact-request"
+ARTIFACT_REPLY = "artifact-reply"
+
+# -- message types: publishing --------------------------------------------
+
+PUBLISH = "publish"
+PUBLISH_ACK = "publish-ack"
+#: Registry refused the publish (e.g. at storage capacity) — the
+#: asymmetric-resources case: the service must try another registry.
+PUBLISH_NACK = "publish-nack"
+RENEW = "renew"
+RENEW_ACK = "renew-ack"
+RENEW_NACK = "renew-nack"
+REMOVE = "remove"
+REMOVE_ACK = "remove-ack"
+#: Registry-to-registry advertisement push (replication cooperation).
+AD_FORWARD = "ad-forward"
+
+# -- message types: subscriptions (notification extension) -----------------
+
+#: Client registers interest in future advertisements ("registration for
+#: notifications about service advertisements of interest").
+SUBSCRIBE = "subscribe"
+SUBSCRIBE_ACK = "subscribe-ack"
+UNSUBSCRIBE = "unsubscribe"
+#: Registry pushes a newly published matching advertisement.
+NOTIFY = "notify"
+
+# -- message types: querying ----------------------------------------------
+
+QUERY = "query"
+QUERY_FORWARD = "query-forward"
+QUERY_RESPONSE = "query-response"
+#: Random-walk variants: hits stream back to the coordinator directly.
+WALK = "walk"
+WALK_HITS = "walk-hits"
+WALK_END = "walk-end"
+#: Decentralized LAN mode (Fig. 3, right): query multicast to everyone;
+#: service nodes answer for themselves.
+DECENTRAL_QUERY = "decentral-query"
+DECENTRAL_RESPONSE = "decentral-response"
+
+
+# -- payload records -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PublishPayload:
+    """A service node's publish (or republish) request.
+
+    ``ad_id`` is empty on first publish; set on republish so the registry
+    can bump the version instead of storing a duplicate.
+    """
+
+    service_node: str
+    service_name: str
+    endpoint: str
+    model_id: str
+    description: Any
+    ad_id: str = ""
+    lease_duration: float | None = None
+
+    def size_bytes(self) -> int:
+        from repro.netsim.messages import estimate_payload_size
+
+        return (
+            len(self.service_node) + len(self.service_name) + len(self.endpoint)
+            + len(self.model_id) + len(self.ad_id) + 24
+            + estimate_payload_size(self.description)
+        )
+
+
+@dataclass(frozen=True)
+class PublishAck:
+    """Registry's answer to a publish: the UUID and the granted lease.
+
+    ``model_id`` echoes the published description model so a service node
+    publishing under several models can correlate acks.
+    """
+
+    ad_id: str
+    lease_id: str
+    lease_duration: float
+    model_id: str = ""
+
+    def size_bytes(self) -> int:
+        return len(self.ad_id) + len(self.lease_id) + len(self.model_id) + 16
+
+
+@dataclass(frozen=True)
+class PublishNack:
+    """Registry's refusal of a publish, with the reason."""
+
+    ad_id: str
+    model_id: str
+    reason: str = "capacity"
+
+    def size_bytes(self) -> int:
+        return len(self.ad_id) + len(self.model_id) + len(self.reason) + 8
+
+
+@dataclass(frozen=True)
+class RenewPayload:
+    """Lease renewal request, referencing the lease by id."""
+
+    lease_id: str
+    ad_id: str
+
+    def size_bytes(self) -> int:
+        return len(self.lease_id) + len(self.ad_id) + 8
+
+
+@dataclass(frozen=True)
+class RemovePayload:
+    """Explicit advertisement removal (graceful shutdown)."""
+
+    ad_id: str
+
+    def size_bytes(self) -> int:
+        return len(self.ad_id) + 8
+
+
+@dataclass(frozen=True)
+class QueryPayload:
+    """A query travelling through the registry network.
+
+    ``query_id`` provides loop avoidance ("giving queries their unique
+    query ID is a good approach to avoid query looping between registry
+    nodes"); ``ttl`` bounds the forwarding radius; ``max_results`` is the
+    response-control cap.
+    """
+
+    query_id: str
+    model_id: str
+    query: Any
+    max_results: int | None = None
+    ttl: int = 0
+
+    def with_ttl(self, ttl: int) -> "QueryPayload":
+        return QueryPayload(
+            query_id=self.query_id,
+            model_id=self.model_id,
+            query=self.query,
+            max_results=self.max_results,
+            ttl=ttl,
+        )
+
+    def size_bytes(self) -> int:
+        from repro.netsim.messages import estimate_payload_size
+
+        return len(self.query_id) + len(self.model_id) + 16 + estimate_payload_size(self.query)
+
+
+@dataclass(frozen=True)
+class ResponsePayload:
+    """Aggregated query hits flowing back toward the querying client."""
+
+    query_id: str
+    hits: tuple[QueryHit, ...]
+    responders: int = 1
+
+    def size_bytes(self) -> int:
+        return len(self.query_id) + 16 + sum(hit.size_bytes() for hit in self.hits)
+
+
+@dataclass(frozen=True)
+class WalkPayload:
+    """A random-walk query: carries its coordinator and visited set."""
+
+    query_id: str
+    model_id: str
+    query: Any
+    coordinator: str
+    remaining: int
+    visited: tuple[str, ...] = ()
+    max_results: int | None = None
+
+    def size_bytes(self) -> int:
+        from repro.netsim.messages import estimate_payload_size
+
+        return (
+            len(self.query_id) + len(self.model_id) + len(self.coordinator)
+            + sum(len(v) for v in self.visited) + 24
+            + estimate_payload_size(self.query)
+        )
+
+
+@dataclass(frozen=True)
+class SubscribePayload:
+    """A standing query: notify me about future matching advertisements.
+
+    Subscriptions are leased like advertisements: the subscriber must
+    re-subscribe (same ``sub_id``) before ``duration`` elapses or the
+    registry drops the subscription — the same aliveness principle as
+    §4.8, applied to client interest.
+    """
+
+    sub_id: str
+    model_id: str
+    query: Any
+    duration: float
+
+    def size_bytes(self) -> int:
+        from repro.netsim.messages import estimate_payload_size
+
+        return len(self.sub_id) + len(self.model_id) + 16 + \
+            estimate_payload_size(self.query)
+
+
+@dataclass(frozen=True)
+class SubscribeAck:
+    """Registry's acceptance of a (re-)subscription."""
+
+    sub_id: str
+    expires_at: float
+
+    def size_bytes(self) -> int:
+        return len(self.sub_id) + 16
+
+
+@dataclass(frozen=True)
+class NotifyPayload:
+    """One newly published advertisement matching a subscription."""
+
+    sub_id: str
+    hit: QueryHit
+
+    def size_bytes(self) -> int:
+        return len(self.sub_id) + self.hit.size_bytes()
+
+
+@dataclass(frozen=True)
+class UnsubscribePayload:
+    """Cancel a standing query."""
+
+    sub_id: str
+
+    def size_bytes(self) -> int:
+        return len(self.sub_id) + 8
+
+
+@dataclass(frozen=True)
+class RegistryListPayload:
+    """Registry signalling: "share information about other registry nodes"."""
+
+    registries: tuple[RegistryDescription, ...]
+
+    def size_bytes(self) -> int:
+        return 16 + sum(r.size_bytes() for r in self.registries)
+
+
+@dataclass(frozen=True)
+class AdForwardPayload:
+    """One advertisement pushed to a peer registry (replication).
+
+    ``epoch`` increases with each lease refresh at the home registry, so
+    re-pushes propagate through the dedup flood (key: ad_id, version,
+    epoch) and keep replica leases alive.
+    """
+
+    advertisement: Advertisement
+    lease_duration: float
+    epoch: int = 0
+
+    def dedup_key(self) -> tuple[str, int, int]:
+        return (self.advertisement.ad_id, self.advertisement.version, self.epoch)
+
+    def size_bytes(self) -> int:
+        return self.advertisement.size_bytes() + 24
+
+
+@dataclass(frozen=True)
+class ArtifactRequestPayload:
+    """Fetch a named artifact (ontology, schema) from a registry."""
+
+    artifact_name: str
+
+    def size_bytes(self) -> int:
+        return len(self.artifact_name) + 16
+
+
+@dataclass(frozen=True)
+class ArtifactReplyPayload:
+    """The artifact, or a not-found marker."""
+
+    artifact_name: str
+    artifact: Any = None
+    found: bool = True
+
+    def size_bytes(self) -> int:
+        from repro.netsim.messages import estimate_payload_size
+
+        return len(self.artifact_name) + 16 + estimate_payload_size(self.artifact)

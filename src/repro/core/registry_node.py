@@ -1,0 +1,839 @@
+"""The registry node: an autonomous, federating super-peer.
+
+"A registry node … is a registry capable of collaborating in a dynamic
+way with other registry nodes. A registry node can operate autonomously
+since it stores advertisements and is capable of evaluating queries. In
+addition, it is responsible for cleaning up advertisements representing
+obsolete services."
+
+Composition: an :class:`~repro.registry.AdvertisementStore` (thick
+storage), a :class:`~repro.registry.LeaseManager` (aliveness, §4.8), a
+:class:`~repro.registry.QueryEvaluator` over pluggable description models,
+an :class:`~repro.core.repository.ArtifactRepository` (§4.6), and a
+:class:`~repro.core.federation.Federation` (registry network maintenance,
+§4.9). Query forwarding strategies live in
+:mod:`repro.core.forwarding` and are selected by configuration.
+
+Registry content is *soft state*: a crash loses everything, and the
+architecture rebuilds it from service-node republishes and leases — which
+is exactly why the paper insists on aliveness information rather than
+durable registry storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core import protocol
+from repro.core.config import (
+    COOPERATION_REPLICATE_ADS,
+    DiscoveryConfig,
+    STRATEGY_EXPANDING_RING,
+    STRATEGY_FLOODING,
+    STRATEGY_INFORMED,
+    STRATEGY_RANDOM_WALK,
+)
+from repro.core.federation import Federation
+from repro.core.forwarding import (
+    PendingAggregation,
+    RingController,
+    SeenQueries,
+    WalkCoordinator,
+)
+from repro.core.repository import ArtifactRepository
+from repro.descriptions.base import DescriptionModel, ModelRegistry
+from repro.netsim.messages import Envelope
+from repro.netsim.node import Node
+from repro.registry.advertisements import Advertisement, new_uuid
+from repro.registry.leases import LeaseManager
+from repro.registry.matching import QueryEvaluator, QueryHit
+from repro.registry.rim import RegistryDescription, RegistryInfoModel
+from repro.registry.store import AdvertisementStore
+
+
+@dataclass
+class _Subscription:
+    """One standing query registered by a client (notification support)."""
+
+    sub_id: str
+    subscriber: str
+    model_id: str
+    query: Any
+    expires_at: float
+
+
+class RegistryNode(Node):
+    """One autonomous registry super-peer."""
+
+    role = "registry"
+
+    def __init__(
+        self,
+        node_id: str,
+        config: DiscoveryConfig,
+        models: list[DescriptionModel],
+        *,
+        seeds: tuple[str, ...] = (),
+        capacity: int | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.config = config
+        #: Maximum stored advertisements ("capacity … distribution often
+        #: [is] asymmetric"); ``None`` = unbounded. Publishes beyond it
+        #: are NACKed, pushing the service to another registry.
+        self.capacity = capacity
+        self.models = ModelRegistry(models)
+        self.store = AdvertisementStore()
+        self.evaluator = QueryEvaluator(self.store, self.models)
+        self.repository = ArtifactRepository()
+        #: Static federation seeds (manual WAN configuration, §4.5);
+        #: survive crashes, unlike learned neighbors.
+        self.seeds = tuple(seeds)
+        self.rim = RegistryInfoModel(
+            registry_id=node_id,
+            lan_name="",
+            supported_models=self.models.model_ids(),
+        )
+        self.federation = Federation(self, config, describe=self.describe)
+        self.leases: LeaseManager | None = None
+        self._seen: SeenQueries | None = None
+        self._pending: dict[str, PendingAggregation] = {}
+        self._walks: dict[str, WalkCoordinator] = {}
+        self._seen_ad_pushes: set[tuple[str, int, int]] = set()
+        self._subscriptions: dict[str, _Subscription] = {}
+        self.responses_sent = 0
+        self.notifications_sent = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm periodic tasks, probe the LAN, and join seed registries."""
+        self.rim.lan_name = self.lan_name or ""
+        self.leases = LeaseManager(
+            lambda: self.sim.now, default_duration=self.config.lease_duration
+        )
+        self._seen = SeenQueries(lambda: self.sim.now)
+        if self.config.beacon_interval is not None:
+            self.every(self.config.beacon_interval, self._beacon,
+                       initial_delay=self.config.beacon_interval)
+        if self.config.leasing_enabled:
+            self.every(self.config.purge_interval, self._purge)
+        self.federation.start()
+        # Find same-LAN peer registries immediately (gateway election needs
+        # them) and join the statically seeded WAN peers.
+        self.multicast(protocol.REGISTRY_PROBE)
+        for seed in self.seeds:
+            self.federation.join(seed)
+
+    def on_restart(self) -> None:
+        """Come back with empty soft state and re-bootstrap."""
+        self.store.clear()
+        self.repository.clear()
+        self.federation.reset()
+        self._pending.clear()
+        self._walks.clear()
+        self._seen_ad_pushes.clear()
+        self._subscriptions.clear()
+        self.start()
+
+    def describe(self) -> RegistryDescription:
+        """Self-description for beacons, probe replies, and signalling."""
+        return self.rim.describe(
+            advertisement_count=len(self.store),
+            neighbor_count=len(self.federation.neighbors),
+            artifact_names=tuple(self.repository.names()),
+            summary_terms=self._summary_terms(),
+            issued_at=self.sim.now if self.network is not None else 0.0,
+        )
+
+    def _summary_terms(self) -> tuple[str, ...]:
+        """Index terms of the stored advertisements (content summary).
+
+        Semantic advertisements index their category and outputs *plus all
+        ancestors*, so a summary holding ``Radar`` also answers to a
+        request for ``Sensor`` — subsumption-aware routing without
+        shipping the advertisements themselves. THING is excluded (it
+        would match everything).
+        """
+        if not self.config.summaries_enabled():
+            return ()
+        from repro.descriptions.template import tokenize
+        from repro.semantics.ontology import THING
+        from repro.semantics.profiles import ServiceProfile
+
+        ontology = None
+        if self.models.supports("semantic"):
+            model = self.models.get("semantic")
+            ontology = getattr(model, "ontology", None)
+        terms: set[str] = set()
+        for ad in self.store.all():
+            description = ad.description
+            if ad.model_id == "uri":
+                terms.add(description.type_uri)
+            elif ad.model_id == "template":
+                terms |= tokenize(description.category)
+            elif ad.model_id == "semantic" and isinstance(description, ServiceProfile):
+                concepts = {description.category, *description.outputs}
+                terms |= concepts
+                if ontology is not None:
+                    for concept in concepts:
+                        if concept in ontology:
+                            terms |= ontology.ancestors(concept)
+        terms.discard(THING)
+        if ontology is not None:
+            # Near-root concepts (depth <= 1) match almost any query and
+            # would make every summary a false positive: drop them.
+            terms = {
+                t for t in terms
+                if t not in ontology or ontology.depth(t) > 1
+            }
+        return tuple(sorted(terms))
+
+    def _query_terms(self, payload: protocol.QueryPayload) -> frozenset[str]:
+        """The index terms a query can match against summaries."""
+        from repro.descriptions.template import tokenize
+        from repro.semantics.ontology import THING
+        from repro.semantics.profiles import ServiceRequest
+
+        query = payload.query
+        if payload.model_id == "uri":
+            return frozenset({query.type_uri})
+        if payload.model_id == "template":
+            return frozenset(query.tokens)
+        if payload.model_id == "semantic" and isinstance(query, ServiceRequest):
+            terms: set[str] = set()
+            concepts = set(query.desired_outputs)
+            if query.category is not None:
+                concepts.add(query.category)
+            terms |= concepts
+            ontology = None
+            if self.models.supports("semantic"):
+                ontology = getattr(self.models.get("semantic"), "ontology", None)
+            if ontology is not None:
+                for concept in concepts:
+                    if concept in ontology:
+                        terms |= ontology.ancestors(concept)
+            terms.discard(THING)
+            return frozenset(terms)
+        return frozenset()
+
+    # -- registry network maintenance ----------------------------------------
+
+    def _beacon(self) -> None:
+        self.multicast(protocol.REGISTRY_BEACON, self.describe())
+
+    def handle_registry_probe(self, envelope: Envelope) -> None:
+        self.send(envelope.src, protocol.REGISTRY_PROBE_REPLY, self.describe())
+
+    def handle_registry_probe_reply(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, RegistryDescription):
+            self.federation.observe(envelope.payload)
+
+    def handle_registry_beacon(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, RegistryDescription):
+            self.federation.observe(envelope.payload)
+
+    def handle_registry_ping(self, envelope: Envelope) -> None:
+        self.send(envelope.src, protocol.REGISTRY_PONG)
+
+    def handle_registry_pong(self, envelope: Envelope) -> None:
+        self.federation.handle_pong(envelope.src)
+
+    def handle_registry_list_request(self, envelope: Envelope) -> None:
+        self.send(envelope.src, protocol.REGISTRY_LIST_REPLY, self.federation.registry_list())
+
+    def handle_registry_list_reply(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, protocol.RegistryListPayload):
+            self.federation.handle_registry_list(envelope.payload)
+
+    def handle_federation_join(self, envelope: Envelope) -> None:
+        description = envelope.payload if isinstance(envelope.payload, RegistryDescription) \
+            else None
+        self.federation.handle_join(envelope.src, description)
+
+    def handle_federation_join_ack(self, envelope: Envelope) -> None:
+        description = envelope.payload if isinstance(envelope.payload, RegistryDescription) \
+            else None
+        self.federation.handle_join_ack(envelope.src, description)
+
+    def handle_federation_leave(self, envelope: Envelope) -> None:
+        self.federation.handle_leave(envelope.src)
+
+    # -- repository (§4.6) ------------------------------------------------------
+
+    def store_artifact(self, name: str, artifact: Any) -> None:
+        """Host an ontology/schema so disconnected clients can fetch it."""
+        self.repository.store(name, artifact)
+
+    def handle_artifact_request(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ArtifactRequestPayload):
+            return
+        artifact = self.repository.fetch(payload.artifact_name)
+        self.send(
+            envelope.src,
+            protocol.ARTIFACT_REPLY,
+            protocol.ArtifactReplyPayload(
+                artifact_name=payload.artifact_name,
+                artifact=artifact,
+                found=artifact is not None,
+            ),
+        )
+
+    # -- publishing ---------------------------------------------------------------
+
+    def handle_publish(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.PublishPayload):
+            return
+        if not self.models.supports(payload.model_id):
+            # Silently discard descriptions we cannot evaluate; the
+            # publisher will fail over to a capable registry on timeout.
+            self.models.discarded_payloads += 1
+            return
+        ad_id = payload.ad_id or new_uuid("ad")
+        if (
+            self.capacity is not None
+            and len(self.store) >= self.capacity
+            and ad_id not in self.store
+        ):
+            self.send(
+                envelope.src,
+                protocol.PUBLISH_NACK,
+                protocol.PublishNack(ad_id=ad_id, model_id=payload.model_id),
+            )
+            return
+        existing = self.store.discard(ad_id)
+        version = existing.version + 1 if existing is not None else 1
+        ad = Advertisement(
+            ad_id=ad_id,
+            service_node=payload.service_node,
+            service_name=payload.service_name,
+            endpoint=payload.endpoint,
+            model_id=payload.model_id,
+            description=payload.description,
+            version=version,
+            published_at=self.sim.now,
+            home_registry=self.node_id,
+        )
+        self.store.put(ad)
+        self.rim.publishes += 1
+        lease_id = ""
+        duration = float("inf")
+        if self.config.leasing_enabled and self.leases is not None:
+            lease = self.leases.grant(ad_id, payload.lease_duration)
+            lease_id = lease.lease_id
+            duration = lease.duration
+        self.send(
+            envelope.src,
+            protocol.PUBLISH_ACK,
+            protocol.PublishAck(
+                ad_id=ad_id,
+                lease_id=lease_id,
+                lease_duration=duration,
+                model_id=payload.model_id,
+            ),
+        )
+        self._notify_subscribers(ad)
+        if self.config.cooperation == COOPERATION_REPLICATE_ADS:
+            self._push_ad(ad, exclude=set())
+
+    def handle_renew(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.RenewPayload):
+            return
+        self.rim.renews += 1
+        if not self.config.leasing_enabled or self.leases is None:
+            self.send(envelope.src, protocol.RENEW_ACK, payload)
+            return
+        try:
+            self.leases.renew(payload.lease_id)
+        except Exception:
+            # Unknown/expired lease: the service must republish (§4.8).
+            self.send(envelope.src, protocol.RENEW_NACK, payload)
+            return
+        self.send(envelope.src, protocol.RENEW_ACK, payload)
+        if self.config.cooperation == COOPERATION_REPLICATE_ADS and payload.ad_id in self.store:
+            # Refresh replicas: the lease epoch advances the dedup key so
+            # the push floods through.
+            self._push_ad(self.store.get(payload.ad_id), exclude=set())
+
+    def handle_remove(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.RemovePayload):
+            return
+        removed = self.store.discard(payload.ad_id)
+        if self.leases is not None:
+            self.leases.cancel_for_ad(payload.ad_id)
+        if removed is not None:
+            self.rim.removals += 1
+        self.send(envelope.src, protocol.REMOVE_ACK, payload)
+
+    def _purge(self) -> None:
+        """Expire lapsed leases/subscriptions and drop their state."""
+        if self.leases is not None:
+            for ad_id in self.leases.expired_ads():
+                if self.store.discard(ad_id) is not None:
+                    self.rim.removals += 1
+        now = self.sim.now
+        lapsed = [sid for sid, sub in self._subscriptions.items()
+                  if now >= sub.expires_at]
+        for sub_id in lapsed:
+            del self._subscriptions[sub_id]
+
+    # -- subscriptions / notifications ------------------------------------------
+
+    def handle_subscribe(self, envelope: Envelope) -> None:
+        """Register (or refresh) a standing query.
+
+        Re-subscribing with the same ``sub_id`` extends the expiry — the
+        subscription analogue of a lease renewal.
+        """
+        payload = envelope.payload
+        if not isinstance(payload, protocol.SubscribePayload):
+            return
+        if not self.models.supports(payload.model_id):
+            self.models.discarded_payloads += 1
+            return
+        expires_at = self.sim.now + payload.duration
+        self._subscriptions[payload.sub_id] = _Subscription(
+            sub_id=payload.sub_id,
+            subscriber=envelope.src,
+            model_id=payload.model_id,
+            query=payload.query,
+            expires_at=expires_at,
+        )
+        self.send(
+            envelope.src,
+            protocol.SUBSCRIBE_ACK,
+            protocol.SubscribeAck(sub_id=payload.sub_id, expires_at=expires_at),
+        )
+
+    def handle_unsubscribe(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, protocol.UnsubscribePayload):
+            self._subscriptions.pop(payload.sub_id, None)
+
+    def _notify_subscribers(self, ad: Advertisement) -> None:
+        """Push a freshly stored advertisement to matching subscribers."""
+        if not self._subscriptions or not self.models.supports(ad.model_id):
+            return
+        model = self.models.get(ad.model_id)
+        if not model.can_evaluate():
+            return
+        for sub in sorted(self._subscriptions.values(), key=lambda s: s.sub_id):
+            if sub.model_id != ad.model_id:
+                continue
+            verdict = model.evaluate(ad.description, sub.query)
+            if not verdict.matched:
+                continue
+            self.notifications_sent += 1
+            self.send(
+                sub.subscriber,
+                protocol.NOTIFY,
+                protocol.NotifyPayload(
+                    sub_id=sub.sub_id,
+                    hit=QueryHit(advertisement=ad, degree=verdict.degree,
+                                 score=verdict.score),
+                ),
+            )
+
+    def on_neighbor_added(self, neighbor: str) -> None:
+        """A federation link formed: synchronize state over it.
+
+        In replicate-advertisements cooperation, a new link triggers
+        anti-entropy — every stored advertisement is pushed to the new
+        neighbor, so members joining (or re-joining after a crash) catch
+        up without waiting for the next lease refresh. Independently,
+        repository artifacts the neighbor advertises and we lack are
+        fetched (§4.6), so ontologies spread through the registry network
+        without any Internet dependency.
+        """
+        if self.config.artifact_sync:
+            known = self.federation.known.get(neighbor)
+            if known is not None:
+                for name in known.artifact_names:
+                    if name not in self.repository:
+                        self.send(
+                            neighbor,
+                            protocol.ARTIFACT_REQUEST,
+                            protocol.ArtifactRequestPayload(artifact_name=name),
+                        )
+        if self.config.cooperation != COOPERATION_REPLICATE_ADS:
+            return
+        epoch = self._lease_epoch()
+        for ad in self.store.all():
+            payload = protocol.AdForwardPayload(
+                advertisement=ad,
+                lease_duration=self.config.lease_duration,
+                epoch=epoch,
+            )
+            self._seen_ad_pushes.add(payload.dedup_key())
+            self.send(neighbor, protocol.AD_FORWARD, payload)
+
+    def handle_artifact_reply(self, envelope: Envelope) -> None:
+        """An artifact arrived from a peer: host it, and use it.
+
+        Ontologies are attached to our semantic model immediately, turning
+        a registry that could not evaluate semantic queries into one that
+        can (experiment E12).
+        """
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ArtifactReplyPayload) or not payload.found:
+            return
+        self.repository.store(payload.artifact_name, payload.artifact)
+        from repro.descriptions.semantic import SemanticModel
+        from repro.semantics.ontology import Ontology
+
+        if isinstance(payload.artifact, Ontology) and self.models.supports("semantic"):
+            model = self.models.get("semantic")
+            if isinstance(model, SemanticModel) and not model.can_evaluate():
+                model.attach_ontology(payload.artifact)
+
+    # -- replication cooperation ---------------------------------------------------
+
+    def _lease_epoch(self) -> int:
+        """Monotone epoch advancing once per renew interval."""
+        return int(self.sim.now / max(self.config.renew_interval, 1e-9))
+
+    def _push_ad(self, ad: Advertisement, *, exclude: set[str]) -> None:
+        payload = protocol.AdForwardPayload(
+            advertisement=ad,
+            lease_duration=self.config.lease_duration,
+            epoch=self._lease_epoch(),
+        )
+        self._seen_ad_pushes.add(payload.dedup_key())
+        for neighbor in self.federation.forward_targets(exclude):
+            self.send(neighbor, protocol.AD_FORWARD, payload)
+
+    def handle_ad_forward(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.AdForwardPayload):
+            return
+        key = payload.dedup_key()
+        if key in self._seen_ad_pushes:
+            return
+        self._seen_ad_pushes.add(key)
+        over_capacity = (
+            self.capacity is not None
+            and len(self.store) >= self.capacity
+            and payload.advertisement.ad_id not in self.store
+        )
+        if not self.models.supports(payload.advertisement.model_id) or over_capacity:
+            self.models.discarded_payloads += 1
+        else:
+            fresh = payload.advertisement.ad_id not in self.store
+            self.store.put(payload.advertisement)
+            if self.config.leasing_enabled and self.leases is not None:
+                self.leases.grant(payload.advertisement.ad_id, payload.lease_duration)
+            if fresh:
+                self._notify_subscribers(payload.advertisement)
+        # Flood onward regardless of local support — we may bridge two
+        # capable registries.
+        for neighbor in self.federation.forward_targets({envelope.src}):
+            self.send(neighbor, protocol.AD_FORWARD, payload)
+
+    # -- querying ----------------------------------------------------------------------
+
+    def _local_hits(self, payload: protocol.QueryPayload) -> list[QueryHit]:
+        return self.evaluator.evaluate(
+            payload.model_id, payload.query, max_results=payload.max_results
+        )
+
+    def _respond(self, dst: str, query_id: str, hits: list[QueryHit], responders: int) -> None:
+        self.responses_sent += 1
+        self.send(
+            dst,
+            protocol.QUERY_RESPONSE,
+            protocol.ResponsePayload(
+                query_id=query_id, hits=tuple(hits), responders=responders
+            ),
+        )
+
+    def handle_query(self, envelope: Envelope) -> None:
+        """A client query: this registry is the entry point/coordinator."""
+        payload = envelope.payload
+        if not isinstance(payload, protocol.QueryPayload):
+            return
+        assert self._seen is not None
+        self.rim.queries_served += 1
+        if not self._seen.check_and_mark(payload.query_id):
+            return
+        client = envelope.src
+        if self.config.strategy == STRATEGY_EXPANDING_RING:
+            self._start_ring(client, payload)
+        elif self.config.strategy == STRATEGY_RANDOM_WALK:
+            self._start_walk(client, payload)
+        elif self.config.strategy == STRATEGY_INFORMED:
+            self._start_informed(client, payload)
+        else:
+            self._start_flood(client, payload)
+
+    # .. flooding ..........................................................
+
+    def _start_flood(self, client: str, payload: protocol.QueryPayload) -> None:
+        local = self._local_hits(payload)
+        ttl = payload.ttl
+        targets = self.federation.forward_targets({client}) if ttl > 0 else []
+        if not targets:
+            self._respond(client, payload.query_id, local, 1)
+            return
+        self._fan_out(
+            payload.with_ttl(ttl - 1),
+            targets,
+            local,
+            on_complete=lambda hits, responders: self._respond(
+                client, payload.query_id, hits, responders
+            ),
+        )
+
+    def _fan_out(
+        self,
+        forwarded: protocol.QueryPayload,
+        targets: list[str],
+        local: list[QueryHit],
+        *,
+        on_complete,
+    ) -> None:
+        """Forward to ``targets`` and aggregate their responses."""
+        query_id = forwarded.query_id
+
+        def complete(hits: list[QueryHit], responders: int) -> None:
+            self._pending.pop(query_id, None)
+            on_complete(hits, responders)
+
+        # The timeout must cover the *downstream* aggregation chain: a
+        # child forwarding with TTL t may itself wait ~t units for its own
+        # dead branches before answering. A flat per-hop timeout would
+        # fire before deep responses arrive and silently drop them.
+        timeout = self.config.aggregation_timeout * (forwarded.ttl + 1)
+        self._pending[query_id] = PendingAggregation(
+            self,
+            query_id=query_id,
+            local_hits=local,
+            outstanding=len(targets),
+            timeout=timeout,
+            max_results=forwarded.max_results,
+            on_complete=complete,
+        )
+        for target in targets:
+            self.send(target, protocol.QUERY_FORWARD, forwarded)
+            self.rim.queries_forwarded += 1
+
+    def handle_query_forward(self, envelope: Envelope) -> None:
+        """A peer registry forwarded a query to us."""
+        payload = envelope.payload
+        if not isinstance(payload, protocol.QueryPayload):
+            return
+        assert self._seen is not None
+        parent = envelope.src
+        if not self._seen.check_and_mark(payload.query_id):
+            # Duplicate via another path: answer empty so the parent's
+            # outstanding counter drains without waiting for the timeout.
+            self._respond(parent, payload.query_id, [], 0)
+            return
+        local = self._local_hits(payload)
+        targets = self.federation.forward_targets({parent}) if payload.ttl > 0 else []
+        if not targets:
+            self._respond(parent, payload.query_id, local, 1)
+            return
+        self._fan_out(
+            payload.with_ttl(payload.ttl - 1),
+            targets,
+            local,
+            on_complete=lambda hits, responders: self._respond(
+                parent, payload.query_id, hits, responders
+            ),
+        )
+
+    def handle_query_response(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ResponsePayload):
+            return
+        pending = self._pending.get(payload.query_id)
+        if pending is not None:
+            pending.add_response(payload)
+
+    # .. summary-informed routing ............................................
+
+    def _start_informed(self, client: str, payload: protocol.QueryPayload) -> None:
+        """Route the query directly to summary-matching registries.
+
+        Content summaries learned through gossip tell us *which* known
+        registries plausibly hold matches; each gets the query with TTL 0
+        (evaluate-locally-and-answer). Registries without summary overlap
+        are never bothered — the bandwidth win over flooding; a stale or
+        missing summary is the recall risk (measured in E13).
+        """
+        local = self._local_hits(payload)
+        terms = self._query_terms(payload)
+        candidates = [
+            rid
+            for rid, desc in sorted(self.federation.known.items())
+            if rid != self.node_id and desc.summary_terms
+            and terms & frozenset(desc.summary_terms)
+        ]
+        if not candidates:
+            self._respond(client, payload.query_id, local, 1)
+            return
+        self._fan_out(
+            payload.with_ttl(0),
+            candidates,
+            local,
+            on_complete=lambda hits, responders: self._respond(
+                client, payload.query_id, hits, responders
+            ),
+        )
+
+    # .. expanding ring ......................................................
+
+    def _start_ring(self, client: str, payload: protocol.QueryPayload) -> None:
+        ring = RingController(payload=payload, ttls=self.config.ring_ttls)
+        self._run_ring_round(client, ring)
+
+    def _run_ring_round(self, client: str, ring: RingController) -> None:
+        ttl = ring.current_ttl()
+        round_payload = protocol.QueryPayload(
+            query_id=ring.round_query_id(),
+            model_id=ring.payload.model_id,
+            query=ring.payload.query,
+            max_results=ring.payload.max_results,
+            ttl=max(ttl - 1, 0),
+        )
+        local = self._local_hits(ring.payload)
+        targets = self.federation.forward_targets({client}) if ttl > 0 else []
+        if not targets:
+            ring.record_round(local)
+            self._ring_round_done(client, ring)
+            return
+        self._fan_out(
+            round_payload,
+            targets,
+            local,
+            on_complete=lambda hits, _responders: (
+                ring.record_round(hits),
+                self._ring_round_done(client, ring),
+            ),
+        )
+
+    def _ring_round_done(self, client: str, ring: RingController) -> None:
+        if ring.satisfied() or not ring.advance():
+            self._respond(client, ring.payload.query_id, ring.merged(), ring.rounds_run)
+            return
+        self._run_ring_round(client, ring)
+
+    # .. random walk ...........................................................
+
+    def _start_walk(self, client: str, payload: protocol.QueryPayload) -> None:
+        local = self._local_hits(payload)
+        target_count = payload.max_results if payload.max_results is not None else 1
+        targets = self.federation.forward_targets({client})
+        if len(local) >= target_count or not targets or self.config.walk_length <= 1:
+            self._respond(client, payload.query_id, local, 1)
+            return
+
+        def complete(hits: list[QueryHit], responders: int) -> None:
+            self._walks.pop(payload.query_id, None)
+            self._respond(client, payload.query_id, hits, responders)
+
+        self._walks[payload.query_id] = WalkCoordinator(
+            self,
+            query_id=payload.query_id,
+            local_hits=local,
+            timeout=self.config.aggregation_timeout * self.config.walk_length,
+            max_results=payload.max_results,
+            on_complete=complete,
+        )
+        next_hop = self.sim.rng.choice(targets)
+        self.send(
+            next_hop,
+            protocol.WALK,
+            protocol.WalkPayload(
+                query_id=payload.query_id,
+                model_id=payload.model_id,
+                query=payload.query,
+                coordinator=self.node_id,
+                remaining=self.config.walk_length - 1,
+                visited=(self.node_id,),
+                max_results=payload.max_results,
+            ),
+        )
+        self.rim.queries_forwarded += 1
+
+    def handle_walk(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.WalkPayload):
+            return
+        query = protocol.QueryPayload(
+            query_id=payload.query_id,
+            model_id=payload.model_id,
+            query=payload.query,
+            max_results=payload.max_results,
+        )
+        local = self._local_hits(query)
+        if local:
+            self.send(
+                payload.coordinator,
+                protocol.WALK_HITS,
+                protocol.ResponsePayload(
+                    query_id=payload.query_id, hits=tuple(local), responders=1
+                ),
+            )
+        visited = set(payload.visited) | {self.node_id}
+        candidates = [
+            t for t in self.federation.forward_targets({envelope.src}) if t not in visited
+        ]
+        if payload.remaining <= 1 or not candidates:
+            self.send(
+                payload.coordinator,
+                protocol.WALK_END,
+                protocol.ResponsePayload(query_id=payload.query_id, hits=(), responders=0),
+            )
+            return
+        next_hop = self.sim.rng.choice(candidates)
+        self.send(
+            next_hop,
+            protocol.WALK,
+            protocol.WalkPayload(
+                query_id=payload.query_id,
+                model_id=payload.model_id,
+                query=payload.query,
+                coordinator=payload.coordinator,
+                remaining=payload.remaining - 1,
+                visited=tuple(sorted(visited)),
+                max_results=payload.max_results,
+            ),
+        )
+        self.rim.queries_forwarded += 1
+
+    def handle_walk_hits(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, protocol.ResponsePayload):
+            walk = self._walks.get(payload.query_id)
+            if walk is not None:
+                walk.add_hits(payload.hits)
+
+    def handle_walk_end(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, protocol.ResponsePayload):
+            walk = self._walks.get(payload.query_id)
+            if walk is not None:
+                walk.walk_ended()
+
+    # .. decentralized LAN mode (Fig. 3 fallback) ...............................
+
+    def handle_decentral_query(self, envelope: Envelope) -> None:
+        """Registries answer fallback multicasts too — they are LAN nodes."""
+        payload = envelope.payload
+        if not isinstance(payload, protocol.QueryPayload):
+            return
+        hits = self._local_hits(payload)
+        if hits:
+            self.send(
+                envelope.src,
+                protocol.DECENTRAL_RESPONSE,
+                protocol.ResponsePayload(
+                    query_id=payload.query_id, hits=tuple(hits), responders=1
+                ),
+            )

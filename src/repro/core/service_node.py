@@ -1,0 +1,296 @@
+"""The service node: publishes, renews, republishes, survives failover.
+
+"Service nodes … are responsible for obtaining a connection to the
+registry network to be able to publish the service description of the
+services it hosts … periodic messages indicating that services are still
+alive will be important … Republishing of updated service advertisements
+is therefore likely to occur more frequently than with simpler service
+description mechanisms … should the registry node disappear, the service
+node must try to find another connection point to the registry network
+and publish its advertisement there."
+
+A service node may publish the *same* capability under several description
+models simultaneously ("it is even possible to describe services using
+different service description languages and to publish these") — one
+advertisement per model, each with its own lease.
+
+In decentralized LAN mode (Fig. 3, right) the service node answers
+multicast queries for itself, evaluating them against its own
+descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import protocol
+from repro.core.bootstrap import RegistryTracker
+from repro.core.config import DiscoveryConfig
+from repro.descriptions.base import DescriptionModel, ModelRegistry
+from repro.netsim.messages import Envelope
+from repro.netsim.node import Node
+from repro.registry.advertisements import Advertisement, new_uuid
+from repro.registry.matching import QueryHit
+from repro.semantics.profiles import ServiceProfile
+
+
+@dataclass
+class PublishedAd:
+    """Book-keeping for one advertisement this node maintains."""
+
+    model_id: str
+    ad_id: str = ""
+    lease_id: str = ""
+    registry: str = ""
+    acked: bool = False
+    renew_outstanding: bool = False
+
+
+class ServiceNode(Node):
+    """A provider node hosting one service capability."""
+
+    role = "service"
+
+    def __init__(
+        self,
+        node_id: str,
+        config: DiscoveryConfig,
+        profile: ServiceProfile,
+        models: list[DescriptionModel],
+        *,
+        endpoint: str = "",
+    ) -> None:
+        super().__init__(node_id)
+        self.config = config
+        self.profile = profile
+        self.models = ModelRegistry(models)
+        self.endpoint = endpoint or f"svc://{node_id}"
+        self.tracker = RegistryTracker(
+            self, config, on_attached=self._on_attached
+        )
+        self._published: dict[str, PublishedAd] = {
+            model_id: PublishedAd(model_id=model_id) for model_id in self.models.model_ids()
+        }
+        self._descriptions = self._describe_all()
+        self._attached_at: float | None = None
+        self.publishes_sent = 0
+        self.republish_events = 0
+
+    def _describe_all(self) -> dict[str, object]:
+        return {
+            model_id: self.models.get(model_id).describe(self.profile, self.endpoint)
+            for model_id in self.models.model_ids()
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bootstrap: find a registry, then keep leases alive."""
+        self.tracker.probe()
+        self.tracker.start_signalling_refresh()
+        self.every(self.config.renew_interval, self._renew_tick)
+
+    def on_restart(self) -> None:
+        """Restart with no registry attachment and fresh advertisements."""
+        self.tracker.current = None
+        for record in self._published.values():
+            record.acked = False
+            record.renew_outstanding = False
+        self.start()
+
+    def on_moved(self, old_lan: str, new_lan: str) -> None:
+        """Roamed to a new LAN: find a local registry and republish there.
+
+        The advertisements at the previous registry lapse with their
+        leases — roaming is indistinguishable from a crash as far as the
+        old registry is concerned, which is exactly how the paper's soft-
+        state design wants it.
+        """
+        self.tracker.current = None
+        self.tracker.known.clear()
+        self.tracker.excluded.clear()
+        for record in self._published.values():
+            record.acked = False
+            record.renew_outstanding = False
+        self.tracker.probe()
+
+    def deregister(self) -> None:
+        """Graceful shutdown: explicitly remove our advertisements.
+
+        This is the *only* cleanup path available to systems without
+        leasing (the UDDI shortcoming); crash-stop departures skip it.
+        """
+        registry = self.tracker.current
+        if registry is None:
+            return
+        for record in self._published.values():
+            if record.acked and record.ad_id:
+                self.send(registry, protocol.REMOVE,
+                          protocol.RemovePayload(ad_id=record.ad_id))
+                record.acked = False
+
+    # -- publishing --------------------------------------------------------------
+
+    def _on_attached(self, registry_id: str) -> None:
+        self._attached_at = self.sim.now
+        self._publish_all(registry_id)
+
+    def _publish_all(self, registry_id: str) -> None:
+        self.republish_events += 1
+        for model_id, record in sorted(self._published.items()):
+            record.registry = registry_id
+            record.acked = False
+            record.renew_outstanding = False
+            if not record.ad_id:
+                record.ad_id = new_uuid("ad")
+            self.publishes_sent += 1
+            self.send(
+                registry_id,
+                protocol.PUBLISH,
+                protocol.PublishPayload(
+                    service_node=self.node_id,
+                    service_name=self.profile.service_name,
+                    endpoint=self.endpoint,
+                    model_id=model_id,
+                    description=self._descriptions[model_id],
+                    ad_id=record.ad_id,
+                ),
+                payload_type=model_id,
+            )
+
+    def handle_publish_ack(self, envelope: Envelope) -> None:
+        ack = envelope.payload
+        if not isinstance(ack, protocol.PublishAck):
+            return
+        record = self._published.get(ack.model_id)
+        if record is None or record.registry != envelope.src:
+            return
+        record.ad_id = ack.ad_id
+        record.lease_id = ack.lease_id
+        record.acked = True
+        record.renew_outstanding = False
+
+    def update_profile(self, profile: ServiceProfile) -> None:
+        """The capability changed (e.g. coverage area): republish.
+
+        "Advertisement content, such as coverage area information, could
+        change frequently in dynamic environments."
+        """
+        self.profile = profile
+        self._descriptions = self._describe_all()
+        if self.tracker.current is not None:
+            self._publish_all(self.tracker.current)
+
+    # -- leases ---------------------------------------------------------------------
+
+    def _renew_tick(self) -> None:
+        registry = self.tracker.current
+        if registry is None:
+            self.tracker.probe()
+            return
+        # Two registry-death signals: a renewal round that never got
+        # acked, or a publish that has gone a whole renew interval without
+        # its ack (we may have attached to an alternative that was itself
+        # already dead). Either way: fail over and republish.
+        stale_renew = any(r.renew_outstanding for r in self._published.values())
+        publish_unacked = (
+            any(not r.acked for r in self._published.values())
+            and self._attached_at is not None
+            and self.sim.now - self._attached_at >= 0.9 * self.config.renew_interval
+        )
+        if stale_renew or publish_unacked:
+            self.tracker.registry_failed()
+            return
+        for record in sorted(self._published.values(), key=lambda r: r.model_id):
+            if record.acked and record.lease_id:
+                record.renew_outstanding = True
+                self.send(
+                    registry,
+                    protocol.RENEW,
+                    protocol.RenewPayload(lease_id=record.lease_id, ad_id=record.ad_id),
+                )
+
+    def handle_renew_ack(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.RenewPayload):
+            return
+        for record in self._published.values():
+            if record.lease_id == payload.lease_id:
+                record.renew_outstanding = False
+
+    def handle_publish_nack(self, envelope: Envelope) -> None:
+        """The registry refused us (at capacity): publish elsewhere.
+
+        The refusing registry is excluded from future attachment choices
+        so beacon-driven re-homing does not bounce us back into the NACK.
+        """
+        payload = envelope.payload
+        if not isinstance(payload, protocol.PublishNack):
+            return
+        if self.tracker.current != envelope.src:
+            return
+        self.tracker.excluded.add(envelope.src)
+        self.tracker.registry_failed()
+
+    def handle_renew_nack(self, envelope: Envelope) -> None:
+        """Lease lapsed at the registry (e.g. it restarted): republish."""
+        payload = envelope.payload
+        if not isinstance(payload, protocol.RenewPayload):
+            return
+        for record in self._published.values():
+            if record.lease_id == payload.lease_id:
+                record.renew_outstanding = False
+                record.acked = False
+        if self.tracker.current is not None:
+            self._publish_all(self.tracker.current)
+
+    # -- registry discovery -------------------------------------------------------------
+
+    def handle_registry_probe_reply(self, envelope: Envelope) -> None:
+        self.tracker.handle_registry_probe_reply(envelope)
+
+    def handle_registry_beacon(self, envelope: Envelope) -> None:
+        self.tracker.handle_registry_beacon(envelope)
+
+    def handle_registry_list_reply(self, envelope: Envelope) -> None:
+        self.tracker.handle_registry_list_reply(envelope)
+
+    # -- decentralized LAN mode -----------------------------------------------------------
+
+    def self_advertisement(self, model_id: str) -> Advertisement:
+        """Our capability as an advertisement record (for direct replies)."""
+        return Advertisement(
+            ad_id=f"self-{self.node_id}-{model_id}",
+            service_node=self.node_id,
+            service_name=self.profile.service_name,
+            endpoint=self.endpoint,
+            model_id=model_id,
+            description=self._descriptions[model_id],
+            home_registry="",
+        )
+
+    def handle_decentral_query(self, envelope: Envelope) -> None:
+        """Evaluate a multicast query against our own descriptions.
+
+        "All provider nodes must evaluate the query independently of each
+        other before they return their responses to the querying node."
+        """
+        payload = envelope.payload
+        if not isinstance(payload, protocol.QueryPayload):
+            return
+        model = self.models.get_or_discard(payload.model_id)
+        if model is None or not model.can_evaluate():
+            return
+        verdict = model.evaluate(self._descriptions[payload.model_id], payload.query)
+        if not verdict.matched:
+            return
+        hit = QueryHit(
+            advertisement=self.self_advertisement(payload.model_id),
+            degree=verdict.degree,
+            score=verdict.score,
+        )
+        self.send(
+            envelope.src,
+            protocol.DECENTRAL_RESPONSE,
+            protocol.ResponsePayload(query_id=payload.query_id, hits=(hit,), responders=1),
+        )

@@ -1,0 +1,177 @@
+"""Dynamic registry-role negotiation: standby registries.
+
+"When bootstrapping a registry network, dynamic assignment of registry
+node responsibility is a challenging problem. Some nodes may be more
+willing to take on the role as a registry node than other nodes. To
+prevent all nodes from taking on the registry node role, a policy may have
+to be used for negotiating who will be assigned such a role. Such a policy
+could for instance include something like 'try to maintain three
+registries on each LAN.'"
+
+A :class:`StandbyRegistry` implements exactly that policy for its LAN:
+
+* **dormant** — it only listens to registry beacons, answering nothing;
+* **promotion** — when fewer than ``lan_target`` registries have beaconed
+  recently, it activates (after a node-id-staggered delay, so several
+  standbys don't all promote at once) and becomes a full
+  :class:`~repro.core.registry_node.RegistryNode`;
+* **demotion** — when the LAN again has more than ``lan_target`` live
+  registries, the *highest-id promoted* registry steps down gracefully
+  (federation leave, content dropped — leases make it soft state) and
+  returns to listening.
+
+Negotiation is thus beacon-driven and fully decentralized, as the paper's
+"depending on changes in the registry network state" suggests.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core import protocol
+from repro.core.config import DiscoveryConfig
+from repro.core.registry_node import RegistryNode
+from repro.descriptions.base import DescriptionModel
+from repro.errors import ReproError
+from repro.netsim.messages import Envelope
+from repro.registry.rim import RegistryDescription
+
+
+class StandbyRegistry(RegistryNode):
+    """A node willing to take the registry role when its LAN needs one."""
+
+    role = "standby-registry"
+
+    def __init__(
+        self,
+        node_id: str,
+        config: DiscoveryConfig,
+        models: list[DescriptionModel],
+        *,
+        lan_target: int = 1,
+        seeds: tuple[str, ...] = (),
+    ) -> None:
+        if config.beacon_interval is None:
+            raise ReproError("standby registries need beacons to observe the LAN")
+        if lan_target < 1:
+            raise ReproError(f"lan_target must be >= 1, got {lan_target}")
+        super().__init__(node_id, config, models, seeds=seeds)
+        self.lan_target = lan_target
+        self.active = False
+        self.promotions = 0
+        self.demotions = 0
+        self._beacon_seen: dict[str, float] = {}
+        self._promotion_pending = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.active:
+            super().start()
+            self.every(self._watch_interval(), self._evaluate_active)
+            return
+        self.every(self._watch_interval(), self._evaluate_dormant)
+
+    def on_restart(self) -> None:
+        """A crashed standby comes back dormant regardless of prior role."""
+        self.active = False
+        self._beacon_seen.clear()
+        self._promotion_pending = False
+        self.store.clear()
+        self.repository.clear()
+        self.federation.reset()
+        self.start()
+
+    def _watch_interval(self) -> float:
+        assert self.config.beacon_interval is not None
+        return self.config.beacon_interval
+
+    def _beacon_horizon(self) -> float:
+        assert self.config.beacon_interval is not None
+        return 2.5 * self.config.beacon_interval
+
+    # -- dormant behaviour -----------------------------------------------------
+
+    def receive(self, envelope: Envelope) -> None:
+        """While dormant, observe beacons and silently ignore the rest."""
+        if self.active:
+            super().receive(envelope)
+            return
+        if not self.alive:
+            return
+        if envelope.msg_type == protocol.REGISTRY_BEACON and isinstance(
+            envelope.payload, RegistryDescription
+        ):
+            self._beacon_seen[envelope.payload.registry_id] = self.sim.now
+
+    def _live_lan_registries(self) -> list[str]:
+        """Registries heard beaconing on this LAN recently (not ourselves)."""
+        horizon = self.sim.now - self._beacon_horizon()
+        return sorted(
+            rid for rid, seen in self._beacon_seen.items()
+            if seen >= horizon and rid != self.node_id
+        )
+
+    def _evaluate_dormant(self) -> None:
+        if self.active or self._promotion_pending:
+            return
+        if len(self._live_lan_registries()) >= self.lan_target:
+            return
+        # Stagger by node-id hash so concurrent standbys race decided.
+        delay = 0.05 + 0.1 * (zlib.crc32(self.node_id.encode()) % 16)
+        self._promotion_pending = True
+        self.after(delay, self._maybe_promote)
+
+    def _maybe_promote(self) -> None:
+        self._promotion_pending = False
+        if self.active:
+            return
+        if len(self._live_lan_registries()) >= self.lan_target:
+            return  # someone else promoted during the stagger delay
+        self._promote()
+
+    def _promote(self) -> None:
+        """Take on the registry role."""
+        self.active = True
+        self.promotions += 1
+        self.cancel_tasks()
+        super().start()
+        self.every(self._watch_interval(), self._evaluate_active)
+        # Announce immediately so peer standbys stand down and clients
+        # attach without waiting a full beacon interval.
+        self._beacon()
+
+    # -- active behaviour ----------------------------------------------------------
+
+    def handle_registry_beacon(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, RegistryDescription):
+            self._beacon_seen[envelope.payload.registry_id] = self.sim.now
+        super().handle_registry_beacon(envelope)
+
+    def _evaluate_active(self) -> None:
+        """Step down when the LAN is over-provisioned.
+
+        A promoted registry yields as soon as ``lan_target`` *other* live
+        registries are beaconing. If two promoted standbys demote in the
+        same round, the quota check re-fires on both and the staggered
+        promotion delay lets exactly one return — the negotiation
+        converges without extra messages.
+        """
+        if not self.active:
+            return
+        if len(self._live_lan_registries()) < self.lan_target:
+            return
+        self._demote()
+
+    def _demote(self) -> None:
+        self.active = False
+        self.demotions += 1
+        self.federation.leave()
+        self.cancel_tasks()
+        self.store.clear()
+        self._pending.clear()
+        self._walks.clear()
+        self._subscriptions.clear()
+        if self.leases is not None:
+            self.leases.clear()
+        self.every(self._watch_interval(), self._evaluate_dormant)

@@ -1,0 +1,106 @@
+"""Description-model plug-in interface and dispatch registry.
+
+A registry node holds one :class:`ModelRegistry`; incoming payloads are
+dispatched on their ``payload_type`` ("next header"). Nodes receiving a
+payload whose model they do not support "quickly filter and silently
+discard" it — the registry counts those so E10 can report them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import UnsupportedModelError
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+
+@dataclass(frozen=True)
+class ModelMatch:
+    """A model-agnostic match verdict.
+
+    ``degree`` orders match strength within a model (semantic models map
+    their degree-of-match here; boolean models use 1/0). ``score`` in
+    [0, 1] breaks ties. Registries rank hits by ``(degree, score)``.
+    """
+
+    matched: bool
+    degree: int = 0
+    score: float = 0.0
+
+    @staticmethod
+    def no_match() -> "ModelMatch":
+        return ModelMatch(matched=False, degree=0, score=0.0)
+
+
+class DescriptionModel(abc.ABC):
+    """One way of describing and querying for services.
+
+    Subclasses define the payload types that flow inside envelopes with
+    ``payload_type == model_id``. Descriptions and queries must expose
+    ``size_bytes()`` so the transport can account for their wire cost.
+    """
+
+    #: Unique "next header" value for this model.
+    model_id: str = ""
+
+    @abc.abstractmethod
+    def describe(self, profile: ServiceProfile, endpoint: str) -> Any:
+        """Render a capability as this model's advertisement payload."""
+
+    @abc.abstractmethod
+    def query_from(self, request: ServiceRequest) -> Any:
+        """Render a need as this model's query payload."""
+
+    @abc.abstractmethod
+    def evaluate(self, description: Any, query: Any) -> ModelMatch:
+        """Match one stored description against one query payload."""
+
+    def can_evaluate(self) -> bool:
+        """Whether this node currently has what it needs to evaluate
+        queries (e.g. the shared ontology for semantic models)."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.model_id!r}>"
+
+
+class ModelRegistry:
+    """The set of description models one node supports, keyed by model id."""
+
+    def __init__(self, models: list[DescriptionModel] | None = None) -> None:
+        self._models: dict[str, DescriptionModel] = {}
+        self.discarded_payloads = 0
+        for model in models or []:
+            self.register(model)
+
+    def register(self, model: DescriptionModel) -> DescriptionModel:
+        """Add a model. Re-registering the same id replaces the plug-in —
+        the paper's "software libraries for distribution would only need
+        new plug-ins … keeping the same stack underneath"."""
+        if not model.model_id:
+            raise UnsupportedModelError("description model has empty model_id")
+        self._models[model.model_id] = model
+        return model
+
+    def supports(self, model_id: str | None) -> bool:
+        """Whether payloads of ``model_id`` can be handled here."""
+        return model_id in self._models
+
+    def get(self, model_id: str | None) -> DescriptionModel:
+        """The model for ``model_id``; raises if unsupported."""
+        if model_id is None or model_id not in self._models:
+            raise UnsupportedModelError(f"unsupported description model {model_id!r}")
+        return self._models[model_id]
+
+    def get_or_discard(self, model_id: str | None) -> DescriptionModel | None:
+        """The model, or ``None`` (counted) when the payload must be discarded."""
+        model = self._models.get(model_id or "")
+        if model is None:
+            self.discarded_payloads += 1
+        return model
+
+    def model_ids(self) -> list[str]:
+        """Supported model ids, sorted."""
+        return sorted(self._models)

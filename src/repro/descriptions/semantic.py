@@ -1,0 +1,62 @@
+"""Semantic descriptions: OWL-S-style profiles with degree-of-match.
+
+The advertisement payload *is* the :class:`~repro.semantics.ServiceProfile`
+and the query payload *is* the :class:`~repro.semantics.ServiceRequest`;
+evaluation delegates to the :class:`~repro.semantics.Matchmaker`.
+
+A node can only evaluate semantic queries if it holds the shared ontology
+("additional ontologies may be needed by clients for them to be able to
+evaluate and use services" — §2). A :class:`SemanticModel` constructed
+without an ontology reports ``can_evaluate() == False`` and fails all
+matches until :meth:`attach_ontology` is called — typically after fetching
+the ontology from the registry network's repository (§4.6, experiment E12).
+"""
+
+from __future__ import annotations
+
+from repro.descriptions.base import DescriptionModel, ModelMatch
+from repro.semantics.matchmaker import Matchmaker
+from repro.semantics.ontology import Ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+from repro.semantics.reasoner import Reasoner
+
+
+class SemanticModel(DescriptionModel):
+    """Degree-of-match evaluation over OWL-S-like profiles."""
+
+    model_id = "semantic"
+
+    def __init__(self, ontology: Ontology | None = None) -> None:
+        self._matchmaker: Matchmaker | None = None
+        self.missing_ontology_failures = 0
+        if ontology is not None:
+            self.attach_ontology(ontology)
+
+    def attach_ontology(self, ontology: Ontology) -> None:
+        """Install (or replace) the shared ontology used for evaluation."""
+        self._matchmaker = Matchmaker(Reasoner(ontology))
+
+    @property
+    def ontology(self) -> Ontology | None:
+        """The attached ontology, if any."""
+        return self._matchmaker.reasoner.ontology if self._matchmaker else None
+
+    def can_evaluate(self) -> bool:
+        return self._matchmaker is not None
+
+    def describe(self, profile: ServiceProfile, endpoint: str) -> ServiceProfile:
+        # The profile is already a full semantic description; the endpoint
+        # travels in the advertisement record, not the payload.
+        return profile
+
+    def query_from(self, request: ServiceRequest) -> ServiceRequest:
+        return request
+
+    def evaluate(self, description: ServiceProfile, query: ServiceRequest) -> ModelMatch:
+        if self._matchmaker is None:
+            self.missing_ontology_failures += 1
+            return ModelMatch.no_match()
+        result = self._matchmaker.match(description, query)
+        if not result.matched:
+            return ModelMatch.no_match()
+        return ModelMatch(matched=True, degree=int(result.degree), score=result.score)

@@ -1,0 +1,12 @@
+"""Experiment runners: the paper's figures and claims as executable code.
+
+Each module ``eN_*`` exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` (a small typed table).
+The mapping from experiments to paper anchors is in DESIGN.md §3; the
+measured outcomes are recorded in EXPERIMENTS.md. Benchmarks under
+``benchmarks/`` regenerate every one of them.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,126 @@
+"""E11 — survivability metrics of the three topologies (MILCOM §refs).
+
+The companion paper grounds the hybrid-topology recommendation in
+complex-network results: "properties such as low characteristic path
+length, good clustering … and robustness to random and targeted failure
+are all important for survivability", and "the characteristic path length
+should be low … with only a few nodes that have long-range connections.
+This matches quite well with the hybrid topology."
+
+We build the three topologies over the *same* node population (6 LANs of
+services and clients), take the discovery graph (federation + attachment
+edges; LAN cliques for the registry-less case), and compute:
+
+* characteristic path length and clustering coefficient,
+* the survivability curve — largest-component fraction as nodes are
+  removed uniformly at random vs highest-degree-first (the Albert/Jeong/
+  Barabási random-vs-targeted contrast the paper cites).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DiscoveryConfig
+from repro.experiments.common import ExperimentResult
+from repro.metrics.topology import (
+    characteristic_path_length,
+    clustering_coefficient,
+    discovery_graph,
+    largest_component_fraction,
+    reachability_under_removal,
+)
+from repro.netsim.failures import AttackSchedule
+from repro.semantics.generator import battlefield_ontology
+from repro.workloads.scenarios import ScenarioSpec, build_scenario
+
+ARCHITECTURES = ("decentralized", "centralized", "distributed")
+
+
+def run(
+    *,
+    lans: int = 6,
+    services_per_lan: int = 3,
+    removal_fractions: tuple[float, ...] = (0.1, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Graph metrics + random/targeted removal curves per topology."""
+    result = ExperimentResult(
+        experiment="E11",
+        description="survivability: path length, clustering, attacks (MILCOM)",
+    )
+    for arch in ARCHITECTURES:
+        graph = _build_graph(arch, lans, services_per_lan, seed)
+        base = {
+            "arch": arch,
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "path_length": characteristic_path_length(graph),
+            "clustering": clustering_coefficient(graph),
+            "connected_frac": largest_component_fraction(graph),
+        }
+        for strategy in ("random", "targeted"):
+            order = _removal_order(graph, strategy, seed)
+            curve = reachability_under_removal(graph, order)
+            row = dict(base)
+            row["attack"] = strategy
+            for fraction in removal_fractions:
+                index = max(int(fraction * len(order)) - 1, 0)
+                row[f"reach@{int(fraction * 100)}%"] = (
+                    curve[index] if curve else 0.0
+                )
+            result.add(**row)
+    result.note(
+        "the centralized star dies with its hub under targeted attack; "
+        "the distributed super-peer graph keeps short paths while "
+        "degrading gradually; registry-less LAN cliques never span the WAN."
+    )
+    return result
+
+
+def _build_graph(arch: str, lans: int, services_per_lan: int, seed: int):
+    registries = {"decentralized": 0, "centralized": 1, "distributed": 1}[arch]
+    spec = ScenarioSpec(
+        name=f"e11-{arch}",
+        lan_names=tuple(f"lan-{i}" for i in range(lans)),
+        ontology_factory=battlefield_ontology,
+        registries_per_lan=registries,
+        services_per_lan=services_per_lan,
+        clients_per_lan=1,
+        federation="mesh" if arch == "distributed" else "none",
+        seed=seed,
+    )
+    if arch == "centralized":
+        # One registry total: place it on lan-0 and seed everyone to it.
+        spec = ScenarioSpec(
+            name=spec.name,
+            lan_names=spec.lan_names,
+            ontology_factory=spec.ontology_factory,
+            registries_per_lan=0,
+            services_per_lan=services_per_lan,
+            clients_per_lan=1,
+            federation="none",
+            seed=seed,
+        )
+        built = build_scenario(spec, config=DiscoveryConfig(),
+                               with_registries=False)
+        system = built.system
+        hub = system.add_registry("lan-0")
+        for node in list(system.services) + list(system.clients):
+            system.sim.schedule(0.5, lambda n=node: n.tracker.seed(hub.node_id))
+        system.run(until=12.0)
+        return discovery_graph(system)
+    built = build_scenario(spec, config=DiscoveryConfig(),
+                           with_registries=registries > 0)
+    built.system.run(until=12.0)
+    return discovery_graph(built.system)
+
+
+def _removal_order(graph, strategy: str, seed: int) -> list[str]:
+    """Removal order without needing a live simulator."""
+    import random
+
+    nodes = sorted(graph.nodes)
+    if strategy == "random":
+        rng = random.Random(seed)
+        rng.shuffle(nodes)
+        return nodes
+    return sorted(nodes, key=lambda n: (-graph.degree(n), n))

@@ -1,0 +1,140 @@
+"""E7 — Figures 2 & 4/§4.7/§4.9: WAN federation, cooperation, gateways.
+
+Three sub-studies on the multi-LAN scenario:
+
+* **Seeding shape** — "manual configuration, or seeding, is necessary at
+  some point in time, connecting different registries from different LANs
+  into a distributed registry network". We sweep ``none → chain → ring →
+  mesh`` and measure cross-LAN recall (none ⇒ LAN-only discovery) and the
+  WAN bytes each shape costs.
+* **Cooperation strategy** — forward-queries (thick autonomous registries
+  answering from their own content) vs replicate-advertisements (cluster
+  style): query bytes shift to publish/renew bytes, and local answering
+  removes WAN query latency — the push-vs-pull design choice §4.9 leaves
+  open.
+* **Gateway election** — with several registries per LAN, "only one node
+  (or a predefined number of nodes) acts as the gateway to the WAN-level
+  registry network": we toggle the election and count redundant WAN query
+  traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    COOPERATION_FORWARD_QUERIES,
+    COOPERATION_REPLICATE_ADS,
+    DiscoveryConfig,
+)
+from repro.experiments.common import ExperimentResult, mean
+from repro.metrics.bandwidth import TrafficWindow
+from repro.metrics.retrieval import score_queries
+from repro.semantics.generator import battlefield_ontology
+from repro.workloads.queries import QueryDriver, QueryWorkload
+from repro.workloads.scenarios import ScenarioSpec, build_scenario
+
+
+def run(
+    *,
+    lans: int = 4,
+    services_per_lan: int = 3,
+    n_queries: int = 10,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run all three federation sub-studies."""
+    result = ExperimentResult(
+        experiment="E7",
+        description="WAN federation: seeding, cooperation, gateways (Figs. 2/4)",
+    )
+    for shape in ("none", "chain", "ring", "mesh"):
+        result.add(**_seeding_row(shape, lans, services_per_lan, n_queries, seed))
+    for cooperation in (COOPERATION_FORWARD_QUERIES, COOPERATION_REPLICATE_ADS):
+        result.add(**_cooperation_row(cooperation, lans, services_per_lan,
+                                      n_queries, seed))
+    for election in (True, False):
+        result.add(**_gateway_row(election, lans, services_per_lan,
+                                  n_queries, seed))
+    result.note(
+        "shape=none keeps discovery LAN-local (recall ~ 1/LANs); any "
+        "connected seeding restores full recall; replication trades query "
+        "bytes for publish/renew bytes; gateway election removes "
+        "redundant WAN forwarding when LANs host several registries."
+    )
+    return result
+
+
+def _base_spec(name: str, lans: int, services_per_lan: int, seed: int,
+               *, registries_per_lan: int = 1, federation: str = "ring") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        lan_names=tuple(f"lan-{i}" for i in range(lans)),
+        ontology_factory=battlefield_ontology,
+        registries_per_lan=registries_per_lan,
+        services_per_lan=services_per_lan,
+        clients_per_lan=1,
+        federation=federation,
+        seed=seed,
+    )
+
+
+def _measure(built, n_queries: int, seed: int) -> dict:
+    system = built.system
+    system.run(until=12.0)
+    workload = QueryWorkload.anchored(
+        built.generator, built.profiles, n_queries, generalize=1
+    )
+    window = TrafficWindow.open(system.network.stats, system.sim.now)
+    driver = QueryDriver(system, workload, interval=0.5, seed=seed)
+    issued = driver.play(settle=0.0, drain=15.0)
+    window.close(system.sim.now)
+    completed = [q for q in issued if q.call.completed]
+    scores = score_queries(issued)
+    wan_delta = window.stats.snapshot()["bytes_wan"] - window.baseline["bytes_wan"]
+    return {
+        "recall": scores.recall,
+        "completed": len(completed),
+        "query_bytes_per_q": window.query_bytes() / max(len(completed), 1),
+        "maintenance_bytes": window.maintenance_bytes(),
+        "wan_bytes": wan_delta,
+        "mean_latency": mean(q.call.latency for q in completed),
+    }
+
+
+def _seeding_row(shape: str, lans: int, services_per_lan: int,
+                 n_queries: int, seed: int) -> dict:
+    spec = _base_spec(f"e7-seed-{shape}", lans, services_per_lan, seed,
+                      federation=shape)
+    built = build_scenario(spec, config=DiscoveryConfig())
+    row = {"study": "seeding", "variant": shape}
+    row.update(_measure(built, n_queries, seed))
+    return row
+
+
+def _cooperation_row(cooperation: str, lans: int, services_per_lan: int,
+                     n_queries: int, seed: int) -> dict:
+    config = DiscoveryConfig(
+        cooperation=cooperation,
+        default_ttl=0 if cooperation == COOPERATION_REPLICATE_ADS else 4,
+    )
+    spec = _base_spec(f"e7-coop-{cooperation}", lans, services_per_lan, seed,
+                      federation="ring")
+    built = build_scenario(spec, config=config)
+    row = {"study": "cooperation", "variant": cooperation}
+    row.update(_measure(built, n_queries, seed))
+    return row
+
+
+def _gateway_row(election: bool, lans: int, services_per_lan: int,
+                 n_queries: int, seed: int) -> dict:
+    config = DiscoveryConfig(gateway_election=election)
+    spec = _base_spec(
+        f"e7-gw-{election}", lans, services_per_lan, seed,
+        registries_per_lan=2, federation="none",
+    )
+    built = build_scenario(spec, config=config)
+    # Every registry gets WAN links (full mesh over all of them): this is
+    # the configuration where redundant WAN forwarding arises and gateway
+    # election pays off.
+    built.system.federate_mesh()
+    row = {"study": "gateway", "variant": "elected" if election else "all-forward"}
+    row.update(_measure(built, n_queries, seed))
+    return row

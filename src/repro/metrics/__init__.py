@@ -1,0 +1,40 @@
+"""Measurement: the quantities the paper argues about.
+
+* :mod:`~repro.metrics.retrieval` — precision/recall/F1 of discovery
+  results against ontology ground truth (E5) and discovery recall against
+  the live service population (E1/E7/E8).
+* :mod:`~repro.metrics.staleness` — obsolete-advertisement measures: the
+  paper's "responses to queries … should not return obsolete service
+  descriptions" requirement (E4).
+* :mod:`~repro.metrics.bandwidth` — per-phase traffic accounting built on
+  :class:`~repro.netsim.stats.TrafficStats` (E1/E6/E7/E8/E10).
+* :mod:`~repro.metrics.topology` — graph metrics of the deployment
+  (characteristic path length, clustering, reachability under attack) via
+  networkx, matching the survivability literature the MILCOM paper cites
+  (E11).
+"""
+
+from repro.metrics.retrieval import RetrievalScores, score_call, score_queries
+from repro.metrics.staleness import registry_staleness, response_staleness
+from repro.metrics.bandwidth import TrafficWindow
+from repro.metrics.topology import (
+    characteristic_path_length,
+    clustering_coefficient,
+    discovery_graph,
+    largest_component_fraction,
+    reachability_under_removal,
+)
+
+__all__ = [
+    "RetrievalScores",
+    "TrafficWindow",
+    "characteristic_path_length",
+    "clustering_coefficient",
+    "discovery_graph",
+    "largest_component_fraction",
+    "reachability_under_removal",
+    "registry_staleness",
+    "response_staleness",
+    "score_call",
+    "score_queries",
+]

@@ -1,0 +1,86 @@
+"""Per-phase bandwidth accounting.
+
+Experiments separate the cost of *maintenance* (beacons, pings, renewals,
+gossip) from the cost of *query* traffic: the paper's bandwidth claims are
+about both, but they scale differently (maintenance with time and
+population; queries with query load). A :class:`TrafficWindow` brackets a
+phase and reports the delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.stats import TrafficStats
+
+
+@dataclass
+class TrafficWindow:
+    """Deltas of the traffic counters over a bracketed phase.
+
+    Usage::
+
+        window = TrafficWindow.open(network.stats, sim.now)
+        ...  # run the phase
+        report = window.close(sim.now)
+        report["bytes_sent"], report["bytes_per_second"]
+    """
+
+    stats: TrafficStats
+    opened_at: float
+    baseline: dict[str, int] = field(default_factory=dict)
+    type_baseline: dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def open(stats: TrafficStats, now: float) -> "TrafficWindow":
+        """Start a measurement window at simulated time ``now``."""
+        return TrafficWindow(
+            stats=stats,
+            opened_at=now,
+            baseline=stats.snapshot(),
+            type_baseline=dict(stats.by_type_bytes),
+        )
+
+    def close(self, now: float) -> dict[str, float]:
+        """Scalar deltas since open, plus the per-second rate."""
+        delta = self.stats.delta_since(self.baseline)
+        duration = max(now - self.opened_at, 1e-9)
+        report: dict[str, float] = dict(delta)
+        report["duration"] = duration
+        report["bytes_per_second"] = delta["bytes_sent"] / duration
+        report["messages_per_second"] = delta["messages_sent"] / duration
+        return report
+
+    def bytes_by_type(self) -> dict[str, int]:
+        """Per-message-type byte deltas since open (e.g. 'publish', 'query')."""
+        return {
+            msg_type: self.stats.by_type_bytes[msg_type] - self.type_baseline.get(msg_type, 0)
+            for msg_type in self.stats.by_type_bytes
+            if self.stats.by_type_bytes[msg_type] != self.type_baseline.get(msg_type, 0)
+        }
+
+    def maintenance_bytes(self) -> int:
+        """Bytes spent on registry-network upkeep rather than queries."""
+        maintenance_types = {
+            "registry-beacon", "registry-probe", "registry-probe-reply",
+            "registry-ping", "registry-pong", "registry-list-request",
+            "registry-list-reply", "federation-join", "federation-join-ack",
+            "federation-leave", "renew", "renew-ack", "renew-nack",
+            "publish", "publish-ack", "ad-forward",
+        }
+        return sum(
+            bytes_ for msg_type, bytes_ in self.bytes_by_type().items()
+            if msg_type in maintenance_types
+        )
+
+    def query_bytes(self) -> int:
+        """Bytes spent carrying queries and responses."""
+        query_types = {
+            "query", "query-forward", "query-response",
+            "walk", "walk-hits", "walk-end",
+            "decentral-query", "decentral-response",
+        }
+        return sum(
+            bytes_ for msg_type, bytes_ in self.bytes_by_type().items()
+            if msg_type in query_types
+        )

@@ -1,0 +1,114 @@
+"""Topology metrics: survivability of the discovery graph.
+
+The MILCOM companion paper grounds the topology argument in the complex-
+networks literature: "properties such as low characteristic path length …
+good clustering … and robustness to random and targeted failure are all
+important for survivability". These functions compute exactly those
+metrics over the *discovery graph* — registries as super-peers, clients
+and services attached to their registry — using networkx.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.system import DiscoverySystem
+
+
+def discovery_graph(system: DiscoverySystem, *, alive_only: bool = True) -> nx.Graph:
+    """The deployment as an undirected graph.
+
+    Edges: federation links between registries; attachment links from
+    clients/services to their current registry. In registry-less
+    (decentralized) deployments, LAN members form a clique — every node
+    can reach every other directly via multicast.
+    """
+    graph = nx.Graph()
+    nodes = list(system.registries) + list(system.services) + list(system.clients)
+    for node in nodes:
+        if alive_only and not node.alive:
+            continue
+        graph.add_node(node.node_id, role=node.role, lan=node.lan_name)
+    for registry in system.registries:
+        if alive_only and not registry.alive:
+            continue
+        for neighbor in registry.federation.neighbors:
+            if graph.has_node(neighbor):
+                graph.add_edge(registry.node_id, neighbor)
+    for node in list(system.services) + list(system.clients):
+        if alive_only and not node.alive:
+            continue
+        current = node.tracker.current
+        if current is not None and graph.has_node(current):
+            graph.add_edge(node.node_id, current)
+    if not system.registries:
+        # Pure decentralized topology: LAN multicast connects everyone.
+        by_lan: dict[str, list[str]] = {}
+        for node in nodes:
+            if alive_only and not node.alive:
+                continue
+            by_lan.setdefault(node.lan_name or "", []).append(node.node_id)
+        for members in by_lan.values():
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    graph.add_edge(a, b)
+    return graph
+
+
+def characteristic_path_length(graph: nx.Graph) -> float:
+    """Average shortest-path length of the largest connected component.
+
+    Returns 0.0 for graphs with fewer than two reachable nodes.
+    """
+    if graph.number_of_nodes() < 2:
+        return 0.0
+    components = list(nx.connected_components(graph))
+    largest = max(components, key=len)
+    if len(largest) < 2:
+        return 0.0
+    return nx.average_shortest_path_length(graph.subgraph(largest))
+
+
+def clustering_coefficient(graph: nx.Graph) -> float:
+    """Average clustering coefficient (0.0 for empty graphs)."""
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    return nx.average_clustering(graph)
+
+
+def largest_component_fraction(graph: nx.Graph) -> float:
+    """Fraction of nodes inside the largest connected component."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return max(len(c) for c in nx.connected_components(graph)) / n
+
+
+def reachability_under_removal(
+    graph: nx.Graph,
+    removal_order: list[str],
+) -> list[float]:
+    """Largest-component fraction after each successive node removal.
+
+    ``removal_order`` comes from an attack plan (random or targeted);
+    the returned series is the survivability curve of E11. Fractions are
+    relative to the *original* node count, so the curve is monotone
+    non-increasing even as nodes disappear.
+    """
+    working = graph.copy()
+    original = graph.number_of_nodes()
+    series: list[float] = []
+    for node_id in removal_order:
+        if working.has_node(node_id):
+            working.remove_node(node_id)
+        if working.number_of_nodes() == 0 or original == 0:
+            series.append(0.0)
+            continue
+        largest = max((len(c) for c in nx.connected_components(working)), default=0)
+        series.append(largest / original)
+    return series
+
+
+def degree_of(graph: nx.Graph, node_id: str) -> int:
+    """Degree of a node (0 if absent) — the targeted-attack value function."""
+    return graph.degree(node_id) if graph.has_node(node_id) else 0

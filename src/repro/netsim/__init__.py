@@ -1,0 +1,41 @@
+"""Discrete-event network simulator substrate.
+
+The paper targets "dynamic environments" — LANs and WANs where nodes with
+wireless links appear and disappear. This package provides the deterministic
+substrate every protocol in :mod:`repro.core` and :mod:`repro.baselines`
+runs on:
+
+* :class:`~repro.netsim.simulator.Simulator` — a heap-based discrete-event
+  scheduler with a seeded RNG and stable event ordering, so every run is
+  reproducible bit-for-bit.
+* :class:`~repro.netsim.node.Node` — the base class for protocol agents
+  (clients, service nodes, registries) with mailbox dispatch, timers, and
+  crash/restart semantics.
+* :class:`~repro.netsim.network.Network` / :class:`~repro.netsim.network.Lan`
+  — LAN segments are multicast domains; LANs are joined by WAN links.
+* :class:`~repro.netsim.messages.Envelope` — every message carries a byte
+  size so bandwidth claims are *measured*, not asserted.
+* :mod:`~repro.netsim.failures` — churn processes, crash schedules, and
+  random/targeted attack generators.
+"""
+
+from repro.netsim.messages import Envelope, SizeModel
+from repro.netsim.network import Lan, Network
+from repro.netsim.node import Node, Timer
+from repro.netsim.simulator import Simulator
+from repro.netsim.stats import TrafficStats
+from repro.netsim.failures import AttackSchedule, ChurnProcess, CrashSchedule
+
+__all__ = [
+    "AttackSchedule",
+    "ChurnProcess",
+    "CrashSchedule",
+    "Envelope",
+    "Lan",
+    "Network",
+    "Node",
+    "SizeModel",
+    "Simulator",
+    "Timer",
+    "TrafficStats",
+]

@@ -1,0 +1,301 @@
+"""Network topology: LAN segments joined by a WAN.
+
+The model follows the paper's Figure 4: nodes live on LANs (each LAN is a
+multicast domain), and LANs that are *WAN-connected* can exchange unicast
+traffic with each other. WAN multicast does not exist ("the use of
+multicast places a too heavy burden on the network").
+
+Partitions are modelled at LAN granularity: every LAN belongs to a
+partition group, and cross-group unicast is dropped. This captures the
+paper's "network disconnect between branches" scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import NetworkError, UnknownNodeError
+from repro.netsim.messages import Envelope, SizeModel
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.stats import TrafficStats
+
+
+@dataclass
+class Lan:
+    """One LAN segment: a local multicast domain.
+
+    Attributes
+    ----------
+    name:
+        Unique LAN identifier.
+    wan_connected:
+        Whether nodes on this LAN can reach other LANs at all.
+    partition_group:
+        LANs in different groups cannot exchange traffic (see
+        :meth:`Network.partition`).
+    bandwidth_bps:
+        Shared-medium capacity in bits/second (``None`` = unbounded).
+        Models the paper's "wireless connections with low network
+        capacity": every transmission originating on this LAN serializes
+        on the medium, so large (semantic) payloads add real queueing and
+        transmission delay.
+    """
+
+    name: str
+    wan_connected: bool = True
+    partition_group: int = 0
+    bandwidth_bps: float | None = None
+    node_ids: set[str] = field(default_factory=set)
+    #: Simulated time until which the shared medium is transmitting.
+    busy_until: float = 0.0
+
+    def transmission_done(self, now: float, size_bytes: int) -> float:
+        """When a ``size_bytes`` frame sent at ``now`` finishes on air.
+
+        FIFO medium: the frame starts when the medium frees and occupies
+        it for ``size * 8 / bandwidth`` seconds. Unbounded media return
+        ``now`` (zero transmission delay).
+        """
+        if self.bandwidth_bps is None:
+            return now
+        start = max(now, self.busy_until)
+        self.busy_until = start + (size_bytes * 8.0) / self.bandwidth_bps
+        return self.busy_until
+
+
+class Network:
+    """The simulated internetwork: nodes, LANs, and the transport.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing time and randomness.
+    size_model:
+        Byte-size model applied to every message.
+    lan_latency / wan_latency:
+        One-way delivery delays in seconds.
+    loss_rate:
+        Independent per-delivery drop probability (models lossy wireless
+        links). Applied per *receiver* for multicast.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        size_model: SizeModel | None = None,
+        lan_latency: float = 0.001,
+        wan_latency: float = 0.05,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.size_model = size_model or SizeModel()
+        self.lan_latency = lan_latency
+        self.wan_latency = wan_latency
+        self.loss_rate = loss_rate
+        self.stats = TrafficStats()
+        self.nodes: dict[str, Node] = {}
+        self.lans: dict[str, Lan] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_lan(self, name: str, *, wan_connected: bool = True,
+                bandwidth_bps: float | None = None) -> Lan:
+        """Create a LAN segment. Names must be unique.
+
+        ``bandwidth_bps`` bounds the LAN's shared medium (tactical-radio
+        style); ``None`` keeps it unbounded.
+        """
+        if name in self.lans:
+            raise NetworkError(f"duplicate LAN name {name!r}")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {bandwidth_bps}")
+        lan = Lan(name=name, wan_connected=wan_connected,
+                  bandwidth_bps=bandwidth_bps)
+        self.lans[name] = lan
+        return lan
+
+    def add_node(self, node: Node, lan_name: str) -> Node:
+        """Attach ``node`` to LAN ``lan_name``. Node ids must be unique."""
+        if node.node_id in self.nodes:
+            raise NetworkError(f"duplicate node id {node.node_id!r}")
+        if lan_name not in self.lans:
+            raise NetworkError(f"unknown LAN {lan_name!r}")
+        self.nodes[node.node_id] = node
+        self.lans[lan_name].node_ids.add(node.node_id)
+        node.attached(self, lan_name)
+        return node
+
+    def move_node(self, node_id: str, new_lan: str) -> None:
+        """Move a node to another LAN (mobility).
+
+        Dynamic environments include *roaming*: "members from several
+        agencies, potentially at different locations" whose devices join
+        whatever network segment they are near. The node keeps its state;
+        its :meth:`~repro.netsim.node.Node.on_moved` hook fires so
+        protocol agents can re-bootstrap (re-probe, republish).
+        """
+        node = self.node(node_id)
+        if new_lan not in self.lans:
+            raise NetworkError(f"unknown LAN {new_lan!r}")
+        old_lan = node.lan_name
+        if old_lan == new_lan:
+            return
+        if old_lan is not None and old_lan in self.lans:
+            self.lans[old_lan].node_ids.discard(node_id)
+        self.lans[new_lan].node_ids.add(node_id)
+        node.lan_name = new_lan
+        node.on_moved(old_lan or "", new_lan)
+
+    def remove_node(self, node_id: str) -> None:
+        """Permanently remove a node (it has *departed*, not merely crashed)."""
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        node.crash()
+        if node.lan_name and node.lan_name in self.lans:
+            self.lans[node.lan_name].node_ids.discard(node_id)
+
+    def node(self, node_id: str) -> Node:
+        """Look up a node by id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node {node_id!r}") from None
+
+    def nodes_on_lan(self, lan_name: str) -> list[Node]:
+        """All nodes attached to ``lan_name`` (alive or not), sorted by id."""
+        lan = self.lans.get(lan_name)
+        if lan is None:
+            raise NetworkError(f"unknown LAN {lan_name!r}")
+        return [self.nodes[nid] for nid in sorted(lan.node_ids)]
+
+    # -- partitions -----------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the WAN: LANs in different groups cannot exchange traffic.
+
+        ``groups`` is an iterable of iterables of LAN names; every LAN must
+        appear in exactly one group.
+        """
+        assignment: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for lan_name in group:
+                if lan_name not in self.lans:
+                    raise NetworkError(f"unknown LAN {lan_name!r} in partition spec")
+                if lan_name in assignment:
+                    raise NetworkError(f"LAN {lan_name!r} appears in two partition groups")
+                assignment[lan_name] = index
+        missing = set(self.lans) - set(assignment)
+        if missing:
+            raise NetworkError(f"partition spec missing LANs: {sorted(missing)}")
+        for lan_name, group_index in assignment.items():
+            self.lans[lan_name].partition_group = group_index
+
+    def heal_partition(self) -> None:
+        """Rejoin all LANs into one partition group."""
+        for lan in self.lans.values():
+            lan.partition_group = 0
+
+    def reachable(self, src_id: str, dst_id: str) -> bool:
+        """Whether a unicast from ``src_id`` can currently reach ``dst_id``.
+
+        Same-LAN traffic always flows; cross-LAN traffic requires both LANs
+        to be WAN-connected and in the same partition group.
+        """
+        src = self.nodes.get(src_id)
+        dst = self.nodes.get(dst_id)
+        if src is None or dst is None or src.lan_name is None or dst.lan_name is None:
+            return False
+        if src.lan_name == dst.lan_name:
+            return True
+        src_lan = self.lans[src.lan_name]
+        dst_lan = self.lans[dst.lan_name]
+        return (
+            src_lan.wan_connected
+            and dst_lan.wan_connected
+            and src_lan.partition_group == dst_lan.partition_group
+        )
+
+    def is_wan(self, src_id: str, dst_id: str) -> bool:
+        """Whether traffic between the two nodes crosses the WAN."""
+        src = self.nodes.get(src_id)
+        dst = self.nodes.get(dst_id)
+        if src is None or dst is None:
+            return False
+        return src.lan_name != dst.lan_name
+
+    # -- transport ------------------------------------------------------
+
+    def unicast(self, envelope: Envelope) -> None:
+        """Send ``envelope`` to its ``dst``; delivery is asynchronous.
+
+        The send is always accounted (the sender transmits regardless);
+        unreachable destinations, loss, and crashed receivers turn into
+        recorded drops.
+        """
+        if envelope.dst is None:
+            raise NetworkError("unicast envelope has no destination")
+        size = self.size_model.message_size(envelope.payload)
+        envelope.size_bytes = size
+        envelope.sent_at = self.sim.now
+        wan = self.is_wan(envelope.src, envelope.dst)
+        self.stats.record_send(envelope.msg_type, envelope.src, size, wan=wan, multicast=False)
+        if not self.reachable(envelope.src, envelope.dst):
+            self.stats.record_drop()
+            return
+        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+            self.stats.record_drop()
+            return
+        latency = self.wan_latency if wan else self.lan_latency
+        # The sender's LAN medium serializes the transmission (the uplink
+        # is the bottleneck for narrow-band deployments).
+        sender = self.nodes.get(envelope.src)
+        done_at = self.sim.now
+        if sender is not None and sender.lan_name in self.lans:
+            done_at = self.lans[sender.lan_name].transmission_done(
+                self.sim.now, size
+            )
+        self.sim.schedule_at(done_at + latency, self._deliver,
+                             envelope, envelope.dst)
+
+    def multicast(self, envelope: Envelope) -> None:
+        """Deliver ``envelope`` to every other node on the sender's LAN.
+
+        One transmission is accounted (broadcast medium); each receiver
+        gets its own copy of the delivery record.
+        """
+        sender = self.nodes.get(envelope.src)
+        if sender is None or sender.lan_name is None:
+            raise UnknownNodeError(f"unknown multicast sender {envelope.src!r}")
+        size = self.size_model.message_size(envelope.payload)
+        envelope.size_bytes = size
+        envelope.sent_at = self.sim.now
+        self.stats.record_send(envelope.msg_type, envelope.src, size, wan=False, multicast=True)
+        lan = self.lans[sender.lan_name]
+        done_at = lan.transmission_done(self.sim.now, size)
+        for dst_id in sorted(lan.node_ids):
+            if dst_id == envelope.src:
+                continue
+            if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+                self.stats.record_drop()
+                continue
+            self.sim.schedule_at(done_at + self.lan_latency, self._deliver,
+                                 envelope, dst_id)
+
+    def _deliver(self, envelope: Envelope, dst_id: str) -> None:
+        """Delivery event: hand the envelope to the destination if it is up."""
+        dst = self.nodes.get(dst_id)
+        if dst is None or not dst.alive:
+            self.stats.record_drop()
+            return
+        if not self.reachable(envelope.src, dst_id):
+            # A partition formed while the message was in flight.
+            self.stats.record_drop()
+            return
+        self.stats.record_delivery(dst_id, envelope.size_bytes)
+        dst.receive(envelope)

@@ -1,0 +1,230 @@
+"""Base class for protocol agents.
+
+A :class:`Node` is anything with an address on the simulated network:
+client nodes, service nodes, registry nodes, baseline registries. The
+paper's roles are implemented as subclasses in :mod:`repro.core`.
+
+Nodes are *fail-stop*: :meth:`crash` silently drops all in-flight timers
+and future deliveries; :meth:`restart` brings the node back with empty
+volatile state (subclasses override :meth:`on_restart` to re-bootstrap,
+mirroring the paper's "service node must try to find another connection
+point" responsibility).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import NetworkError
+from repro.netsim.messages import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.network import Network
+    from repro.netsim.simulator import EventHandle, PeriodicHandle, Simulator
+
+
+class Timer:
+    """A cancellable one-shot timer bound to a node's lifetime.
+
+    The callback never fires if the node crashed (or the timer was
+    cancelled) between scheduling and expiry.
+    """
+
+    __slots__ = ("_node", "_handle", "_fired")
+
+    def __init__(self, node: "Node", delay: float, fn: Callable[[], None]) -> None:
+        self._node = node
+        self._fired = False
+
+        def guarded() -> None:
+            self._fired = True
+            if node.alive:
+                fn()
+
+        self._handle: "EventHandle" = node.sim.schedule(delay, guarded)
+        node._timers.append(self)
+
+    @property
+    def pending(self) -> bool:
+        """True until the timer fires or is cancelled."""
+        return not self._fired and not self._handle.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Idempotent."""
+        self._handle.cancel()
+
+
+class Node:
+    """A network endpoint with mailbox dispatch and crash/restart semantics.
+
+    Message dispatch is by naming convention: an envelope with
+    ``msg_type="query"`` is delivered to ``self.handle_query(envelope)``
+    if that method exists, otherwise to :meth:`handle_message`. Unknown
+    message types are counted and silently discarded — the paper's "nodes
+    quickly filter and silently discard messages they cannot understand".
+    """
+
+    #: Role tag used by experiments for reporting; subclasses override.
+    role = "node"
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.network: "Network | None" = None
+        self.lan_name: str | None = None
+        self._timers: list[Timer] = []
+        self._periodics: list["PeriodicHandle"] = []
+        self.unknown_messages = 0
+        self.crash_count = 0
+
+    # -- wiring ---------------------------------------------------------
+
+    @property
+    def sim(self) -> "Simulator":
+        """The simulator this node is attached to."""
+        if self.network is None:
+            raise NetworkError(f"node {self.node_id!r} is not attached to a network")
+        return self.network.sim
+
+    def attached(self, network: "Network", lan_name: str) -> None:
+        """Called by :meth:`Network.add_node`; do not call directly."""
+        self.network = network
+        self.lan_name = lan_name
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin protocol activity. Subclasses override; default is a no-op."""
+
+    def cancel_tasks(self) -> None:
+        """Cancel every pending timer and periodic task on this node.
+
+        Used by :meth:`crash` and by role changes (e.g. a standby registry
+        demoting itself) that must stop activity without dying.
+        """
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for periodic in self._periodics:
+            periodic.stop()
+        self._periodics.clear()
+
+    def crash(self) -> None:
+        """Fail-stop: stop all timers and ignore all future deliveries."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_count += 1
+        self.cancel_tasks()
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Bring a crashed node back up with empty volatile state."""
+        if self.alive:
+            return
+        self.alive = True
+        self.on_restart()
+
+    def on_crash(self) -> None:
+        """Hook invoked after a crash. Default: no-op."""
+
+    def on_restart(self) -> None:
+        """Hook invoked after a restart (re-bootstrap here). Default: no-op."""
+
+    def on_moved(self, old_lan: str, new_lan: str) -> None:
+        """Hook invoked after the node roamed to another LAN. Default: no-op."""
+
+    # -- timers ---------------------------------------------------------
+
+    def after(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn`` once after ``delay`` seconds, unless this node crashes."""
+        return Timer(self, delay, fn)
+
+    def every(
+        self, interval: float, fn: Callable[[], None], *, initial_delay: float | None = None
+    ) -> "PeriodicHandle":
+        """Run ``fn`` every ``interval`` seconds while this node is alive."""
+
+        def guarded() -> None:
+            if self.alive:
+                fn()
+
+        handle = self.sim.every(interval, guarded, initial_delay=initial_delay)
+        self._periodics.append(handle)
+        return handle
+
+    # -- messaging ------------------------------------------------------
+
+    def send(
+        self,
+        dst: str,
+        msg_type: str,
+        payload: Any = None,
+        *,
+        payload_type: str | None = None,
+        headers: dict[str, Any] | None = None,
+    ) -> Envelope:
+        """Unicast a message to node ``dst``. Returns the envelope sent."""
+        if self.network is None:
+            raise NetworkError(f"node {self.node_id!r} is not attached to a network")
+        envelope = Envelope(
+            msg_type=msg_type,
+            src=self.node_id,
+            dst=dst,
+            payload=payload,
+            payload_type=payload_type,
+            headers=dict(headers or {}),
+        )
+        self.network.unicast(envelope)
+        return envelope
+
+    def multicast(
+        self,
+        msg_type: str,
+        payload: Any = None,
+        *,
+        payload_type: str | None = None,
+        headers: dict[str, Any] | None = None,
+    ) -> Envelope:
+        """Multicast a message on this node's own LAN (local scope only —
+        the paper rules out WAN multicast as "too heavy a burden")."""
+        if self.network is None:
+            raise NetworkError(f"node {self.node_id!r} is not attached to a network")
+        envelope = Envelope(
+            msg_type=msg_type,
+            src=self.node_id,
+            dst=None,
+            payload=payload,
+            payload_type=payload_type,
+            headers=dict(headers or {}),
+        )
+        self.network.multicast(envelope)
+        return envelope
+
+    def forward(self, envelope: Envelope, dst: str) -> Envelope:
+        """Re-send ``envelope`` to ``dst`` with this node as the hop source."""
+        if self.network is None:
+            raise NetworkError(f"node {self.node_id!r} is not attached to a network")
+        copy = envelope.forwarded(self.node_id, dst)
+        self.network.unicast(copy)
+        return copy
+
+    # -- dispatch -------------------------------------------------------
+
+    def receive(self, envelope: Envelope) -> None:
+        """Entry point called by the network on delivery."""
+        if not self.alive:
+            return
+        handler = getattr(self, f"handle_{envelope.msg_type.replace('-', '_')}", None)
+        if handler is not None:
+            handler(envelope)
+        else:
+            self.handle_message(envelope)
+
+    def handle_message(self, envelope: Envelope) -> None:
+        """Fallback handler for message types without a dedicated method."""
+        self.unknown_messages += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"<{type(self).__name__} {self.node_id} lan={self.lan_name} {state}>"

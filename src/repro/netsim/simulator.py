@@ -1,0 +1,196 @@
+"""Deterministic discrete-event scheduler.
+
+The simulator is the single source of time and randomness for a run.
+Events are ``(time, sequence, callback)`` triples on a binary heap; the
+monotonically increasing sequence number breaks ties so that two events
+scheduled for the same instant always fire in scheduling order, which makes
+whole-system runs deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    """A single scheduled callback. Ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulated time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent."""
+        self._event.cancelled = True
+
+
+class PeriodicHandle:
+    """Handle for a repeating task created with :meth:`Simulator.every`."""
+
+    __slots__ = ("_sim", "_interval", "_fn", "_next", "_stopped")
+
+    def __init__(self, sim: "Simulator", interval: float, fn: Callable[[], None]) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._fn = fn
+        self._stopped = False
+        self._next: EventHandle | None = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fn()
+        if not self._stopped:
+            self._next = self._sim.schedule(self._interval, self._fire)
+
+    def start(self, initial_delay: float | None = None) -> "PeriodicHandle":
+        """Arm the periodic task; first firing after ``initial_delay``
+        (defaults to one full interval)."""
+        delay = self._interval if initial_delay is None else initial_delay
+        self._next = self._sim.schedule(delay, self._fire)
+        return self
+
+    def stop(self) -> None:
+        """Stop the task; any pending firing is cancelled. Idempotent."""
+        self._stopped = True
+        if self._next is not None:
+            self._next.cancel()
+
+
+class Simulator:
+    """Heap-based discrete-event simulator with a seeded RNG.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator's private :class:`random.Random`. All
+        stochastic behaviour in a run (loss, churn, workload sampling)
+        must draw from :attr:`rng` so that a seed fully determines a run.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule at {when} < now={self._now}")
+        self._seq += 1
+        bound = (lambda: callback(*args)) if args else callback
+        event = _Event(time=when, seq=self._seq, callback=bound)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        initial_delay: float | None = None,
+    ) -> PeriodicHandle:
+        """Run ``callback`` every ``interval`` seconds until stopped."""
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        return PeriodicHandle(self, interval, callback).start(initial_delay)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired. Returns the simulated time afterwards.
+
+        When ``until`` is given, time is advanced to exactly ``until`` even
+        if the last event fired earlier, so periodic measurements can use
+        ``sim.now`` as the window length.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                self.events_processed += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one pending (non-cancelled) event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def pending(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def clear(self) -> None:
+        """Drop all pending events without running them."""
+        self._heap.clear()

@@ -1,0 +1,96 @@
+"""Traffic accounting.
+
+Every byte the transport moves is recorded here, broken down by message
+type, by node, and by scope (LAN-local unicast, multicast, WAN). The
+experiment harness reads these counters to produce the bandwidth columns
+of E1/E6/E7/E8/E10.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficStats:
+    """Mutable counters the transport updates on every delivery attempt."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    bytes_wan: int = 0
+    bytes_multicast: int = 0
+    by_type_count: Counter = field(default_factory=Counter)
+    by_type_bytes: Counter = field(default_factory=Counter)
+    node_bytes_sent: Counter = field(default_factory=Counter)
+    node_bytes_received: Counter = field(default_factory=Counter)
+    node_messages_received: Counter = field(default_factory=Counter)
+
+    def record_send(self, msg_type: str, src: str, size: int, *, wan: bool, multicast: bool) -> None:
+        """Account for one transmission leaving ``src``."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.by_type_count[msg_type] += 1
+        self.by_type_bytes[msg_type] += size
+        self.node_bytes_sent[src] += size
+        if wan:
+            self.bytes_wan += size
+        if multicast:
+            self.bytes_multicast += size
+
+    def record_delivery(self, dst: str, size: int) -> None:
+        """Account for one copy arriving at ``dst``."""
+        self.messages_delivered += 1
+        self.bytes_delivered += size
+        self.node_bytes_received[dst] += size
+        self.node_messages_received[dst] += 1
+
+    def record_drop(self) -> None:
+        """Account for a transmission that never arrived (loss/partition/crash)."""
+        self.messages_dropped += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the scalar counters (for experiment tables)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+            "bytes_wan": self.bytes_wan,
+            "bytes_multicast": self.bytes_multicast,
+        }
+
+    def delta_since(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Scalar counters accumulated since an earlier :meth:`snapshot`."""
+        current = self.snapshot()
+        return {key: current[key] - earlier.get(key, 0) for key in current}
+
+    def max_node_load(self) -> tuple[str | None, int]:
+        """The node that received the most bytes, and how many.
+
+        Measures the paper's "load on the single node may become high"
+        concern for centralized topologies.
+        """
+        if not self.node_bytes_received:
+            return None, 0
+        node, load = max(self.node_bytes_received.items(), key=lambda item: (item[1], item[0]))
+        return node, load
+
+    def reset(self) -> None:
+        """Zero every counter (used between experiment phases)."""
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.bytes_wan = 0
+        self.bytes_multicast = 0
+        self.by_type_count.clear()
+        self.by_type_bytes.clear()
+        self.node_bytes_sent.clear()
+        self.node_bytes_received.clear()
+        self.node_messages_received.clear()

@@ -1,0 +1,103 @@
+"""Advertisement records and the UUID convention.
+
+UUIDs here are deterministic within a run (a monotonic counter rendered in
+UUID-ish form) so that simulations are reproducible; real deployments
+would use RFC 4122 UUIDs as UDDI 3.0 does, which the paper cites as the
+model for its identification convention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.netsim.messages import estimate_payload_size
+
+_uuid_counter = itertools.count(1)
+
+#: Record overhead beyond the description payload: UUID, endpoint,
+#: timestamps, lease linkage.
+_RECORD_OVERHEAD_BYTES = 96
+
+
+def new_uuid(kind: str = "ad") -> str:
+    """A fresh run-deterministic identifier, e.g. ``"ad-000042"``."""
+    return f"{kind}-{next(_uuid_counter):06d}"
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """One published service description as stored in a registry.
+
+    Attributes
+    ----------
+    ad_id:
+        The advertisement's UUID — the handle for renew/update/remove and
+        for de-duplicating responses gathered from several registries.
+    service_node:
+        Node id of the publishing service node.
+    service_name:
+        The described service's name (stable across republishes).
+    endpoint:
+        Where to invoke the service ("service invocations are performed
+        directly").
+    model_id:
+        The description model of :attr:`description` ("next header").
+    description:
+        Model-specific payload (URI record, template, semantic profile).
+    version:
+        Incremented on republish; registries keep only the newest.
+    home_registry:
+        The registry the advertisement was originally published to
+        (provenance for federation/replication).
+    """
+
+    ad_id: str
+    service_node: str
+    service_name: str
+    endpoint: str
+    model_id: str
+    description: Any
+    version: int = 1
+    published_at: float = 0.0
+    home_registry: str = ""
+
+    def bumped(self, description: Any, now: float) -> "Advertisement":
+        """A republished copy with a newer version and description."""
+        return replace(self, description=description, version=self.version + 1,
+                       published_at=now)
+
+    def size_bytes(self) -> int:
+        """Wire size: the description payload plus record overhead."""
+        return estimate_payload_size(self.description) + _RECORD_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True)
+class AdvertisementSummary:
+    """The compact form exchanged during registry signalling: identity
+    only, no payload — "summary information about the advertisements
+    present in a registry"."""
+
+    ad_id: str
+    service_name: str
+    model_id: str
+    home_registry: str
+    version: int = 1
+
+    def size_bytes(self) -> int:
+        return (
+            len(self.ad_id) + len(self.service_name) + len(self.model_id)
+            + len(self.home_registry) + 16
+        )
+
+
+def summarize(ad: Advertisement) -> AdvertisementSummary:
+    """The summary record for one advertisement."""
+    return AdvertisementSummary(
+        ad_id=ad.ad_id,
+        service_name=ad.service_name,
+        model_id=ad.model_id,
+        home_registry=ad.home_registry,
+        version=ad.version,
+    )

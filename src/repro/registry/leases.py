@@ -1,0 +1,147 @@
+"""Leases: the aliveness mechanism.
+
+"Typically, the provider of a service obtains a lease when publishing its
+service description to the registry. From then on, the provider must
+periodically confirm that it is alive. Should a service crash, it would
+not be able to renew its lease, and the service description would be
+purged from the registry." (§4.8; mechanism as in Jini and JXTA.)
+
+The :class:`LeaseManager` is pure bookkeeping over an injected clock (the
+simulator's ``now``), so it is unit-testable without a network. The
+registry node wires :meth:`expired_ads` to a periodic purge task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import LeaseError
+from repro.registry.advertisements import new_uuid
+
+#: Default advertisement lease duration in seconds. Configurable per
+#: deployment — the paper lists "the advertisement lease period" among the
+#: parameters that "could even be made configurable on an individual
+#: deployment basis".
+DEFAULT_LEASE_DURATION = 60.0
+
+
+@dataclass
+class Lease:
+    """One granted lease binding an advertisement to an expiry time."""
+
+    lease_id: str
+    ad_id: str
+    duration: float
+    expires_at: float
+    renewals: int = 0
+
+    def expired(self, now: float) -> bool:
+        """Whether the lease has lapsed at time ``now``."""
+        return now >= self.expires_at
+
+
+class LeaseManager:
+    """Grants, renews, and expires advertisement leases.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time (``sim.now``).
+    default_duration:
+        Lease length granted when the publisher does not ask for one.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        default_duration: float = DEFAULT_LEASE_DURATION,
+    ) -> None:
+        if default_duration <= 0:
+            raise LeaseError(f"lease duration must be positive, got {default_duration}")
+        self.clock = clock
+        self.default_duration = default_duration
+        self._by_lease: dict[str, Lease] = {}
+        self._by_ad: dict[str, str] = {}
+        self.expired_total = 0
+
+    def __len__(self) -> int:
+        return len(self._by_lease)
+
+    def grant(self, ad_id: str, duration: float | None = None) -> Lease:
+        """Grant a lease for an advertisement.
+
+        Republishing an advertisement that already holds a lease replaces
+        the old lease (the new expiry wins).
+        """
+        length = self.default_duration if duration is None else duration
+        if length <= 0:
+            raise LeaseError(f"lease duration must be positive, got {length}")
+        old_lease_id = self._by_ad.get(ad_id)
+        if old_lease_id is not None:
+            self._by_lease.pop(old_lease_id, None)
+        lease = Lease(
+            lease_id=new_uuid("lease"),
+            ad_id=ad_id,
+            duration=length,
+            expires_at=self.clock() + length,
+        )
+        self._by_lease[lease.lease_id] = lease
+        self._by_ad[ad_id] = lease.lease_id
+        return lease
+
+    def renew(self, lease_id: str) -> Lease:
+        """Extend a lease by its original duration from *now*.
+
+        Renewing an unknown (e.g. already-expired-and-purged) lease raises
+        :class:`LeaseError`; the service node reacts by republishing from
+        scratch.
+        """
+        lease = self._by_lease.get(lease_id)
+        if lease is None:
+            raise LeaseError(f"unknown lease {lease_id!r}")
+        if lease.expired(self.clock()):
+            # Expired but not yet purged: treat as unknown, forcing a
+            # republish, so expiry semantics don't depend on purge timing.
+            self._drop(lease)
+            raise LeaseError(f"lease {lease_id!r} has expired")
+        lease.expires_at = self.clock() + lease.duration
+        lease.renewals += 1
+        return lease
+
+    def cancel_for_ad(self, ad_id: str) -> None:
+        """Drop the lease backing an advertisement (explicit removal)."""
+        lease_id = self._by_ad.get(ad_id)
+        if lease_id is not None:
+            lease = self._by_lease.get(lease_id)
+            if lease is not None:
+                self._drop(lease)
+
+    def lease_for_ad(self, ad_id: str) -> Lease | None:
+        """The live lease backing an advertisement, if any."""
+        lease_id = self._by_ad.get(ad_id)
+        return self._by_lease.get(lease_id) if lease_id else None
+
+    def expired_ads(self) -> list[str]:
+        """Advertisement ids whose leases have lapsed, removing the leases.
+
+        The caller (the registry's purge task) removes the advertisements
+        themselves.
+        """
+        now = self.clock()
+        lapsed = [lease for lease in self._by_lease.values() if lease.expired(now)]
+        for lease in lapsed:
+            self._drop(lease)
+        self.expired_total += len(lapsed)
+        return sorted(lease.ad_id for lease in lapsed)
+
+    def _drop(self, lease: Lease) -> None:
+        self._by_lease.pop(lease.lease_id, None)
+        if self._by_ad.get(lease.ad_id) == lease.lease_id:
+            del self._by_ad[lease.ad_id]
+
+    def clear(self) -> None:
+        """Drop all leases (registry crash)."""
+        self._by_lease.clear()
+        self._by_ad.clear()

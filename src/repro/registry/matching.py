@@ -1,0 +1,98 @@
+"""Query evaluation over the store, with response control.
+
+The evaluator is where the paper's "opportunity to allow service selection
+support in registries … to relieve constrained clients" lives: it
+dispatches a query payload to its description model, scores every stored
+advertisement of that model, and returns the best hits — capped when the
+query carries a ``max_results`` header (query response control, §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.descriptions.base import ModelRegistry
+from repro.registry.advertisements import Advertisement
+from repro.registry.store import AdvertisementStore
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """One matching advertisement with its rank information."""
+
+    advertisement: Advertisement
+    degree: int
+    score: float
+
+    def sort_key(self) -> tuple:
+        """Descending-quality ordering; UUID breaks ties deterministically."""
+        return (-self.degree, -self.score, self.advertisement.ad_id)
+
+    def size_bytes(self) -> int:
+        """A hit on the wire is the full advertisement plus rank fields."""
+        return self.advertisement.size_bytes() + 16
+
+
+class QueryEvaluator:
+    """Evaluates model-typed queries against an advertisement store."""
+
+    def __init__(self, store: AdvertisementStore, models: ModelRegistry) -> None:
+        self.store = store
+        self.models = models
+        self.queries_evaluated = 0
+        self.queries_discarded = 0
+
+    def evaluate(
+        self,
+        model_id: str | None,
+        query: Any,
+        *,
+        max_results: int | None = None,
+    ) -> list[QueryHit]:
+        """All matching advertisements for ``query``, best first.
+
+        Queries in unsupported models are silently discarded (counted) —
+        "nodes quickly filter and silently discard messages they cannot
+        understand anyway". ``max_results`` of ``None`` returns every
+        match (the no-response-control configuration).
+        """
+        model = self.models.get_or_discard(model_id)
+        if model is None or not model.can_evaluate():
+            self.queries_discarded += 1
+            return []
+        self.queries_evaluated += 1
+        hits = []
+        for ad in self.store.of_model(model.model_id):
+            verdict = model.evaluate(ad.description, query)
+            if verdict.matched:
+                hits.append(QueryHit(advertisement=ad, degree=verdict.degree,
+                                     score=verdict.score))
+        hits.sort(key=QueryHit.sort_key)
+        if max_results is not None:
+            hits = hits[:max_results]
+        return hits
+
+    @staticmethod
+    def merge(
+        batches: list[list[QueryHit]],
+        *,
+        max_results: int | None = None,
+    ) -> list[QueryHit]:
+        """Merge hit lists from several registries, de-duplicating by UUID.
+
+        The paper: UUIDs "could also be used to correlate query responses
+        received from different registry nodes with a registry node's own
+        results." The highest-ranked copy of each advertisement wins.
+        """
+        best: dict[str, QueryHit] = {}
+        for batch in batches:
+            for hit in batch:
+                ad_id = hit.advertisement.ad_id
+                current = best.get(ad_id)
+                if current is None or hit.sort_key() < current.sort_key():
+                    best[ad_id] = hit
+        merged = sorted(best.values(), key=QueryHit.sort_key)
+        if max_results is not None:
+            merged = merged[:max_results]
+        return merged

@@ -1,0 +1,87 @@
+"""The advertisement store inside a registry node.
+
+"Thick" storage, per the paper: registries "contain all the information in
+the service advertisements, not just pointers to where the advertisements
+are". The store is indexed by advertisement UUID and by owning service
+node, and keeps only the newest version of each advertisement.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import AdvertisementNotFoundError
+from repro.registry.advertisements import Advertisement
+
+
+class AdvertisementStore:
+    """In-memory advertisement storage with UUID and per-service indexes."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, Advertisement] = {}
+        self._by_service: dict[str, set[str]] = defaultdict(set)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, ad_id: str) -> bool:
+        return ad_id in self._by_id
+
+    def put(self, ad: Advertisement) -> Advertisement:
+        """Insert or upgrade an advertisement.
+
+        An existing record with the same UUID is replaced only by an equal
+        or newer version (replication may deliver stale copies out of
+        order); the stored (possibly newer) record is returned.
+        """
+        existing = self._by_id.get(ad.ad_id)
+        if existing is not None and existing.version > ad.version:
+            return existing
+        self._by_id[ad.ad_id] = ad
+        self._by_service[ad.service_node].add(ad.ad_id)
+        return ad
+
+    def get(self, ad_id: str) -> Advertisement:
+        """Fetch by UUID; raises :class:`AdvertisementNotFoundError`."""
+        try:
+            return self._by_id[ad_id]
+        except KeyError:
+            raise AdvertisementNotFoundError(f"unknown advertisement {ad_id!r}") from None
+
+    def remove(self, ad_id: str) -> Advertisement:
+        """Delete by UUID; returns the removed record."""
+        ad = self.get(ad_id)
+        del self._by_id[ad_id]
+        owned = self._by_service.get(ad.service_node)
+        if owned is not None:
+            owned.discard(ad_id)
+            if not owned:
+                del self._by_service[ad.service_node]
+        return ad
+
+    def discard(self, ad_id: str) -> Advertisement | None:
+        """Delete by UUID if present; returns the record or ``None``."""
+        if ad_id in self._by_id:
+            return self.remove(ad_id)
+        return None
+
+    def by_service(self, service_node: str) -> list[Advertisement]:
+        """All advertisements published by one service node."""
+        return [self._by_id[aid] for aid in sorted(self._by_service.get(service_node, ()))]
+
+    def all(self) -> list[Advertisement]:
+        """Every stored advertisement, ordered by UUID."""
+        return [self._by_id[aid] for aid in sorted(self._by_id)]
+
+    def of_model(self, model_id: str) -> list[Advertisement]:
+        """Stored advertisements using one description model."""
+        return [ad for ad in self.all() if ad.model_id == model_id]
+
+    def service_nodes(self) -> list[str]:
+        """Service nodes with at least one stored advertisement."""
+        return sorted(self._by_service)
+
+    def clear(self) -> None:
+        """Drop all content (a registry crash loses volatile state)."""
+        self._by_id.clear()
+        self._by_service.clear()

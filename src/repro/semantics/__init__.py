@@ -1,0 +1,49 @@
+"""Semantic substrate: ontologies, subsumption reasoning, and matchmaking.
+
+The paper assumes "a shared semantic model, or ontology" and semantic
+service descriptions in the OWL-S/WSMO tradition, but leaves the machinery
+abstract. This package is a self-contained implementation of exactly what
+the discovery architecture needs:
+
+* :class:`~repro.semantics.ontology.Ontology` — named classes with
+  subclass axioms forming a rooted DAG, plus object properties.
+* :class:`~repro.semantics.reasoner.Reasoner` — cached transitive
+  subsumption, least common ancestors, and edge-based semantic distance.
+* :class:`~repro.semantics.profiles.ServiceProfile` /
+  :class:`~repro.semantics.profiles.ServiceRequest` — OWL-S-profile-like
+  descriptions of capabilities and needs (category, inputs, outputs, QoS),
+  with byte-size models reflecting their XML serializations.
+* :class:`~repro.semantics.matchmaker.Matchmaker` — the classic
+  Paolucci-et-al. degree-of-match algorithm
+  (exact / plug-in / subsumes / fail) with QoS-aware ranking.
+* :mod:`~repro.semantics.generator` — deterministic random ontologies and
+  the hand-written emergency-response and battlefield ontologies used by
+  the example scenarios.
+"""
+
+from repro.semantics.ontology import Ontology, THING
+from repro.semantics.reasoner import Reasoner
+from repro.semantics.profiles import QoSConstraint, ServiceProfile, ServiceRequest
+from repro.semantics.matchmaker import DegreeOfMatch, MatchResult, Matchmaker
+from repro.semantics.generator import (
+    OntologyGenerator,
+    ProfileGenerator,
+    emergency_ontology,
+    battlefield_ontology,
+)
+
+__all__ = [
+    "DegreeOfMatch",
+    "Matchmaker",
+    "MatchResult",
+    "Ontology",
+    "OntologyGenerator",
+    "ProfileGenerator",
+    "QoSConstraint",
+    "Reasoner",
+    "ServiceProfile",
+    "ServiceRequest",
+    "THING",
+    "battlefield_ontology",
+    "emergency_ontology",
+]

@@ -1,0 +1,384 @@
+"""Ontology and profile generators.
+
+Two kinds of semantic models feed the experiments:
+
+* Hand-written domain ontologies for the paper's two motivating scenarios:
+  :func:`emergency_ontology` (the crisis-management example of §1) and
+  :func:`battlefield_ontology` (the network-centric battlefield of the
+  companion MILCOM paper, including its "a Radar is a kind of Sensor"
+  example).
+* Deterministic random ontologies (:class:`OntologyGenerator`) and service
+  profiles/requests over them (:class:`ProfileGenerator`), used for
+  parameter sweeps where the hierarchy shape must be controlled.
+
+Random ontologies contain two disjoint subtrees under THING — service
+categories (``gen:Service...``) and data concepts (``gen:Data...``) — so
+that generated profiles draw categories and input/output concepts from the
+appropriate vocabulary, as OWL-S profiles do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.semantics.matchmaker import DegreeOfMatch, Matchmaker
+from repro.semantics.ontology import Ontology, THING
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+#: QoS attributes the generators draw from, with (low, high) value ranges.
+QOS_ATTRIBUTES: dict[str, tuple[float, float]] = {
+    "latency_ms": (5.0, 500.0),
+    "coverage_km": (1.0, 100.0),
+    "confidence": (0.5, 1.0),
+    "update_rate_hz": (0.1, 10.0),
+}
+
+
+def emergency_ontology() -> Ontology:
+    """The crisis-management ontology of the paper's §1 scenario.
+
+    Multiple agencies (medical, fire, police, logistics) spontaneously
+    form a network; their services and information products are organized
+    under ``ems:Service`` and ``ems:Information``.
+    """
+    ont = Ontology("emergency")
+    ont.add_subtree("ems:Service", {
+        "ems:MedicalService": {
+            "ems:TriageService": {},
+            "ems:AmbulanceDispatchService": {},
+            "ems:HospitalCapacityService": {},
+            "ems:CasualtyTrackingService": {},
+        },
+        "ems:FireService": {
+            "ems:FirePredictionService": {},
+            "ems:HazmatAdvisoryService": {},
+        },
+        "ems:PoliceService": {
+            "ems:PerimeterControlService": {},
+            "ems:EvacuationRoutingService": {},
+        },
+        "ems:LogisticsService": {
+            "ems:SupplyTrackingService": {},
+            "ems:ShelterAllocationService": {},
+            "ems:TransportBookingService": {},
+        },
+        "ems:InformationService": {
+            "ems:MappingService": {
+                "ems:SatelliteMappingService": {},
+                "ems:DroneMappingService": {},
+            },
+            "ems:WeatherService": {},
+            "ems:AlertingService": {},
+            "ems:TranslationService": {},
+        },
+    })
+    ont.add_subtree("ems:Information", {
+        "ems:Location": {
+            "ems:IncidentLocation": {},
+            "ems:UnitLocation": {},
+            "ems:ShelterLocation": {},
+        },
+        "ems:Report": {
+            "ems:CasualtyReport": {},
+            "ems:DamageReport": {},
+            "ems:WeatherReport": {},
+            "ems:HazmatReport": {},
+        },
+        "ems:Map": {
+            "ems:RoadMap": {},
+            "ems:FloodMap": {},
+            "ems:ThermalMap": {},
+        },
+        "ems:Resource": {
+            "ems:MedicalResource": {
+                "ems:BloodSupply": {},
+                "ems:HospitalBed": {},
+            },
+            "ems:Vehicle": {
+                "ems:Ambulance": {},
+                "ems:FireTruck": {},
+                "ems:Helicopter": {},
+            },
+        },
+        "ems:Alert": {
+            "ems:EvacuationAlert": {},
+            "ems:WeatherAlert": {},
+        },
+    })
+    ont.add_property("ems:locatedAt", "ems:Resource", "ems:Location")
+    ont.add_property("ems:covers", "ems:Map", "ems:Location")
+    ont.add_property("ems:reports", "ems:Service", "ems:Report")
+    return ont
+
+
+def battlefield_ontology() -> Ontology:
+    """The network-centric battlefield ontology (MILCOM companion paper).
+
+    Includes the subsumption example used by the paper: "a Radar is a kind
+    of Sensor".
+    """
+    ont = Ontology("battlefield")
+    ont.add_subtree("ncw:Service", {
+        "ncw:SensorService": {
+            "ncw:RadarService": {
+                "ncw:AirSurveillanceRadarService": {},
+                "ncw:GroundSurveillanceRadarService": {},
+            },
+            "ncw:CameraService": {
+                "ncw:IRCameraService": {},
+                "ncw:TVCameraService": {},
+            },
+            "ncw:AcousticSensorService": {},
+        },
+        "ncw:TrackService": {
+            "ncw:AirTrackService": {},
+            "ncw:GroundTrackService": {},
+            "ncw:SurfaceTrackService": {},
+        },
+        "ncw:C2Service": {
+            "ncw:OrderDistributionService": {},
+            "ncw:SituationAwarenessService": {},
+            "ncw:BlueForceTrackingService": {},
+        },
+        "ncw:LogisticsService": {
+            "ncw:FuelStatusService": {},
+            "ncw:AmmunitionStatusService": {},
+        },
+        "ncw:CommunicationService": {
+            "ncw:TacticalDataLinkService": {},
+            "ncw:MessagingService": {},
+        },
+    })
+    ont.add_subtree("ncw:Entity", {
+        "ncw:Sensor": {
+            "ncw:Radar": {
+                "ncw:AirSurveillanceRadar": {},
+                "ncw:GroundSurveillanceRadar": {},
+            },
+            "ncw:Camera": {
+                "ncw:IRCamera": {},
+                "ncw:TVCamera": {},
+            },
+            "ncw:AcousticSensor": {},
+        },
+        "ncw:Track": {
+            "ncw:AirTrack": {},
+            "ncw:GroundTrack": {},
+            "ncw:SurfaceTrack": {},
+        },
+        "ncw:Unit": {
+            "ncw:Platoon": {},
+            "ncw:Company": {},
+            "ncw:Battalion": {},
+        },
+        "ncw:Position": {
+            "ncw:GridPosition": {},
+            "ncw:GeodeticPosition": {},
+        },
+        "ncw:Order": {
+            "ncw:MovementOrder": {},
+            "ncw:FireOrder": {},
+        },
+    })
+    ont.add_property("ncw:produces", "ncw:SensorService", "ncw:Track")
+    ont.add_property("ncw:positionedAt", "ncw:Unit", "ncw:Position")
+    return ont
+
+
+class OntologyGenerator:
+    """Deterministic random ontologies for parameter sweeps.
+
+    Parameters
+    ----------
+    seed:
+        Private RNG seed; the same seed always yields the same ontology.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def random_ontology(
+        self,
+        *,
+        n_service_classes: int = 40,
+        n_data_classes: int = 60,
+        max_branching: int = 4,
+        multi_parent_prob: float = 0.1,
+    ) -> Ontology:
+        """A random two-subtree ontology (service categories + data concepts).
+
+        Each new class attaches under a uniformly chosen existing class of
+        its subtree, bounded by ``max_branching``; with probability
+        ``multi_parent_prob`` a second parent is added (keeping the DAG
+        acyclic by construction since parents always precede children).
+        """
+        if n_service_classes < 1 or n_data_classes < 1:
+            raise WorkloadError("ontologies need at least one class per subtree")
+        ont = Ontology(f"generated-{self.rng.getrandbits(32):08x}")
+        self._grow_subtree(ont, "gen:Service", "gen:Service", n_service_classes,
+                           max_branching, multi_parent_prob)
+        self._grow_subtree(ont, "gen:Data", "gen:Data", n_data_classes,
+                           max_branching, multi_parent_prob)
+        return ont
+
+    def _grow_subtree(
+        self,
+        ont: Ontology,
+        root: str,
+        prefix: str,
+        count: int,
+        max_branching: int,
+        multi_parent_prob: float,
+    ) -> None:
+        ont.add_class(root)
+        members = [root]
+        child_counts: dict[str, int] = {root: 0}
+        for index in range(count):
+            candidates = [m for m in members if child_counts[m] < max_branching]
+            parent = self.rng.choice(candidates or members)
+            uri = f"{prefix}{index}"
+            parents = [parent]
+            if len(members) > 2 and self.rng.random() < multi_parent_prob:
+                extra = self.rng.choice(members)
+                if extra not in parents:
+                    parents.append(extra)
+            ont.add_class(uri, parents=parents)
+            for p in parents:
+                child_counts[p] = child_counts.get(p, 0) + 1
+            members.append(uri)
+            child_counts[uri] = 0
+
+
+@dataclass
+class LabelledRequest:
+    """A request plus the ground-truth set of relevant service names."""
+
+    request: ServiceRequest
+    relevant: frozenset[str]
+
+
+class ProfileGenerator:
+    """Random service profiles and requests over one ontology.
+
+    The generator knows which subtree holds categories and which holds
+    data concepts; for the hand-written ontologies those are the
+    ``*:Service`` and non-service subtrees respectively.
+    """
+
+    def __init__(self, ontology: Ontology, seed: int = 0) -> None:
+        self.ontology = ontology
+        self.rng = random.Random(seed)
+        roots = [c for c in ontology.classes()
+                 if c != THING and THING in ontology.parents(c)]
+        service_roots = [r for r in roots if "Service" in r]
+        data_roots = [r for r in roots if r not in service_roots]
+        if not service_roots or not data_roots:
+            raise WorkloadError(
+                f"ontology {ontology.name!r} lacks separate service/data subtrees"
+            )
+        self.category_pool = sorted(
+            set().union(*(ontology.descendants(r) for r in service_roots)) | set(service_roots)
+        )
+        self.data_pool = sorted(
+            set().union(*(ontology.descendants(r) for r in data_roots)) | set(data_roots)
+        )
+
+    # -- profiles ---------------------------------------------------------
+
+    def random_profile(self, index: int, *, provider: str = "") -> ServiceProfile:
+        """One random service profile named ``svc-{index}``."""
+        category = self.rng.choice(self.category_pool)
+        n_outputs = self.rng.randint(1, 3)
+        n_inputs = self.rng.randint(0, 2)
+        outputs = tuple(self.rng.sample(self.data_pool, min(n_outputs, len(self.data_pool))))
+        inputs = tuple(self.rng.sample(self.data_pool, min(n_inputs, len(self.data_pool))))
+        qos = {
+            name: round(self.rng.uniform(low, high), 3)
+            for name, (low, high) in QOS_ATTRIBUTES.items()
+            if self.rng.random() < 0.75
+        }
+        return ServiceProfile.build(
+            service_name=f"svc-{index}",
+            category=category,
+            inputs=inputs,
+            outputs=outputs,
+            qos=qos,
+            provider=provider or f"provider-{index % 7}",
+            text=f"Service {index} providing {' and '.join(outputs)}",
+        )
+
+    def profiles(self, count: int) -> list[ServiceProfile]:
+        """``count`` random profiles, deterministically."""
+        return [self.random_profile(i) for i in range(count)]
+
+    # -- requests ---------------------------------------------------------
+
+    def request_for(
+        self,
+        profile: ServiceProfile,
+        *,
+        generalize: int = 0,
+        max_results: int | None = None,
+    ) -> ServiceRequest:
+        """A request the given profile should satisfy.
+
+        ``generalize`` walks the profile's category and outputs ``n`` steps
+        up the hierarchy, producing requests phrased in broader terms —
+        the situation where semantic matching wins and string matching
+        fails (experiment E5).
+        """
+        category = self._generalized(profile.category, generalize)
+        outputs = tuple(self._generalized(c, generalize) for c in profile.outputs[:2])
+        return ServiceRequest.build(
+            category=category,
+            outputs=outputs,
+            max_results=max_results,
+        )
+
+    def random_request(self, *, max_results: int | None = None) -> ServiceRequest:
+        """An unanchored random request."""
+        category = self.rng.choice(self.category_pool)
+        outputs = tuple(self.rng.sample(self.data_pool, self.rng.randint(1, 2)))
+        return ServiceRequest.build(category=category, outputs=outputs, max_results=max_results)
+
+    def _generalized(self, concept: str, steps: int) -> str:
+        current = concept
+        for _step in range(steps):
+            parents = [p for p in self.ontology.parents(current) if p != THING]
+            if not parents:
+                break
+            current = sorted(parents)[self.rng.randrange(len(parents))]
+        return current
+
+    # -- ground truth -------------------------------------------------------
+
+    def labelled_requests(
+        self,
+        profiles: list[ServiceProfile],
+        count: int,
+        *,
+        generalize: int = 1,
+        min_degree: DegreeOfMatch = DegreeOfMatch.SUBSUMES,
+    ) -> list[LabelledRequest]:
+        """Requests anchored at random profiles, with ground-truth relevance.
+
+        Ground truth is defined by the full-ontology matchmaker: a profile
+        is relevant iff its degree of match is at least ``min_degree``.
+        Syntactic baselines are then scored against this truth (E5).
+        """
+        from repro.semantics.reasoner import Reasoner
+
+        matchmaker = Matchmaker(Reasoner(self.ontology))
+        labelled = []
+        for _ in range(count):
+            anchor = self.rng.choice(profiles)
+            request = self.request_for(anchor, generalize=generalize)
+            relevant = frozenset(
+                p.service_name
+                for p in profiles
+                if matchmaker.match(p, request).degree >= min_degree
+            )
+            labelled.append(LabelledRequest(request=request, relevant=relevant))
+        return labelled

@@ -1,0 +1,240 @@
+"""Degree-of-match semantic matchmaking.
+
+Implements the capability-matching algorithm of Paolucci, Kawamura, Payne
+and Sycara ("Semantic Matching of Web Services Capabilities", ISWC 2002) —
+the matchmaker the OWL-S line of work the paper cites builds on — extended
+with the QoS filtering and ranked selection the paper's registries need for
+query response control.
+
+Degrees, from strongest to weakest, for a requested output ``outR``
+against an advertised output ``outA``:
+
+* ``EXACT``    — ``outA == outR``, or ``outR`` is a *direct* subclass of
+  ``outA`` (the provider advertised at the immediately more general level).
+* ``PLUGIN``   — ``outA`` subsumes ``outR``: the advertised output is more
+  general, so the service can plausibly "plug in" for the request.
+* ``SUBSUMES`` — ``outR`` subsumes ``outA``: the service provides something
+  more specific than asked; it partially satisfies the request.
+* ``FAIL``     — the concepts are unrelated.
+
+For inputs the direction flips: the *service's* advertised input ``inA``
+is matched against the concepts the client can provide, because the client
+must be able to feed the service.
+
+The overall degree of a profile is the minimum over all requested outputs
+(every desired output must be served), combined with the input and
+category degrees; ranking is lexicographic on (degree, score), where the
+score blends semantic similarity and QoS headroom.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+from repro.semantics.reasoner import Reasoner
+
+
+class DegreeOfMatch(enum.IntEnum):
+    """Match strength; higher is better, ``FAIL`` means no match."""
+
+    FAIL = 0
+    SUBSUMES = 1
+    PLUGIN = 2
+    EXACT = 3
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one profile against one request.
+
+    ``degree`` is the overall (weakest-link) degree; ``score`` in [0, 1]
+    is used only to rank results of equal degree. ``failed_constraints``
+    lists QoS attributes that disqualified the profile.
+    """
+
+    profile: ServiceProfile
+    degree: DegreeOfMatch
+    score: float
+    output_degree: DegreeOfMatch
+    input_degree: DegreeOfMatch
+    category_degree: DegreeOfMatch
+    failed_constraints: tuple[str, ...] = ()
+
+    @property
+    def matched(self) -> bool:
+        """Whether the profile satisfies the request at all."""
+        return self.degree > DegreeOfMatch.FAIL
+
+    def sort_key(self) -> tuple:
+        """Descending-quality sort key (degree, then score, then name)."""
+        return (-int(self.degree), -self.score, self.profile.service_name)
+
+
+class Matchmaker:
+    """Ranks :class:`ServiceProfile` advertisements against requests.
+
+    Parameters
+    ----------
+    reasoner:
+        Subsumption reasoner over the shared ontology. Profiles or
+        requests referencing concepts missing from the ontology simply
+        fail to match (the paper's motivation for hosting ontologies in
+        the registry network — see experiment E12).
+    """
+
+    def __init__(self, reasoner: Reasoner) -> None:
+        self.reasoner = reasoner
+        self.evaluations = 0
+
+    # -- concept-level degrees -------------------------------------------
+
+    def concept_degree(self, requested: str, advertised: str) -> DegreeOfMatch:
+        """Paolucci degree of ``advertised`` against ``requested``."""
+        ontology = self.reasoner.ontology
+        if requested not in ontology or advertised not in ontology:
+            return DegreeOfMatch.FAIL
+        if requested == advertised:
+            return DegreeOfMatch.EXACT
+        if advertised in ontology.parents(requested):
+            # Requested is a direct subclass of advertised: treated as exact.
+            return DegreeOfMatch.EXACT
+        if self.reasoner.subsumes(advertised, requested):
+            return DegreeOfMatch.PLUGIN
+        if self.reasoner.subsumes(requested, advertised):
+            return DegreeOfMatch.SUBSUMES
+        return DegreeOfMatch.FAIL
+
+    def _best_output_degree(self, requested: str, profile: ServiceProfile) -> DegreeOfMatch:
+        """Best degree any advertised output achieves for one requested output."""
+        best = DegreeOfMatch.FAIL
+        for advertised in profile.outputs:
+            degree = self.concept_degree(requested, advertised)
+            if degree > best:
+                best = degree
+                if best is DegreeOfMatch.EXACT:
+                    break
+        return best
+
+    def _input_degree(self, profile: ServiceProfile, request: ServiceRequest) -> DegreeOfMatch:
+        """Whether the client can feed every input the service requires.
+
+        For each advertised input ``inA`` the client must provide some
+        concept ``inR`` with ``inA`` subsuming ``inR`` (the service accepts
+        anything at least as specific as what it asks for). Requests that
+        declare no inputs are taken as unconstrained clients.
+        """
+        if not profile.inputs:
+            return DegreeOfMatch.EXACT
+        if not request.provided_inputs:
+            return DegreeOfMatch.EXACT
+        overall = DegreeOfMatch.EXACT
+        for advertised in profile.inputs:
+            best = DegreeOfMatch.FAIL
+            for provided in request.provided_inputs:
+                degree = self.concept_degree(advertised, provided)
+                if degree > best:
+                    best = degree
+                    if best is DegreeOfMatch.EXACT:
+                        break
+            overall = min(overall, best)
+            if overall is DegreeOfMatch.FAIL:
+                break
+        return overall
+
+    # -- profile-level matching ------------------------------------------
+
+    def match(self, profile: ServiceProfile, request: ServiceRequest) -> MatchResult:
+        """Evaluate one advertisement against one request."""
+        self.evaluations += 1
+
+        failed = tuple(
+            constraint.attribute
+            for constraint in request.qos_constraints
+            if not constraint.satisfied_by(profile.qos_value(constraint.attribute))
+        )
+        if failed:
+            return MatchResult(
+                profile=profile,
+                degree=DegreeOfMatch.FAIL,
+                score=0.0,
+                output_degree=DegreeOfMatch.FAIL,
+                input_degree=DegreeOfMatch.FAIL,
+                category_degree=DegreeOfMatch.FAIL,
+                failed_constraints=failed,
+            )
+
+        if request.category is not None:
+            category_degree = self.concept_degree(request.category, profile.category)
+        else:
+            category_degree = DegreeOfMatch.EXACT
+
+        if request.desired_outputs:
+            output_degree = min(
+                (self._best_output_degree(out, profile) for out in request.desired_outputs),
+                default=DegreeOfMatch.FAIL,
+            )
+        else:
+            output_degree = DegreeOfMatch.EXACT
+
+        input_degree = self._input_degree(profile, request)
+
+        overall = min(category_degree, output_degree, input_degree)
+        score = self._score(profile, request) if overall > DegreeOfMatch.FAIL else 0.0
+        return MatchResult(
+            profile=profile,
+            degree=overall,
+            score=score,
+            output_degree=output_degree,
+            input_degree=input_degree,
+            category_degree=category_degree,
+        )
+
+    def rank(
+        self,
+        profiles: list[ServiceProfile],
+        request: ServiceRequest,
+        *,
+        limit: int | None = None,
+    ) -> list[MatchResult]:
+        """All matching profiles, best first, optionally capped at ``limit``.
+
+        The cap implements the paper's registry-side *query response
+        control*: constrained clients "delegate service selection to
+        registry nodes (they may return only the best service
+        advertisement)".
+        """
+        results = [self.match(profile, request) for profile in profiles]
+        matched = sorted((r for r in results if r.matched), key=MatchResult.sort_key)
+        if limit is not None:
+            matched = matched[:limit]
+        return matched
+
+    # -- scoring ----------------------------------------------------------
+
+    def _score(self, profile: ServiceProfile, request: ServiceRequest) -> float:
+        """Tie-break score in [0, 1]: semantic similarity + QoS headroom."""
+        parts: list[float] = []
+        ontology = self.reasoner.ontology
+        if request.category is not None and profile.category in ontology \
+                and request.category in ontology:
+            parts.append(self.reasoner.similarity(request.category, profile.category))
+        for requested in request.desired_outputs:
+            if requested not in ontology:
+                continue
+            best = 0.0
+            for advertised in profile.outputs:
+                if advertised in ontology:
+                    best = max(best, self.reasoner.similarity(requested, advertised))
+            parts.append(best)
+        if request.qos_constraints:
+            satisfied = sum(
+                1
+                for constraint in request.qos_constraints
+                if constraint.satisfied_by(profile.qos_value(constraint.attribute))
+            )
+            parts.append(satisfied / len(request.qos_constraints))
+        if not parts:
+            return 1.0
+        return sum(parts) / len(parts)

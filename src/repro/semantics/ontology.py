@@ -1,0 +1,220 @@
+"""Ontology model: a rooted DAG of named classes.
+
+Classes are identified by URI-like strings (``"ont:Sensor"``). Every class
+is (transitively) a subclass of :data:`THING`. Multiple inheritance is
+allowed; cycles are rejected at insertion time so the subsumption relation
+is always a partial order.
+
+The ontology carries a monotonically increasing ``version`` so reasoners
+can cache transitive closures and invalidate them on change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import CycleError, OntologyError, UnknownClassError
+
+#: The universal root class. Present in every ontology.
+THING = "owl:Thing"
+
+#: Modelled serialization cost of one class definition (an ``owl:Class``
+#: element with ``rdfs:subClassOf`` references), in bytes.
+_CLASS_XML_OVERHEAD = 160
+
+#: Modelled serialization cost of one property definition.
+_PROPERTY_XML_OVERHEAD = 220
+
+
+@dataclass(frozen=True)
+class ObjectProperty:
+    """An object property with a domain and range class."""
+
+    name: str
+    domain: str
+    range: str
+
+
+class Ontology:
+    """A class hierarchy (rooted DAG) with object properties.
+
+    Parameters
+    ----------
+    name:
+        Human-readable ontology name; also used as the repository key
+        when ontologies are hosted in the registry network (§4.6).
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self.name = name
+        self.version = 0
+        self._parents: dict[str, set[str]] = {THING: set()}
+        self._children: dict[str, set[str]] = {THING: set()}
+        self._properties: dict[str, ObjectProperty] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_class(self, uri: str, parents: Iterable[str] = (THING,)) -> str:
+        """Define class ``uri`` as a subclass of each of ``parents``.
+
+        Re-adding an existing class adds the new parent edges (monotone
+        extension). Raises :class:`CycleError` if an edge would create a
+        cycle and :class:`UnknownClassError` for undefined parents.
+        """
+        if not uri:
+            raise OntologyError("class URI must be non-empty")
+        parent_list = list(parents) or [THING]
+        for parent in parent_list:
+            if parent not in self._parents:
+                raise UnknownClassError(f"unknown parent class {parent!r}")
+        if uri not in self._parents:
+            self._parents[uri] = set()
+            self._children[uri] = set()
+        for parent in parent_list:
+            if parent == uri or self._reaches(uri, parent):
+                raise CycleError(f"subclass axiom {uri!r} -> {parent!r} would create a cycle")
+            self._parents[uri].add(parent)
+            self._children[parent].add(uri)
+        self.version += 1
+        return uri
+
+    def add_subtree(self, root: str, tree: dict) -> None:
+        """Bulk-define a hierarchy from nested dicts.
+
+        ``tree`` maps child names to their own subtree dicts::
+
+            ont.add_subtree("ont:Sensor", {"ont:Radar": {}, "ont:Camera": {"ont:IRCamera": {}}})
+        """
+        if root not in self._parents:
+            self.add_class(root)
+        for child, subtree in tree.items():
+            self.add_class(child, parents=[root])
+            if subtree:
+                self.add_subtree(child, subtree)
+
+    def add_property(self, name: str, domain: str, range_: str) -> ObjectProperty:
+        """Define an object property between two existing classes."""
+        self._require(domain)
+        self._require(range_)
+        if name in self._properties:
+            raise OntologyError(f"duplicate property {name!r}")
+        prop = ObjectProperty(name=name, domain=domain, range=range_)
+        self._properties[name] = prop
+        self.version += 1
+        return prop
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def classes(self) -> list[str]:
+        """All class URIs, sorted."""
+        return sorted(self._parents)
+
+    def properties(self) -> list[ObjectProperty]:
+        """All object properties, sorted by name."""
+        return [self._properties[name] for name in sorted(self._properties)]
+
+    def parents(self, uri: str) -> frozenset[str]:
+        """Direct superclasses of ``uri``."""
+        self._require(uri)
+        return frozenset(self._parents[uri])
+
+    def children(self, uri: str) -> frozenset[str]:
+        """Direct subclasses of ``uri``."""
+        self._require(uri)
+        return frozenset(self._children[uri])
+
+    def ancestors(self, uri: str) -> frozenset[str]:
+        """All strict superclasses of ``uri`` (transitive)."""
+        self._require(uri)
+        seen: set[str] = set()
+        stack = list(self._parents[uri])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._parents[current])
+        return frozenset(seen)
+
+    def descendants(self, uri: str) -> frozenset[str]:
+        """All strict subclasses of ``uri`` (transitive)."""
+        self._require(uri)
+        seen: set[str] = set()
+        stack = list(self._children[uri])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._children[current])
+        return frozenset(seen)
+
+    def leaves(self) -> list[str]:
+        """Classes with no subclasses, sorted."""
+        return sorted(uri for uri, kids in self._children.items() if not kids)
+
+    def depth(self, uri: str) -> int:
+        """Length of the shortest superclass chain from ``uri`` to THING."""
+        self._require(uri)
+        if uri == THING:
+            return 0
+        frontier = {uri}
+        depth = 0
+        while frontier:
+            if THING in frontier:
+                return depth
+            depth += 1
+            frontier = {p for c in frontier for p in self._parents[c]}
+        raise OntologyError(f"class {uri!r} is disconnected from THING")  # pragma: no cover
+
+    def iter_edges(self) -> Iterator[tuple[str, str]]:
+        """All (child, parent) subclass edges."""
+        for child in sorted(self._parents):
+            for parent in sorted(self._parents[child]):
+                yield child, parent
+
+    # -- serialization model ---------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Modelled size of the OWL/XML serialization of this ontology.
+
+        Used when the registry network ships ontologies to clients (§4.6).
+        """
+        class_bytes = sum(
+            _CLASS_XML_OVERHEAD + len(uri.encode("utf-8")) for uri in self._parents
+        )
+        edge_bytes = sum(len(p.encode("utf-8")) for _c, p in self.iter_edges())
+        property_bytes = len(self._properties) * _PROPERTY_XML_OVERHEAD
+        return class_bytes + edge_bytes + property_bytes
+
+    # -- internals ------------------------------------------------------
+
+    def _require(self, uri: str) -> None:
+        if uri not in self._parents:
+            raise UnknownClassError(f"unknown class {uri!r} in ontology {self.name!r}")
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        """True if ``goal`` is reachable from ``start`` via child edges."""
+        if start not in self._children:
+            return False
+        stack = [start]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == goal:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._children.get(current, ()))
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Ontology {self.name!r}: {len(self)} classes, v{self.version}>"

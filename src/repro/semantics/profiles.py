@@ -1,0 +1,222 @@
+"""OWL-S-profile-like service descriptions and requests.
+
+A :class:`ServiceProfile` describes what a service *provides*: a service
+category concept, the input concepts it consumes, the output concepts it
+produces, and numeric QoS attributes. A :class:`ServiceRequest` is the
+"partial template" the paper describes clients submitting: desired
+category/outputs, the inputs the client can supply, and QoS constraints.
+
+Both carry a byte-size model reflecting their XML serializations — the
+paper stresses that "semantic service advertisements can become quite
+large, compared to for example URI strings", and experiment E10 measures
+exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import DescriptionError
+
+#: Base size of an OWL-S profile document: namespaces, profile skeleton,
+#: grounding stub. Calibrated against typical OWL-S 1.1 sample profiles.
+_PROFILE_BASE_BYTES = 2048
+
+#: Per-parameter (input/output) serialization cost.
+_PARAMETER_BYTES = 128
+
+#: Per-QoS-attribute serialization cost.
+_QOS_BYTES = 96
+
+#: Base size of a request template (no grounding section).
+_REQUEST_BASE_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class QoSConstraint:
+    """A numeric constraint on one QoS attribute.
+
+    ``minimum``/``maximum`` are inclusive bounds; either may be ``None``.
+    """
+
+    attribute: str
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def satisfied_by(self, value: float | None) -> bool:
+        """Whether ``value`` (``None`` = attribute absent) meets the bounds."""
+        if value is None or math.isnan(value):
+            return False
+        if self.minimum is not None and value < self.minimum:
+            return False
+        if self.maximum is not None and value > self.maximum:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """A semantic advertisement of one service's capability.
+
+    Attributes
+    ----------
+    service_name:
+        Human-readable name (also usable by keyword matchers).
+    category:
+        Ontology concept classifying the service (e.g. ``"ont:RadarService"``).
+    inputs / outputs:
+        Ontology concepts the service consumes / produces.
+    qos:
+        Numeric quality-of-service attributes (latency, coverage radius,
+        confidence, ...).
+    provider:
+        Identifier of the providing organization/node.
+    text:
+        Free-text description (used by keyword matchers only).
+    """
+
+    service_name: str
+    category: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    qos: tuple[tuple[str, float], ...] = ()
+    provider: str = ""
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.service_name:
+            raise DescriptionError("service_name must be non-empty")
+        if not self.category:
+            raise DescriptionError("category must be non-empty")
+
+    @staticmethod
+    def build(
+        service_name: str,
+        category: str,
+        *,
+        inputs: tuple[str, ...] | list[str] = (),
+        outputs: tuple[str, ...] | list[str] = (),
+        qos: dict[str, float] | None = None,
+        provider: str = "",
+        text: str = "",
+    ) -> "ServiceProfile":
+        """Ergonomic constructor accepting lists and dicts."""
+        return ServiceProfile(
+            service_name=service_name,
+            category=category,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            qos=tuple(sorted((qos or {}).items())),
+            provider=provider,
+            text=text,
+        )
+
+    def qos_value(self, attribute: str) -> float | None:
+        """The value of one QoS attribute, or ``None`` if absent."""
+        for name, value in self.qos:
+            if name == attribute:
+                return value
+        return None
+
+    def qos_dict(self) -> dict[str, float]:
+        """QoS attributes as a plain dict."""
+        return dict(self.qos)
+
+    def concepts(self) -> frozenset[str]:
+        """Every ontology concept this profile references."""
+        return frozenset({self.category, *self.inputs, *self.outputs})
+
+    def size_bytes(self) -> int:
+        """Modelled size of the OWL-S/XML serialization."""
+        concept_bytes = sum(
+            _PARAMETER_BYTES + len(c.encode("utf-8")) for c in (*self.inputs, *self.outputs)
+        )
+        return (
+            _PROFILE_BASE_BYTES
+            + len(self.service_name.encode("utf-8"))
+            + len(self.category.encode("utf-8"))
+            + concept_bytes
+            + len(self.qos) * _QOS_BYTES
+            + len(self.text.encode("utf-8"))
+        )
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """A client's partial template: what it needs and what it can provide.
+
+    Attributes
+    ----------
+    category:
+        Desired service category concept (or ``None`` for any).
+    desired_outputs:
+        Concepts the client needs produced. A matching service must cover
+        every one of them.
+    provided_inputs:
+        Concepts the client can supply. A matching service must not
+        require anything outside this set (up to subsumption).
+    qos_constraints:
+        Hard numeric constraints; services violating any are rejected.
+    keywords:
+        Free-text terms (used only by the keyword baseline matcher).
+    max_results:
+        Query response control (§3): the registry returns at most this
+        many, best first. ``None`` disables the cap — the configuration
+        under which the paper's "response implosion" occurs.
+    """
+
+    category: str | None = None
+    desired_outputs: tuple[str, ...] = ()
+    provided_inputs: tuple[str, ...] = ()
+    qos_constraints: tuple[QoSConstraint, ...] = ()
+    keywords: tuple[str, ...] = ()
+    max_results: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.category is None and not self.desired_outputs and not self.keywords:
+            raise DescriptionError(
+                "request must constrain at least one of: category, outputs, keywords"
+            )
+        if self.max_results is not None and self.max_results < 1:
+            raise DescriptionError(f"max_results must be >= 1, got {self.max_results}")
+
+    @staticmethod
+    def build(
+        category: str | None = None,
+        *,
+        outputs: tuple[str, ...] | list[str] = (),
+        inputs: tuple[str, ...] | list[str] = (),
+        qos: dict[str, tuple[float | None, float | None]] | None = None,
+        keywords: tuple[str, ...] | list[str] = (),
+        max_results: int | None = None,
+    ) -> "ServiceRequest":
+        """Ergonomic constructor; ``qos`` maps attribute -> (min, max)."""
+        constraints = tuple(
+            QoSConstraint(attribute=name, minimum=low, maximum=high)
+            for name, (low, high) in sorted((qos or {}).items())
+        )
+        return ServiceRequest(
+            category=category,
+            desired_outputs=tuple(outputs),
+            provided_inputs=tuple(inputs),
+            qos_constraints=constraints,
+            keywords=tuple(keywords),
+            max_results=max_results,
+        )
+
+    def size_bytes(self) -> int:
+        """Modelled size of the serialized query template."""
+        concept_bytes = sum(
+            _PARAMETER_BYTES + len(c.encode("utf-8"))
+            for c in (*self.desired_outputs, *self.provided_inputs)
+        )
+        category_bytes = len(self.category.encode("utf-8")) if self.category else 0
+        keyword_bytes = sum(len(k.encode("utf-8")) for k in self.keywords)
+        return (
+            _REQUEST_BASE_BYTES
+            + category_bytes
+            + concept_bytes
+            + len(self.qos_constraints) * _QOS_BYTES
+            + keyword_bytes
+        )

@@ -1,0 +1,134 @@
+"""Subsumption reasoner with caching.
+
+The registry-side matchmaking the paper calls for ("inference mechanisms
+can be used to find matches based on a subtype hierarchy — e.g. a Radar is
+a kind of Sensor") needs three primitives, all provided here:
+
+* :meth:`Reasoner.subsumes` — reflexive transitive subclass test,
+* :meth:`Reasoner.lca_set` — least common ancestors,
+* :meth:`Reasoner.distance` — edge-count semantic distance through an LCA,
+  used to break ties when ranking candidate services.
+
+Ancestor sets are cached per class and invalidated when the ontology's
+version counter changes, so repeated matchmaking over a stable ontology is
+O(1) per subsumption test after warm-up.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.ontology import Ontology, THING
+
+
+class Reasoner:
+    """Cached subsumption reasoning over one :class:`Ontology`."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self._ancestor_cache: dict[str, frozenset[str]] = {}
+        self._depth_cache: dict[str, int] = {}
+        self._updist_cache: dict[str, dict[str, int]] = {}
+        self._cached_version = ontology.version
+        self.subsumption_checks = 0
+
+    def _maybe_invalidate(self) -> None:
+        if self._cached_version != self.ontology.version:
+            self._ancestor_cache.clear()
+            self._depth_cache.clear()
+            self._updist_cache.clear()
+            self._cached_version = self.ontology.version
+
+    def _up_distances(self, uri: str) -> dict[str, int]:
+        """Minimum superclass-edge counts from ``uri`` to each ancestor
+        (including ``uri`` itself at 0), cached. BFS over parent edges."""
+        self._maybe_invalidate()
+        cached = self._updist_cache.get(uri)
+        if cached is not None:
+            return cached
+        distances = {uri: 0}
+        frontier = [uri]
+        while frontier:
+            next_frontier = []
+            for current in frontier:
+                for parent in self.ontology.parents(current):
+                    if parent not in distances:
+                        distances[parent] = distances[current] + 1
+                        next_frontier.append(parent)
+            frontier = next_frontier
+        self._updist_cache[uri] = distances
+        return distances
+
+    def ancestors_of(self, uri: str) -> frozenset[str]:
+        """Strict ancestors of ``uri``, cached."""
+        self._maybe_invalidate()
+        cached = self._ancestor_cache.get(uri)
+        if cached is None:
+            cached = self.ontology.ancestors(uri)
+            self._ancestor_cache[uri] = cached
+        return cached
+
+    def depth_of(self, uri: str) -> int:
+        """Shortest-chain depth of ``uri`` below THING, cached."""
+        self._maybe_invalidate()
+        cached = self._depth_cache.get(uri)
+        if cached is None:
+            cached = self.ontology.depth(uri)
+            self._depth_cache[uri] = cached
+        return cached
+
+    def subsumes(self, general: str, specific: str) -> bool:
+        """True iff ``general`` is ``specific`` or a (transitive) superclass.
+
+        ``subsumes("ont:Sensor", "ont:Radar")`` is the paper's example.
+        """
+        self.subsumption_checks += 1
+        if general == specific:
+            return True
+        return general in self.ancestors_of(specific)
+
+    def related(self, a: str, b: str) -> bool:
+        """True iff the classes are comparable (either subsumes the other)."""
+        return self.subsumes(a, b) or self.subsumes(b, a)
+
+    def lca_set(self, a: str, b: str) -> frozenset[str]:
+        """Least common ancestors: deepest classes subsuming both.
+
+        THING is always a common ancestor, so the result is non-empty.
+        """
+        common = (self.ancestors_of(a) | {a}) & (self.ancestors_of(b) | {b})
+        if not common:  # pragma: no cover - THING is universal
+            return frozenset({THING})
+        max_depth = max(self.depth_of(c) for c in common)
+        return frozenset(c for c in common if self.depth_of(c) == max_depth)
+
+    def distance(self, a: str, b: str) -> int:
+        """Edge-count semantic distance: the shortest up-up path between
+        the classes through any common ancestor.
+
+        Zero for identical classes; grows as classes sit further apart in
+        the hierarchy. Computed from true minimal up-paths (not depths),
+        so it stays non-negative and symmetric even in multiple-
+        inheritance DAGs with "shortcut" edges to the root. Used as a
+        ranking tie-breaker by the matchmaker.
+        """
+        if a == b:
+            return 0
+        up_a = self._up_distances(a)
+        up_b = self._up_distances(b)
+        common = up_a.keys() & up_b.keys()
+        return min(up_a[c] + up_b[c] for c in common)
+
+    def similarity(self, a: str, b: str) -> float:
+        """Wu-Palmer-style similarity in (0, 1]: 1.0 for identical classes.
+
+        Clamped to 1.0 — with multiple inheritance an LCA's shortest root
+        chain can exceed a class's own shortcut depth, which would push
+        the raw ratio above 1.
+        """
+        if a == b:
+            return 1.0
+        lcas = self.lca_set(a, b)
+        lca_depth = max(self.depth_of(c) for c in lcas)
+        denominator = self.depth_of(a) + self.depth_of(b)
+        if denominator == 0:
+            return 1.0
+        return min(1.0, (2.0 * lca_depth) / denominator)

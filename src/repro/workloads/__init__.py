@@ -1,0 +1,37 @@
+"""Workload generation: scenarios, churn, and query drivers.
+
+The paper motivates the architecture with two concrete dynamic
+environments — a multi-agency crisis-management operation (§1) and the
+network-centric battlefield (the MILCOM companion paper). Neither has
+public traces, so this package generates synthetic but structurally
+faithful workloads:
+
+* :mod:`~repro.workloads.scenarios` — deployment builders populating a
+  :class:`~repro.core.DiscoverySystem` (or a baseline system) with LANs,
+  registries, services drawn from a domain ontology, and clients.
+* :mod:`~repro.workloads.churn` — service/registry transience over time.
+* :mod:`~repro.workloads.queries` — timed query workloads with
+  ontology-derived ground-truth relevance for recall/precision metrics.
+"""
+
+from repro.workloads.scenarios import (
+    ScenarioSpec,
+    battlefield_scenario,
+    build_scenario,
+    crisis_scenario,
+)
+from repro.workloads.churn import ServiceChurn
+from repro.workloads.queries import QueryDriver, QueryWorkload
+from repro.workloads.trace import DynamicsTrace, TraceEvent
+
+__all__ = [
+    "DynamicsTrace",
+    "QueryDriver",
+    "QueryWorkload",
+    "ScenarioSpec",
+    "ServiceChurn",
+    "TraceEvent",
+    "battlefield_scenario",
+    "build_scenario",
+    "crisis_scenario",
+]

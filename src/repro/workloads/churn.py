@@ -1,0 +1,74 @@
+"""Service churn: the defining property of a dynamic environment.
+
+Thin orchestration over :class:`~repro.netsim.failures.ChurnProcess`
+aimed at service nodes, plus helpers the staleness experiments need: the
+set of services alive at any instant, and the crash history.
+"""
+
+from __future__ import annotations
+
+from repro.core.service_node import ServiceNode
+from repro.core.system import DiscoverySystem
+from repro.netsim.failures import ChurnProcess
+
+
+class ServiceChurn:
+    """Poisson churn over the service nodes of a deployment.
+
+    Parameters
+    ----------
+    system:
+        The deployment whose services churn.
+    rate:
+        Expected service crashes per second.
+    mean_downtime:
+        Mean seconds a crashed service stays down; ``permanent=True``
+        makes departures final (nodes "disappear abruptly").
+    """
+
+    def __init__(
+        self,
+        system: DiscoverySystem,
+        *,
+        rate: float,
+        mean_downtime: float = 60.0,
+        permanent: bool = False,
+    ) -> None:
+        self.system = system
+        self.process = ChurnProcess(
+            system.sim,
+            system.network,
+            [service.node_id for service in system.services],
+            rate=rate,
+            mean_downtime=mean_downtime,
+            permanent=permanent,
+        )
+
+    def start(self) -> "ServiceChurn":
+        """Begin churning."""
+        self.process.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop generating crashes (pending restarts still fire)."""
+        self.process.stop()
+
+    def alive_service_names(self) -> frozenset[str]:
+        """Names of the services whose nodes are currently up."""
+        return frozenset(
+            service.profile.service_name
+            for service in self.system.services
+            if service.alive
+        )
+
+    def dead_service_names(self) -> frozenset[str]:
+        """Names of the services whose nodes are currently down."""
+        return frozenset(
+            service.profile.service_name
+            for service in self.system.services
+            if not service.alive
+        )
+
+    def crash_count(self) -> int:
+        """Crashes generated so far."""
+        return self.process.crashes()

@@ -1,0 +1,198 @@
+"""Scenario builders: populate a discovery deployment from a spec.
+
+A :class:`ScenarioSpec` fixes the topology (LANs, registries per LAN,
+services per LAN, clients per LAN), the ontology, and the federation
+shape; :func:`build_scenario` instantiates it onto any
+:class:`~repro.core.DiscoverySystem`-compatible class so the same workload
+runs unchanged on the paper's architecture and on every baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.core.config import DiscoveryConfig
+from repro.core.system import ALL_MODEL_IDS, DiscoverySystem
+from repro.errors import WorkloadError
+from repro.semantics.generator import ProfileGenerator, battlefield_ontology, emergency_ontology
+from repro.semantics.ontology import Ontology
+from repro.semantics.profiles import ServiceProfile
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A reproducible deployment description.
+
+    ``federation`` selects how WAN seeding wires the registries:
+    ``"chain"``, ``"ring"``, ``"mesh"``, or ``"none"``.
+    """
+
+    name: str
+    lan_names: tuple[str, ...]
+    ontology_factory: Callable[[], Ontology]
+    registries_per_lan: int = 1
+    services_per_lan: int = 4
+    clients_per_lan: int = 1
+    federation: str = "ring"
+    model_ids: tuple[str, ...] = ALL_MODEL_IDS
+    seed: int = 0
+
+    def total_services(self) -> int:
+        return self.services_per_lan * len(self.lan_names)
+
+
+@dataclass
+class BuiltScenario:
+    """The instantiated deployment plus its workload materials."""
+
+    spec: ScenarioSpec
+    system: DiscoverySystem
+    ontology: Ontology
+    generator: ProfileGenerator
+    profiles: list[ServiceProfile] = field(default_factory=list)
+
+    @property
+    def clients(self):
+        return self.system.clients
+
+    @property
+    def services(self):
+        return self.system.services
+
+    @property
+    def registries(self):
+        return self.system.registries
+
+    def profile_of(self, service_name: str) -> ServiceProfile:
+        """Look up a generated profile by its service name."""
+        for profile in self.profiles:
+            if profile.service_name == service_name:
+                return profile
+        raise WorkloadError(f"unknown service {service_name!r}")
+
+
+def build_scenario(
+    spec: ScenarioSpec,
+    *,
+    system: DiscoverySystem | None = None,
+    config: DiscoveryConfig | None = None,
+    loss_rate: float = 0.0,
+    with_registries: bool = True,
+) -> BuiltScenario:
+    """Instantiate a spec onto a (possibly baseline) system.
+
+    Passing ``system`` reuses a pre-built (baseline) deployment whose LANs
+    are not yet created; otherwise a fresh
+    :class:`~repro.core.DiscoverySystem` is created. ``with_registries``
+    disabled gives the pure decentralized topology (E1).
+    """
+    ontology = spec.ontology_factory()
+    if system is None:
+        system = DiscoverySystem(
+            seed=spec.seed, config=config, ontology=ontology, loss_rate=loss_rate
+        )
+    generator = ProfileGenerator(ontology, seed=spec.seed)
+    built = BuiltScenario(spec=spec, system=system, ontology=ontology, generator=generator)
+
+    for lan in spec.lan_names:
+        if lan not in system.network.lans:
+            system.add_lan(lan)
+    if with_registries:
+        for lan in spec.lan_names:
+            for _ in range(spec.registries_per_lan):
+                system.add_registry(lan, model_ids=spec.model_ids)
+        _federate(system, spec.federation)
+
+    index = 0
+    for lan in spec.lan_names:
+        for _ in range(spec.services_per_lan):
+            profile = generator.random_profile(index, provider=lan)
+            built.profiles.append(profile)
+            system.add_service(lan, profile, model_ids=spec.model_ids)
+            index += 1
+    for lan in spec.lan_names:
+        for _ in range(spec.clients_per_lan):
+            system.add_client(lan, model_ids=spec.model_ids)
+    return built
+
+
+def _federate(system: DiscoverySystem, shape: str) -> None:
+    """Seed WAN links between the LAN gateways (first registry per LAN)."""
+    if shape == "none" or len(system.registries) < 2:
+        return
+    # One representative per LAN: the registry with the lowest id there —
+    # intra-LAN peers find each other by multicast and need no seeding.
+    by_lan: dict[str, list] = {}
+    for registry in system.registries:
+        by_lan.setdefault(registry.lan_name or "", []).append(registry)
+    gateways = [min(group, key=lambda r: r.node_id) for _lan, group in sorted(by_lan.items())]
+    if shape == "chain":
+        system.federate_chain(gateways)
+    elif shape == "ring":
+        system.federate_ring(gateways)
+    elif shape == "mesh":
+        system.federate_mesh(gateways)
+    else:
+        raise WorkloadError(f"unknown federation shape {shape!r}")
+
+
+def crisis_scenario(
+    *,
+    agencies: int = 4,
+    services_per_lan: int = 4,
+    clients_per_lan: int = 1,
+    registries_per_lan: int = 1,
+    federation: str = "ring",
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The §1 crisis-management scenario.
+
+    "Members from several agencies, potentially at different locations,
+    have to cooperate … These members carry with them various devices
+    that spontaneously form a network where application layer services
+    are offered." Each agency is one LAN.
+    """
+    names = ("medical", "fire", "police", "logistics", "sar", "command",
+             "shelter", "transport")
+    if agencies < 1 or agencies > len(names):
+        raise WorkloadError(f"agencies must be in 1..{len(names)}, got {agencies}")
+    return ScenarioSpec(
+        name="crisis",
+        lan_names=tuple(f"agency-{n}" for n in names[:agencies]),
+        ontology_factory=emergency_ontology,
+        registries_per_lan=registries_per_lan,
+        services_per_lan=services_per_lan,
+        clients_per_lan=clients_per_lan,
+        federation=federation,
+        seed=seed,
+    )
+
+
+def battlefield_scenario(
+    *,
+    units: int = 4,
+    services_per_lan: int = 5,
+    clients_per_lan: int = 2,
+    registries_per_lan: int = 1,
+    federation: str = "chain",
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The network-centric battlefield scenario (MILCOM companion paper).
+
+    Each tactical unit runs its own LAN (e.g. a company network); the
+    chain federation default matches the paper's observation that "a
+    hybrid topology probably maps best to a military organization".
+    """
+    if units < 1 or units > 26:
+        raise WorkloadError(f"units must be in 1..26, got {units}")
+    return ScenarioSpec(
+        name="battlefield",
+        lan_names=tuple(f"unit-{chr(ord('a') + i)}" for i in range(units)),
+        ontology_factory=battlefield_ontology,
+        registries_per_lan=registries_per_lan,
+        services_per_lan=services_per_lan,
+        clients_per_lan=clients_per_lan,
+        federation=federation,
+        seed=seed,
+    )

@@ -1,0 +1,160 @@
+"""Recorded dynamics traces: identical transience across architectures.
+
+Comparing architectures under churn is only fair if every architecture
+sees the *same* crashes at the same instants. Seeding the churn process
+identically is not quite enough — different architectures consume the
+simulator RNG differently, so the realized event sequences drift apart.
+
+A :class:`DynamicsTrace` fixes the dynamics independently of any
+simulator: it is a plain list of timed operations against *service
+indexes* (position in the deployment's service list), generated once from
+its own RNG and then applied verbatim to any number of deployments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.system import DiscoverySystem
+from repro.errors import WorkloadError
+
+#: Supported operations.
+OP_CRASH = "crash"
+OP_RESTART = "restart"
+OP_MOVE = "move"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed operation against the service at ``index``."""
+
+    time: float
+    op: str
+    index: int
+    lan: str = ""  # target LAN for moves
+
+
+@dataclass
+class DynamicsTrace:
+    """A reproducible sequence of service-population dynamics."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @staticmethod
+    def churn(
+        *,
+        n_services: int,
+        rate: float,
+        window: float,
+        seed: int = 0,
+        mean_downtime: float | None = None,
+        start: float = 0.0,
+    ) -> "DynamicsTrace":
+        """Poisson crash trace over ``n_services`` indexes.
+
+        ``mean_downtime=None`` makes crashes permanent; otherwise each
+        crash schedules an exponential-downtime restart.
+        """
+        if n_services < 1:
+            raise WorkloadError("churn trace needs at least one service")
+        if rate <= 0:
+            raise WorkloadError(f"churn rate must be positive, got {rate}")
+        rng = random.Random(seed)
+        events: list[TraceEvent] = []
+        down: set[int] = set()
+        now = start
+        while True:
+            now += rng.expovariate(rate)
+            if now >= start + window:
+                break
+            alive = [i for i in range(n_services) if i not in down]
+            if not alive:
+                continue
+            victim = rng.choice(alive)
+            events.append(TraceEvent(time=now, op=OP_CRASH, index=victim))
+            if mean_downtime is None:
+                down.add(victim)
+            else:
+                back = now + rng.expovariate(1.0 / mean_downtime)
+                if back < start + window:
+                    events.append(TraceEvent(time=back, op=OP_RESTART,
+                                             index=victim))
+                else:
+                    down.add(victim)
+        events.sort(key=lambda e: (e.time, e.index, e.op))
+        return DynamicsTrace(events=events)
+
+    @staticmethod
+    def roaming(
+        *,
+        n_services: int,
+        lans: tuple[str, ...],
+        interval: float,
+        window: float,
+        seed: int = 0,
+        start: float = 0.0,
+    ) -> "DynamicsTrace":
+        """Periodic roaming trace: every ``interval``, one service moves."""
+        if len(lans) < 2:
+            raise WorkloadError("roaming needs at least two LANs")
+        rng = random.Random(seed)
+        events = []
+        ticks = int(window / interval)
+        for tick in range(1, ticks + 1):
+            index = rng.randrange(n_services)
+            lan = rng.choice(lans)
+            events.append(TraceEvent(time=start + tick * interval,
+                                     op=OP_MOVE, index=index, lan=lan))
+        return DynamicsTrace(events=events)
+
+    # -- application -------------------------------------------------------
+
+    def apply(self, system: DiscoverySystem) -> None:
+        """Schedule every event against ``system``'s current service list.
+
+        Call after all services are added; the trace indexes into
+        ``system.services`` positionally, so two deployments built from
+        the same scenario spec receive byte-identical dynamics.
+        """
+        services = list(system.services)
+        for event in self.events:
+            if event.index >= len(services):
+                raise WorkloadError(
+                    f"trace index {event.index} out of range "
+                    f"({len(services)} services)"
+                )
+            service = services[event.index]
+            if event.op == OP_CRASH:
+                system.sim.schedule_at(event.time, service.crash)
+            elif event.op == OP_RESTART:
+                system.sim.schedule_at(event.time, service.restart)
+            elif event.op == OP_MOVE:
+                lan = event.lan
+
+                def move(service=service, lan=lan) -> None:
+                    if service.alive and lan in system.network.lans:
+                        system.move(service, lan)
+
+                system.sim.schedule_at(event.time, move)
+            else:
+                raise WorkloadError(f"unknown trace op {event.op!r}")
+
+    def dead_indexes(self, at: float) -> frozenset[int]:
+        """Service indexes down at time ``at`` according to the trace."""
+        down: set[int] = set()
+        for event in self.events:
+            if event.time > at:
+                break
+            if event.op == OP_CRASH:
+                down.add(event.index)
+            elif event.op == OP_RESTART:
+                down.discard(event.index)
+        return frozenset(down)
+
+    def crash_count(self) -> int:
+        """Total crash events in the trace."""
+        return sum(1 for e in self.events if e.op == OP_CRASH)

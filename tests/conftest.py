@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+from repro.semantics.generator import battlefield_ontology, emergency_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+from repro.semantics.reasoner import Reasoner
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    net = Network(sim)
+    net.add_lan("lan-a")
+    net.add_lan("lan-b")
+    return net
+
+
+@pytest.fixture
+def ontology():
+    return battlefield_ontology()
+
+
+@pytest.fixture
+def emergency():
+    return emergency_ontology()
+
+
+@pytest.fixture
+def reasoner(ontology) -> Reasoner:
+    return Reasoner(ontology)
+
+
+@pytest.fixture
+def radar_profile() -> ServiceProfile:
+    return ServiceProfile.build(
+        "radar-1",
+        "ncw:AirSurveillanceRadarService",
+        inputs=["ncw:GridPosition"],
+        outputs=["ncw:AirTrack"],
+        qos={"latency_ms": 50.0, "coverage_km": 40.0},
+        provider="battalion-hq",
+        text="Air surveillance radar feed",
+    )
+
+
+@pytest.fixture
+def sensor_request() -> ServiceRequest:
+    return ServiceRequest.build(
+        "ncw:SensorService",
+        outputs=["ncw:Track"],
+        inputs=["ncw:GridPosition"],
+    )
+
+
+@pytest.fixture
+def small_system(ontology) -> DiscoverySystem:
+    """One LAN, one registry, ready to run."""
+    system = DiscoverySystem(seed=7, ontology=ontology)
+    system.add_lan("lan-0")
+    system.add_registry("lan-0")
+    return system
+
+
+@pytest.fixture
+def wan_system(ontology) -> DiscoverySystem:
+    """Three LANs, one registry each, ring-federated."""
+    system = DiscoverySystem(seed=7, ontology=ontology)
+    for i in range(3):
+        system.add_lan(f"lan-{i}")
+        system.add_registry(f"lan-{i}")
+    system.federate_ring()
+    return system
+
+
+@pytest.fixture
+def fast_config() -> DiscoveryConfig:
+    """Short timers for quick integration tests."""
+    return DiscoveryConfig(
+        beacon_interval=1.0,
+        lease_duration=5.0,
+        purge_interval=1.0,
+        ping_interval=1.0,
+        signalling_interval=2.0,
+        query_timeout=2.0,
+        aggregation_timeout=0.3,
+    )

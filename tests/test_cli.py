@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_shows_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+    assert "ablations" in out
+
+
+def test_every_listed_experiment_module_has_run():
+    import importlib
+
+    for key, (module_name, _description) in EXPERIMENTS.items():
+        module = importlib.import_module(module_name)
+        assert callable(module.run), key
+
+
+def test_experiment_runs_and_prints_table(capsys):
+    assert main(["experiment", "e12", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "E12" in out
+    assert "sync=on" in out
+
+
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "e99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "medevac-dispatch" in out
+    assert "fallback" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_experiment_ids_match_design_numbering():
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 17)}
+
+
+def test_experiment_chart_flag(capsys):
+    assert main(["experiment", "e12", "--chart", "recall"]) == 0
+    out = capsys.readouterr().out
+    assert "E12: recall" in out
+    assert "#" in out  # bars rendered
+
+
+def test_experiment_chart_unknown_column(capsys):
+    assert main(["experiment", "e12", "--chart", "nonexistent"]) == 0
+    err = capsys.readouterr().err
+    assert "no column" in err

@@ -1,0 +1,279 @@
+"""Tests for federation maintenance and forwarding machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import protocol
+from repro.core.config import DiscoveryConfig
+from repro.core.forwarding import (
+    PendingAggregation,
+    RingController,
+    SeenQueries,
+    WalkCoordinator,
+)
+from repro.core.registry_node import RegistryNode
+from repro.core.system import DiscoverySystem, make_models
+from repro.netsim.network import Network
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.registry.advertisements import Advertisement
+from repro.registry.matching import QueryHit
+
+
+def _hit(ad_id, degree=1, score=0.5):
+    ad = Advertisement(ad_id=ad_id, service_node="n", service_name=ad_id,
+                       endpoint="e", model_id="uri", description="d")
+    return QueryHit(advertisement=ad, degree=degree, score=score)
+
+
+@pytest.fixture
+def host():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    net.add_lan("lan")
+    return net.add_node(Node("host"), "lan")
+
+
+# -- SeenQueries ---------------------------------------------------------------
+
+def test_seen_queries_dedup():
+    clock = [0.0]
+    seen = SeenQueries(lambda: clock[0])
+    assert seen.check_and_mark("q1")
+    assert not seen.check_and_mark("q1")
+    assert seen.check_and_mark("q2")
+    assert "q1" in seen
+
+
+def test_seen_queries_prunes_old_entries():
+    clock = [0.0]
+    seen = SeenQueries(lambda: clock[0], retention=10.0)
+    for i in range(1100):
+        seen.check_and_mark(f"q{i}")
+    clock[0] = 100.0
+    seen.check_and_mark("fresh")
+    assert len(seen) < 1100
+
+
+# -- PendingAggregation -----------------------------------------------------------
+
+def test_pending_completes_when_all_respond(host):
+    done = []
+    pending = PendingAggregation(
+        host, query_id="q", local_hits=[_hit("ad-local")], outstanding=2,
+        timeout=5.0, max_results=None,
+        on_complete=lambda hits, responders: done.append((hits, responders)),
+    )
+    pending.add_response(protocol.ResponsePayload("q", (_hit("ad-a"),), 1))
+    assert not pending.done
+    pending.add_response(protocol.ResponsePayload("q", (_hit("ad-b"),), 2))
+    assert pending.done
+    hits, responders = done[0]
+    assert {h.advertisement.ad_id for h in hits} == {"ad-local", "ad-a", "ad-b"}
+    assert responders == 4  # self + 1 + 2
+
+
+def test_pending_timeout_completes_with_partial(host):
+    done = []
+    PendingAggregation(
+        host, query_id="q", local_hits=[_hit("ad-local")], outstanding=3,
+        timeout=1.0, max_results=None,
+        on_complete=lambda hits, responders: done.append(hits),
+    )
+    host.sim.run(until=2.0)
+    assert len(done) == 1
+    assert [h.advertisement.ad_id for h in done[0]] == ["ad-local"]
+
+
+def test_pending_completes_exactly_once(host):
+    done = []
+    pending = PendingAggregation(
+        host, query_id="q", local_hits=[], outstanding=1,
+        timeout=1.0, max_results=None,
+        on_complete=lambda hits, responders: done.append(1),
+    )
+    pending.add_response(protocol.ResponsePayload("q", (), 1))
+    host.sim.run(until=2.0)  # the timeout must not re-fire
+    pending.add_response(protocol.ResponsePayload("q", (), 1))  # stray late reply
+    assert done == [1]
+
+
+def test_pending_applies_response_control(host):
+    done = []
+    pending = PendingAggregation(
+        host, query_id="q", local_hits=[_hit(f"ad-{i}") for i in range(5)],
+        outstanding=1, timeout=1.0, max_results=2,
+        on_complete=lambda hits, responders: done.append(hits),
+    )
+    pending.add_response(protocol.ResponsePayload("q", (_hit("ad-x", 3),), 1))
+    assert len(done[0]) == 2
+    assert done[0][0].advertisement.ad_id == "ad-x"  # highest degree first
+
+
+# -- RingController ------------------------------------------------------------------
+
+def test_ring_round_ids_differ_per_round():
+    payload = protocol.QueryPayload(query_id="q", model_id="uri", query="x")
+    ring = RingController(payload=payload, ttls=(0, 1, 2))
+    first = ring.round_query_id()
+    ring.advance()
+    assert ring.round_query_id() != first
+
+
+def test_ring_satisfied_by_max_results():
+    payload = protocol.QueryPayload(query_id="q", model_id="uri", query="x",
+                                    max_results=2)
+    ring = RingController(payload=payload, ttls=(0, 1))
+    ring.record_round([_hit("ad-1")])
+    assert not ring.satisfied()
+    ring.record_round([_hit("ad-2")])
+    assert ring.satisfied()
+
+
+def test_ring_default_target_is_one_hit():
+    payload = protocol.QueryPayload(query_id="q", model_id="uri", query="x")
+    ring = RingController(payload=payload, ttls=(0, 1))
+    assert not ring.satisfied()
+    ring.record_round([_hit("ad-1")])
+    assert ring.satisfied()
+
+
+def test_ring_advance_exhausts():
+    payload = protocol.QueryPayload(query_id="q", model_id="uri", query="x")
+    ring = RingController(payload=payload, ttls=(0, 2))
+    assert ring.advance()
+    assert ring.current_ttl() == 2
+    assert not ring.advance()
+
+
+def test_ring_merged_dedupes_across_rounds():
+    payload = protocol.QueryPayload(query_id="q", model_id="uri", query="x")
+    ring = RingController(payload=payload, ttls=(0, 1))
+    ring.record_round([_hit("ad-1")])
+    ring.record_round([_hit("ad-1"), _hit("ad-2")])
+    assert len(ring.merged()) == 2
+
+
+# -- WalkCoordinator ---------------------------------------------------------------------
+
+def test_walk_collects_until_end(host):
+    done = []
+    walk = WalkCoordinator(
+        host, query_id="q", local_hits=[_hit("ad-0")], timeout=10.0,
+        max_results=None,
+        on_complete=lambda hits, responders: done.append((hits, responders)),
+    )
+    walk.add_hits((_hit("ad-1"),))
+    walk.add_hits((_hit("ad-2"),))
+    walk.walk_ended()
+    hits, responders = done[0]
+    assert {h.advertisement.ad_id for h in hits} == {"ad-0", "ad-1", "ad-2"}
+    assert responders == 3
+
+
+def test_walk_timeout_completes(host):
+    done = []
+    WalkCoordinator(
+        host, query_id="q", local_hits=[], timeout=1.0, max_results=None,
+        on_complete=lambda hits, responders: done.append(hits),
+    )
+    host.sim.run(until=2.0)
+    assert done == [[]]
+
+
+def test_walk_ignores_hits_after_done(host):
+    done = []
+    walk = WalkCoordinator(
+        host, query_id="q", local_hits=[], timeout=10.0, max_results=None,
+        on_complete=lambda hits, responders: done.append(hits),
+    )
+    walk.walk_ended()
+    walk.add_hits((_hit("ad-late"),))
+    walk.walk_ended()
+    assert done == [[]]
+
+
+# -- Federation behaviour (integration-ish, via real registries) ---------------------------
+
+def _two_registries(config=None):
+    system = DiscoverySystem(seed=3, config=config)
+    system.add_lan("lan-a")
+    system.add_lan("lan-b")
+    ra = system.add_registry("lan-a")
+    rb = system.add_registry("lan-b")
+    return system, ra, rb
+
+
+def test_join_is_bidirectional():
+    system, ra, rb = _two_registries()
+    system.federate(ra, rb)
+    system.run(until=1.0)
+    assert rb.node_id in ra.federation.neighbors
+    assert ra.node_id in rb.federation.neighbors
+
+
+def test_same_lan_registries_auto_federate():
+    system = DiscoverySystem(seed=3)
+    system.add_lan("lan-a")
+    r1 = system.add_registry("lan-a")
+    r2 = system.add_registry("lan-a")
+    system.run(until=2.0)
+    assert r2.node_id in r1.federation.neighbors
+    assert r1.federation.gateway() == min(r1.node_id, r2.node_id)
+    assert r1.federation.is_gateway() or r2.federation.is_gateway()
+
+
+def test_ping_failure_detector_drops_dead_neighbor():
+    config = DiscoveryConfig(ping_interval=1.0, ping_failure_threshold=2)
+    system, ra, rb = _two_registries(config)
+    system.federate(ra, rb)
+    system.run(until=2.0)
+    rb.crash()
+    system.run_for(10.0)
+    assert rb.node_id not in ra.federation.neighbors
+
+
+def test_reconnect_after_neighbor_loss_keeps_network_connected():
+    config = DiscoveryConfig(ping_interval=1.0, ping_failure_threshold=2,
+                             signalling_interval=2.0)
+    system = DiscoverySystem(seed=3, config=config)
+    for i in range(3):
+        system.add_lan(f"lan-{i}")
+    regs = [system.add_registry(f"lan-{i}") for i in range(3)]
+    # Chain: r0 - r1 - r2; killing the middle must trigger r0/r2 to re-wire.
+    system.federate_chain()
+    system.run(until=6.0)  # let gossip spread knowledge of all three
+    regs[1].crash()
+    system.run_for(15.0)
+    assert regs[2].node_id in regs[0].federation.neighbors \
+        or regs[0].node_id in regs[2].federation.neighbors
+
+
+def test_graceful_leave_removes_link():
+    system, ra, rb = _two_registries()
+    system.federate(ra, rb)
+    system.run(until=1.0)
+    ra.federation.leave()
+    system.run_for(1.0)
+    assert ra.node_id not in rb.federation.neighbors
+    assert not ra.federation.neighbors
+
+
+def test_gossip_spreads_known_registries():
+    config = DiscoveryConfig(signalling_interval=1.0)
+    system = DiscoverySystem(seed=3, config=config)
+    for i in range(3):
+        system.add_lan(f"lan-{i}")
+    regs = [system.add_registry(f"lan-{i}") for i in range(3)]
+    system.federate_chain()  # r0-r1, r1-r2: r0 never directly met r2
+    system.run(until=5.0)
+    assert regs[2].node_id in regs[0].federation.known
+
+
+def test_forward_targets_exclude_sender():
+    system, ra, rb = _two_registries()
+    system.federate(ra, rb)
+    system.run(until=1.0)
+    assert ra.federation.forward_targets({rb.node_id}) == []
+    assert ra.federation.forward_targets(set()) == [rb.node_id]

@@ -1,0 +1,279 @@
+"""Tests for the registry node: publish/renew/remove/purge/query/replicate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import protocol
+from repro.core.config import COOPERATION_REPLICATE_ADS, DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.netsim.node import Node
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+
+class Probe(Node):
+    """A bare node capturing everything sent to it."""
+
+    def __init__(self, node_id="probe"):
+        super().__init__(node_id)
+        self.inbox = []
+
+    def handle_message(self, envelope):
+        self.inbox.append(envelope)
+
+    def receive(self, envelope):  # capture typed messages too
+        if self.alive:
+            self.inbox.append(envelope)
+
+    def of_type(self, msg_type):
+        return [e for e in self.inbox if e.msg_type == msg_type]
+
+
+@pytest.fixture
+def setup():
+    ontology = battlefield_ontology()
+    system = DiscoverySystem(
+        seed=11, ontology=ontology,
+        config=DiscoveryConfig(lease_duration=10.0, purge_interval=1.0,
+                               beacon_interval=None),
+    )
+    system.add_lan("lan-0")
+    registry = system.add_registry("lan-0")
+    probe = Probe()
+    system.network.add_node(probe, "lan-0")
+    system.run(until=0.5)
+    return system, registry, probe
+
+
+def _uri_description(type_uri="ncw:RadarService", name="radar-1"):
+    from repro.descriptions.uri import UriDescription
+
+    return UriDescription(type_uri=type_uri, endpoint=f"svc://{name}",
+                          service_name=name)
+
+
+def _publish(probe, registry, *, ad_id="", name="radar-1", model_id="uri",
+             description=None):
+    if description is None:
+        description = _uri_description(name=name)
+    probe.send(
+        registry.node_id,
+        protocol.PUBLISH,
+        protocol.PublishPayload(
+            service_node=probe.node_id,
+            service_name=name,
+            endpoint=f"svc://{name}",
+            model_id=model_id,
+            description=description,
+            ad_id=ad_id,
+        ),
+    )
+
+
+def test_publish_stores_and_acks_with_lease(setup):
+    system, registry, probe = setup
+    _publish(probe, registry)
+    system.run_for(0.5)
+    acks = probe.of_type(protocol.PUBLISH_ACK)
+    assert len(acks) == 1
+    ack = acks[0].payload
+    assert ack.lease_id
+    assert ack.model_id == "uri"
+    assert len(registry.store) == 1
+    assert registry.rim.publishes == 1
+
+
+def test_republish_with_ad_id_bumps_version(setup):
+    system, registry, probe = setup
+    _publish(probe, registry)
+    system.run_for(0.5)
+    ad_id = probe.of_type(protocol.PUBLISH_ACK)[0].payload.ad_id
+    updated = _uri_description(type_uri="ncw:SensorService")
+    _publish(probe, registry, ad_id=ad_id, description=updated)
+    system.run_for(0.5)
+    ad = registry.store.get(ad_id)
+    assert ad.version == 2
+    assert ad.description == updated
+    assert len(registry.store) == 1
+
+
+def test_unsupported_model_publish_discarded(setup):
+    system, registry, probe = setup
+    _publish(probe, registry, model_id="wsml")
+    system.run_for(0.5)
+    assert probe.of_type(protocol.PUBLISH_ACK) == []
+    assert len(registry.store) == 0
+    assert registry.models.discarded_payloads == 1
+
+
+def test_lease_expiry_purges_advertisement(setup):
+    system, registry, probe = setup
+    _publish(probe, registry)
+    system.run_for(0.5)
+    assert len(registry.store) == 1
+    system.run_for(12.0)  # lease 10s, no renewals
+    assert len(registry.store) == 0
+    assert registry.rim.removals == 1
+
+
+def test_renew_keeps_advertisement_alive(setup):
+    system, registry, probe = setup
+    _publish(probe, registry)
+    system.run_for(0.5)
+    ack = probe.of_type(protocol.PUBLISH_ACK)[0].payload
+    for _ in range(4):
+        system.run_for(4.0)
+        probe.send(registry.node_id, protocol.RENEW,
+                   protocol.RenewPayload(lease_id=ack.lease_id, ad_id=ack.ad_id))
+    system.run_for(1.0)
+    assert len(registry.store) == 1
+    assert probe.of_type(protocol.RENEW_ACK)
+
+
+def test_renew_unknown_lease_nacked(setup):
+    system, registry, probe = setup
+    probe.send(registry.node_id, protocol.RENEW,
+               protocol.RenewPayload(lease_id="lease-bogus", ad_id="ad-bogus"))
+    system.run_for(0.5)
+    assert probe.of_type(protocol.RENEW_NACK)
+
+
+def test_remove_deletes_and_acks(setup):
+    system, registry, probe = setup
+    _publish(probe, registry)
+    system.run_for(0.5)
+    ad_id = probe.of_type(protocol.PUBLISH_ACK)[0].payload.ad_id
+    probe.send(registry.node_id, protocol.REMOVE,
+               protocol.RemovePayload(ad_id=ad_id))
+    system.run_for(0.5)
+    assert len(registry.store) == 0
+    assert probe.of_type(protocol.REMOVE_ACK)
+
+
+def test_query_returns_ranked_hits(setup):
+    system, registry, probe = setup
+    _publish(probe, registry, name="radar-1")
+    system.run_for(0.5)
+    from repro.descriptions.uri import UriQuery
+
+    probe.send(
+        registry.node_id,
+        protocol.QUERY,
+        protocol.QueryPayload(query_id="q1", model_id="uri",
+                              query=UriQuery("ncw:RadarService")),
+    )
+    system.run_for(0.5)
+    responses = probe.of_type(protocol.QUERY_RESPONSE)
+    assert len(responses) == 1
+    hits = responses[0].payload.hits
+    assert [h.advertisement.service_name for h in hits] == ["radar-1"]
+
+
+def test_duplicate_query_from_client_ignored(setup):
+    system, registry, probe = setup
+    from repro.descriptions.uri import UriQuery
+
+    payload = protocol.QueryPayload(query_id="q-dup", model_id="uri",
+                                    query=UriQuery("x"))
+    probe.send(registry.node_id, protocol.QUERY, payload)
+    probe.send(registry.node_id, protocol.QUERY, payload)
+    system.run_for(0.5)
+    assert len(probe.of_type(protocol.QUERY_RESPONSE)) == 1
+
+
+def test_probe_reply_describes_registry(setup):
+    system, registry, probe = setup
+    probe.multicast(protocol.REGISTRY_PROBE)
+    system.run_for(0.5)
+    replies = probe.of_type(protocol.REGISTRY_PROBE_REPLY)
+    assert len(replies) == 1
+    desc = replies[0].payload
+    assert desc.registry_id == registry.node_id
+    assert "semantic" in desc.supported_models
+    assert "battlefield" in desc.artifact_names
+
+
+def test_artifact_request_served_and_missing(setup):
+    system, registry, probe = setup
+    probe.send(registry.node_id, protocol.ARTIFACT_REQUEST,
+               protocol.ArtifactRequestPayload(artifact_name="battlefield"))
+    probe.send(registry.node_id, protocol.ARTIFACT_REQUEST,
+               protocol.ArtifactRequestPayload(artifact_name="nonexistent"))
+    system.run_for(0.5)
+    replies = probe.of_type(protocol.ARTIFACT_REPLY)
+    assert len(replies) == 2
+    by_name = {r.payload.artifact_name: r.payload for r in replies}
+    assert by_name["battlefield"].found
+    assert not by_name["nonexistent"].found
+    assert registry.repository.requests_served == 1
+    assert registry.repository.requests_missed == 1
+
+
+def test_registry_crash_loses_soft_state_and_restart_rebootstraps(setup):
+    system, registry, probe = setup
+    _publish(probe, registry)
+    system.run_for(0.5)
+    assert len(registry.store) == 1
+    registry.crash()
+    registry.restart()
+    assert len(registry.store) == 0
+    assert len(registry.federation.neighbors) == 0
+
+
+def test_replication_pushes_to_neighbors():
+    ontology = battlefield_ontology()
+    system = DiscoverySystem(
+        seed=12, ontology=ontology,
+        config=DiscoveryConfig(cooperation=COOPERATION_REPLICATE_ADS,
+                               default_ttl=0),
+    )
+    system.add_lan("lan-0")
+    system.add_lan("lan-1")
+    ra = system.add_registry("lan-0")
+    rb = system.add_registry("lan-1")
+    system.federate(ra, rb)
+    profile = ServiceProfile.build("radar", "ncw:RadarService",
+                                   outputs=["ncw:AirTrack"])
+    system.add_service("lan-0", profile)
+    system.run(until=3.0)
+    assert len(rb.store) == len(ra.store) > 0
+
+
+def test_replication_late_joiner_catches_up():
+    ontology = battlefield_ontology()
+    system = DiscoverySystem(
+        seed=13, ontology=ontology,
+        config=DiscoveryConfig(cooperation=COOPERATION_REPLICATE_ADS,
+                               default_ttl=0),
+    )
+    system.add_lan("lan-0")
+    system.add_lan("lan-1")
+    ra = system.add_registry("lan-0")
+    profile = ServiceProfile.build("radar", "ncw:RadarService",
+                                   outputs=["ncw:AirTrack"])
+    system.add_service("lan-0", profile)
+    system.run(until=3.0)
+    rb = system.add_registry("lan-1")
+    system.federate(ra, rb)
+    system.run_for(2.0)
+    assert len(rb.store) == len(ra.store) > 0
+
+
+def test_decentral_query_answered_by_registry(setup):
+    system, registry, probe = setup
+    ontology = battlefield_ontology()
+    profile = ServiceProfile.build("radar", "ncw:RadarService",
+                                   outputs=["ncw:AirTrack"])
+    system.add_service("lan-0", profile)
+    system.run_for(1.0)
+    model = registry.models.get("semantic")
+    query = model.query_from(ServiceRequest.build("ncw:SensorService"))
+    probe.multicast(
+        protocol.DECENTRAL_QUERY,
+        protocol.QueryPayload(query_id="dq", model_id="semantic", query=query),
+    )
+    system.run_for(0.5)
+    responses = probe.of_type(protocol.DECENTRAL_RESPONSE)
+    # Registry answers from its store; the service node answers for itself.
+    assert len(responses) >= 2

@@ -1,0 +1,243 @@
+"""Tests for service and client node behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+
+@pytest.fixture
+def fast():
+    return DiscoveryConfig(
+        beacon_interval=1.0,
+        lease_duration=4.0,
+        purge_interval=0.5,
+        query_timeout=2.0,
+        aggregation_timeout=0.3,
+        signalling_interval=2.0,
+    )
+
+
+def _system(fast, *, lans=1, registries=True, seed=21):
+    system = DiscoverySystem(seed=seed, ontology=battlefield_ontology(),
+                             config=fast)
+    for i in range(lans):
+        system.add_lan(f"lan-{i}")
+        if registries:
+            system.add_registry(f"lan-{i}")
+    return system
+
+
+def _radar(name="radar-1"):
+    return ServiceProfile.build(name, "ncw:AirSurveillanceRadarService",
+                                outputs=["ncw:AirTrack"],
+                                qos={"latency_ms": 40.0})
+
+
+REQUEST = ServiceRequest.build("ncw:SensorService", outputs=["ncw:Track"])
+
+
+# -- service node -----------------------------------------------------------
+
+def test_service_publishes_under_all_its_models(fast):
+    system = _system(fast)
+    service = system.add_service("lan-0", _radar())
+    system.run(until=2.0)
+    registry = system.registries[0]
+    assert len(registry.store) == 3  # uri + template + semantic
+    assert all(rec.acked for rec in service._published.values())
+
+
+def test_service_renews_and_survives_lease_horizon(fast):
+    system = _system(fast)
+    system.add_service("lan-0", _radar())
+    system.run(until=20.0)  # 5 lease durations
+    assert len(system.registries[0].store) == 3
+
+
+def test_crashed_service_ads_are_purged(fast):
+    system = _system(fast)
+    service = system.add_service("lan-0", _radar())
+    system.run(until=2.0)
+    service.crash()
+    system.run_for(6.0)  # > lease duration
+    assert len(system.registries[0].store) == 0
+
+
+def test_deregister_removes_immediately(fast):
+    system = _system(fast)
+    service = system.add_service("lan-0", _radar())
+    system.run(until=2.0)
+    service.deregister()
+    system.run_for(0.5)
+    assert len(system.registries[0].store) == 0
+
+
+def test_update_profile_republishes_new_content(fast):
+    system = _system(fast)
+    service = system.add_service("lan-0", _radar())
+    system.run(until=2.0)
+    updated = ServiceProfile.build("radar-1", "ncw:AirSurveillanceRadarService",
+                                   outputs=["ncw:AirTrack"],
+                                   qos={"latency_ms": 10.0})
+    service.update_profile(updated)
+    system.run_for(0.5)
+    registry = system.registries[0]
+    semantic_ads = registry.store.of_model("semantic")
+    assert len(semantic_ads) == 1
+    assert semantic_ads[0].description.qos_value("latency_ms") == 10.0
+    assert semantic_ads[0].version == 2
+
+
+def test_service_restart_republishes(fast):
+    system = _system(fast)
+    service = system.add_service("lan-0", _radar())
+    system.run(until=2.0)
+    service.crash()
+    system.run_for(6.0)
+    assert len(system.registries[0].store) == 0
+    service.restart()
+    system.run_for(2.0)
+    assert len(system.registries[0].store) == 3
+
+
+def test_service_fails_over_to_surviving_registry(fast):
+    system = _system(fast, lans=2)
+    system.federate_chain()
+    service = system.add_service("lan-0", _radar())
+    system.run(until=5.0)  # signalling primes the alternatives cache
+    first = service.tracker.current
+    system.network.node(first).crash()
+    system.run_for(15.0)
+    assert service.tracker.current is not None
+    assert service.tracker.current != first
+    survivor = system.network.node(service.tracker.current)
+    assert len(survivor.store.by_service(service.node_id)) == 3
+
+
+def test_service_answers_decentral_queries_directly(fast):
+    system = _system(fast, registries=False)
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = system.discover(client, REQUEST)
+    assert call.via == "fallback"
+    assert call.service_names() == ["radar-1"]
+
+
+# -- client node --------------------------------------------------------------
+
+def test_client_discovers_via_registry(fast):
+    system = _system(fast)
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = system.discover(client, REQUEST)
+    assert call.completed
+    assert call.via.startswith("registry:")
+    assert call.service_names() == ["radar-1"]
+    assert call.endpoints() == ["svc://svc-node-000"]
+    assert call.latency > 0.0
+
+
+def test_client_ranked_hits_best_first(fast):
+    system = _system(fast)
+    system.add_service("lan-0", ServiceProfile.build(
+        "exact", "ncw:SensorService", outputs=["ncw:Track"]))
+    system.add_service("lan-0", _radar("narrow"))
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = system.discover(client, REQUEST)
+    assert call.service_names()[0] == "exact"
+
+
+def test_client_response_control_cap(fast):
+    system = _system(fast)
+    for i in range(6):
+        system.add_service("lan-0", _radar(f"radar-{i}"))
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    capped = ServiceRequest.build("ncw:SensorService", max_results=2)
+    call = system.discover(client, capped)
+    assert len(call.hits) == 2
+    assert call.responses == 1
+
+
+def test_client_times_out_and_falls_back(fast):
+    system = _system(fast)
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    system.registries[0].crash()
+    call = system.discover(client, REQUEST, timeout=30.0)
+    assert call.completed
+    assert call.via == "fallback"
+    assert call.service_names() == ["radar-1"]
+    assert call.attempts == 2
+
+
+def test_client_failed_when_fallback_disabled():
+    config = DiscoveryConfig(fallback_enabled=False, query_timeout=1.0,
+                             beacon_interval=None)
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=config)
+    system.add_lan("lan-0")
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = system.discover(client, REQUEST, timeout=10.0)
+    assert call.completed
+    assert call.via == "failed"
+    assert call.hits == []
+
+
+def test_client_reattaches_via_beacons_after_registry_restart(fast):
+    system = _system(fast)
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    registry = system.registries[0]
+    registry.crash()
+    call = system.discover(client, REQUEST, timeout=30.0)  # drops to fallback
+    assert call.via == "fallback"
+    registry.restart()
+    system.run_for(8.0)  # beacons + service republish
+    call2 = system.discover(client, REQUEST, timeout=30.0)
+    assert call2.via.startswith("registry:")
+    assert call2.service_names() == ["radar-1"]
+
+
+def test_client_fetch_artifact_attaches_ontology(fast):
+    system = _system(fast)
+    client = system.add_client("lan-0", with_ontology=False)
+    system.run(until=2.0)
+    semantic = client.models.get("semantic")
+    assert not semantic.can_evaluate()
+    client.fetch_artifact("battlefield")
+    system.run_for(1.0)
+    assert semantic.can_evaluate()
+    assert "battlefield" in client.artifacts_fetched
+
+
+def test_thin_client_relies_on_registry_side_matching(fast):
+    system = _system(fast)
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0", with_ontology=False)
+    system.run(until=2.0)
+    call = system.discover(client, REQUEST)
+    assert call.service_names() == ["radar-1"]
+
+
+def test_discovery_call_bookkeeping(fast):
+    system = _system(fast)
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = system.discover(client, REQUEST)
+    assert call.succeeded
+    assert call.responders >= 1
+    assert call.response_bytes > 0
+    assert client.calls == [call]

@@ -1,0 +1,174 @@
+"""Tests for the DiscoverySystem facade and strategy configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    DiscoveryConfig,
+    STRATEGY_EXPANDING_RING,
+    STRATEGY_RANDOM_WALK,
+)
+from repro.core.system import DiscoverySystem, make_models
+from repro.errors import ReproError
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+REQUEST = ServiceRequest.build("ncw:SensorService", outputs=["ncw:Track"])
+
+
+def _radar(name="radar-1"):
+    return ServiceProfile.build(name, "ncw:AirSurveillanceRadarService",
+                                outputs=["ncw:AirTrack"])
+
+
+def test_make_models_unknown_id():
+    with pytest.raises(ReproError):
+        make_models(None, include=("carrier-pigeon",))
+
+
+def test_make_models_semantic_without_ontology():
+    models = make_models(battlefield_ontology(), include=("semantic",),
+                         with_ontology=False)
+    assert not models[0].can_evaluate()
+
+
+def test_node_id_generation_unique():
+    system = DiscoverySystem(seed=1)
+    system.add_lan("lan-0")
+    a = system.add_registry("lan-0")
+    b = system.add_registry("lan-0")
+    assert a.node_id != b.node_id
+
+
+def test_run_for_advances_clock():
+    system = DiscoverySystem(seed=1)
+    system.add_lan("lan-0")
+    system.run(until=1.0)
+    system.run_for(2.0)
+    assert system.sim.now == 3.0
+
+
+def test_discover_timeout_returns_incomplete():
+    config = DiscoveryConfig(fallback_enabled=False, query_timeout=500.0,
+                             beacon_interval=None)
+    system = DiscoverySystem(seed=1, ontology=battlefield_ontology(),
+                             config=config)
+    system.add_lan("lan-0")
+    registry = system.add_registry("lan-0")
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    registry.crash()
+    call = system.discover(client, REQUEST, timeout=1.0)
+    assert not call.completed
+
+
+def test_cross_lan_discovery_through_chain():
+    system = DiscoverySystem(seed=2, ontology=battlefield_ontology())
+    for i in range(4):
+        system.add_lan(f"lan-{i}")
+        system.add_registry(f"lan-{i}")
+    system.federate_chain()
+    system.add_service("lan-3", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=3.0)
+    call = system.discover(client, REQUEST)
+    assert call.service_names() == ["radar-1"]
+
+
+def test_federate_ring_closes_loop_and_queries_do_not_loop():
+    system = DiscoverySystem(seed=2, ontology=battlefield_ontology())
+    for i in range(3):
+        system.add_lan(f"lan-{i}")
+        system.add_registry(f"lan-{i}")
+    system.federate_ring()
+    system.add_service("lan-1", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=3.0)
+    call = system.discover(client, REQUEST)
+    # Loop avoidance: the unique hit appears exactly once.
+    assert call.service_names() == ["radar-1"]
+
+
+def test_expanding_ring_strategy_finds_nearby_first():
+    config = DiscoveryConfig(strategy=STRATEGY_EXPANDING_RING,
+                             ring_ttls=(0, 1, 2), aggregation_timeout=0.3)
+    system = DiscoverySystem(seed=3, ontology=battlefield_ontology(),
+                             config=config)
+    for i in range(3):
+        system.add_lan(f"lan-{i}")
+        system.add_registry(f"lan-{i}")
+    system.federate_chain()
+    system.add_service("lan-0", _radar("near"))
+    system.add_service("lan-2", _radar("far"))
+    client = system.add_client("lan-0")
+    system.run(until=3.0)
+    call = system.discover(client, REQUEST, timeout=30.0)
+    # Ring stops at the first satisfied round: the local hit suffices.
+    assert call.service_names() == ["near"]
+
+
+def test_expanding_ring_widens_until_found():
+    config = DiscoveryConfig(strategy=STRATEGY_EXPANDING_RING,
+                             ring_ttls=(0, 1, 2), aggregation_timeout=0.3)
+    system = DiscoverySystem(seed=3, ontology=battlefield_ontology(),
+                             config=config)
+    for i in range(3):
+        system.add_lan(f"lan-{i}")
+        system.add_registry(f"lan-{i}")
+    system.federate_chain()
+    system.add_service("lan-2", _radar("far-only"))
+    client = system.add_client("lan-0")
+    system.run(until=3.0)
+    call = system.discover(client, REQUEST, timeout=30.0)
+    assert call.service_names() == ["far-only"]
+
+
+def test_random_walk_strategy_completes():
+    config = DiscoveryConfig(strategy=STRATEGY_RANDOM_WALK, walk_length=4,
+                             aggregation_timeout=0.3)
+    system = DiscoverySystem(seed=4, ontology=battlefield_ontology(),
+                             config=config)
+    for i in range(3):
+        system.add_lan(f"lan-{i}")
+        system.add_registry(f"lan-{i}")
+    system.federate_ring()
+    system.add_service("lan-1", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=3.0)
+    call = system.discover(client, REQUEST, timeout=30.0)
+    assert call.completed
+
+
+def test_traffic_snapshot_keys():
+    system = DiscoverySystem(seed=1)
+    system.add_lan("lan-0")
+    snapshot = system.traffic()
+    assert {"bytes_sent", "messages_sent"} <= set(snapshot)
+
+
+def test_alive_services_listing():
+    system = DiscoverySystem(seed=1, ontology=battlefield_ontology())
+    system.add_lan("lan-0")
+    system.add_registry("lan-0")
+    service = system.add_service("lan-0", _radar())
+    system.run(until=1.0)
+    assert system.alive_services() == [service]
+    service.crash()
+    assert system.alive_services() == []
+
+
+def test_determinism_same_seed_same_traffic():
+    def build_and_run(seed):
+        system = DiscoverySystem(seed=seed, ontology=battlefield_ontology())
+        for i in range(2):
+            system.add_lan(f"lan-{i}")
+            system.add_registry(f"lan-{i}")
+        system.federate_chain()
+        system.add_service("lan-1", _radar())
+        client = system.add_client("lan-0")
+        system.run(until=3.0)
+        call = system.discover(client, REQUEST)
+        return system.traffic(), tuple(call.service_names())
+
+    assert build_and_run(99) == build_and_run(99)

@@ -1,0 +1,425 @@
+"""Smoke + shape tests for every experiment runner (E1–E12).
+
+Each experiment runs with deliberately small parameters; assertions check
+the *shape* the paper predicts, not absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.experiments import common as exp_common
+from repro.experiments.e1_topology import run as e1
+from repro.experiments.e2_response_control import run as e2
+from repro.experiments.e3_robustness import run as e3
+from repro.experiments.e4_staleness import run as e4
+from repro.experiments.e5_matchmaking import run as e5
+from repro.experiments.e6_lan_fallback import run as e6
+from repro.experiments.e7_wan_federation import run as e7
+from repro.experiments.e8_forwarding import run as e8
+from repro.experiments.e9_signalling import run as e9
+from repro.experiments.e10_stack import run as e10
+from repro.experiments.e11_survivability import run as e11
+from repro.experiments.e12_repository import run as e12
+
+
+# -- the common result-table plumbing -----------------------------------------
+
+def test_experiment_result_table_and_queries():
+    result = ExperimentResult(experiment="EX", description="demo")
+    result.add(arch="a", value=1.0)
+    result.add(arch="b", value=2.0)
+    result.note("hello")
+    assert result.columns() == ["arch", "value"]
+    assert result.column("value") == [1.0, 2.0]
+    assert result.where(arch="a") == [{"arch": "a", "value": 1.0}]
+    assert result.single(arch="b")["value"] == 2.0
+    text = result.table()
+    assert "EX" in text and "hello" in text
+
+
+def test_experiment_result_single_raises_on_ambiguity():
+    result = ExperimentResult(experiment="EX", description="demo")
+    result.add(arch="a")
+    result.add(arch="a")
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        result.single(arch="a")
+
+
+def test_mean_helper():
+    assert exp_common.mean([]) == 0.0
+    assert exp_common.mean([1.0, 3.0]) == 2.0
+
+
+# -- E1 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e1_result():
+    return e1(service_counts=(4, 8), n_clients=2, n_queries=6,
+              maintenance_window=20.0)
+
+
+def test_e1_full_recall_everywhere(e1_result):
+    assert all(row["recall"] == 1.0 for row in e1_result.rows)
+
+
+def test_e1_decentralized_implosion_grows_with_services(e1_result):
+    small = e1_result.single(arch="decentralized", services=4)
+    large = e1_result.single(arch="decentralized", services=8)
+    assert large["mean_responses"] >= small["mean_responses"] > 1.0
+
+
+def test_e1_registry_answers_with_one_response(e1_result):
+    for arch in ("centralized", "distributed"):
+        for row in e1_result.where(arch=arch):
+            assert row["mean_responses"] == 1.0
+
+
+def test_e1_decentralized_cheapest_upkeep(e1_result):
+    for services in (4, 8):
+        rows = {row["arch"]: row for row in e1_result.where(services=services)}
+        assert rows["decentralized"]["upkeep_bytes_per_s"] < \
+            rows["centralized"]["upkeep_bytes_per_s"]
+
+
+def test_e1_centralized_concentrates_load(e1_result):
+    row = e1_result.single(arch="centralized", services=8)
+    assert row["max_node"].startswith("registry")
+    spread = e1_result.single(arch="decentralized", services=8)
+    assert row["max_node_load_bytes"] > spread["max_node_load_bytes"]
+
+
+# -- E2 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e2_result():
+    return e2(n_services=8, caps=(None, 2))
+
+
+def test_e2_decentralized_implosion_ignores_cap(e2_result):
+    uncapped = e2_result.single(arch="decentralized", max_results="none")
+    capped = e2_result.single(arch="decentralized", max_results=2)
+    assert uncapped["response_messages"] == capped["response_messages"] == 8
+
+
+def test_e2_registry_caps_hits_in_one_message(e2_result):
+    capped = e2_result.single(arch="registry", max_results=2)
+    assert capped["response_messages"] == 1
+    assert capped["hits_returned"] == 2
+    uncapped = e2_result.single(arch="registry", max_results="none")
+    assert uncapped["hits_returned"] == 8
+    assert capped["response_bytes"] < uncapped["response_bytes"]
+
+
+# -- E3 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e3_result():
+    return e3(lans=3, services_per_lan=2, n_queries=5,
+              fractions=(0.0, 1.0), strategies=("targeted",))
+
+
+def test_e3_uddi_single_point_of_failure(e3_result):
+    healthy = e3_result.single(arch="uddi", killed_fraction=0.0)
+    dead = e3_result.single(arch="uddi", killed_fraction=1.0)
+    assert healthy["recall"] == 1.0
+    assert dead["recall"] == 0.0
+
+
+def test_e3_federated_degrades_not_collapses(e3_result):
+    dead = e3_result.single(arch="federated", killed_fraction=1.0)
+    assert dead["recall"] > 0.0  # LAN fallback keeps local discovery alive
+    assert dead["completed"] == dead["queries"]
+
+
+def test_e3_wsd_is_registry_free(e3_result):
+    rows = e3_result.where(arch="wsd-adhoc")
+    recalls = {row["recall"] for row in rows}
+    assert len(recalls) == 1  # registry failures cannot affect it
+
+
+# -- E4 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e4_result():
+    return e4(n_services=8, churn_rates=(0.1,), churn_window=60.0, n_queries=5)
+
+
+def test_e4_leasing_drains_staleness(e4_result):
+    leased = e4_result.single(arch="leasing")
+    assert leased["registry_staleness"] == 0.0
+    assert leased["response_staleness"] == 0.0
+
+
+def test_e4_no_leasing_accumulates_staleness(e4_result):
+    for arch in ("no-leasing", "uddi", "wsd-proxy"):
+        row = e4_result.single(arch=arch)
+        assert row["registry_staleness"] > 0.0
+        assert row["response_staleness"] > 0.0
+
+
+def test_e4_adhoc_always_fresh(e4_result):
+    row = e4_result.single(arch="wsd-adhoc")
+    assert row["response_staleness"] == 0.0
+
+
+# -- E5 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e5_result():
+    return e5(n_profiles=30, n_requests=15, generalize_levels=(0, 1))
+
+
+def test_e5_semantic_recovers_truth(e5_result):
+    for row in e5_result.where(model="semantic"):
+        assert row["f1"] == 1.0
+
+
+def test_e5_syntactic_models_lose_on_generalization(e5_result):
+    for ontology in set(e5_result.column("ontology")):
+        for model in ("uri", "template"):
+            row = e5_result.single(ontology=ontology, model=model, generalize=1)
+            semantic = e5_result.single(ontology=ontology, model="semantic",
+                                        generalize=1)
+            assert row["f1"] < semantic["f1"]
+
+
+def test_e5_semantic_costs_more(e5_result):
+    for ontology in set(e5_result.column("ontology")):
+        semantic = e5_result.single(ontology=ontology, model="semantic",
+                                    generalize=1)
+        uri = e5_result.single(ontology=ontology, model="uri", generalize=1)
+        assert semantic["us_per_eval"] > uri["us_per_eval"]
+
+
+# -- E6 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e6_result():
+    return e6(n_services=3, queries_per_phase=4)
+
+
+def test_e6_timeline_modes(e6_result):
+    registry_phase = e6_result.single(phase="registry")
+    outage = e6_result.single(phase="outage")
+    recovered = e6_result.single(phase="recovered")
+    assert registry_phase["via"] == "registry"
+    assert outage["via"] == "fallback"
+    assert recovered["via"] == "registry"
+
+
+def test_e6_fallback_keeps_local_availability(e6_result):
+    outage = e6_result.single(phase="outage")
+    assert outage["recall"] == 1.0
+    assert outage["completed"] == outage["queries"]
+
+
+def test_e6_outage_latency_higher(e6_result):
+    outage = e6_result.single(phase="outage")
+    normal = e6_result.single(phase="registry")
+    assert outage["mean_latency"] > normal["mean_latency"]
+
+
+# -- E7 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e7_result():
+    return e7(lans=3, services_per_lan=2, n_queries=5)
+
+
+def test_e7_unseeded_is_lan_local(e7_result):
+    none_row = e7_result.single(study="seeding", variant="none")
+    ring_row = e7_result.single(study="seeding", variant="ring")
+    assert none_row["recall"] < 0.7
+    assert ring_row["recall"] == 1.0
+    assert none_row["wan_bytes"] == 0
+
+
+def test_e7_replication_shifts_cost_to_maintenance(e7_result):
+    forward = e7_result.single(study="cooperation", variant="forward-queries")
+    replicate = e7_result.single(study="cooperation", variant="replicate-ads")
+    assert replicate["query_bytes_per_q"] < forward["query_bytes_per_q"]
+    assert replicate["maintenance_bytes"] > forward["maintenance_bytes"]
+    assert replicate["mean_latency"] < forward["mean_latency"]
+
+
+def test_e7_gateway_election_cuts_wan_traffic(e7_result):
+    elected = e7_result.single(study="gateway", variant="elected")
+    flooded = e7_result.single(study="gateway", variant="all-forward")
+    assert elected["wan_bytes"] < flooded["wan_bytes"]
+    assert elected["recall"] == flooded["recall"] == 1.0
+
+
+# -- E8 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e8_result():
+    return e8(lans=4, services_per_lan=2, n_queries=8)
+
+
+def test_e8_flooding_full_recall_most_bytes(e8_result):
+    flood = e8_result.single(strategy="flooding")
+    assert flood["recall"] == 1.0
+    for row in e8_result.rows:
+        assert flood["forward_bytes"] >= row["forward_bytes"]
+
+
+def test_e8_walk_cheaper_but_lossy(e8_result):
+    flood = e8_result.single(strategy="flooding")
+    walk = e8_result.single(strategy="random-walk")
+    assert walk["query_bytes_per_q"] < flood["query_bytes_per_q"]
+    assert walk["recall"] <= flood["recall"]
+
+
+# -- E9 ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e9_result():
+    return e9(lans=3, services_per_lan=2, n_queries=5)
+
+
+def test_e9_signalling_avoids_probe_and_beats_fallback(e9_result):
+    on = e9_result.single(signalling="on")
+    off = e9_result.single(signalling="off")
+    assert on["probes_after_crash"] == 0
+    assert off["probes_after_crash"] >= 1
+    assert on["recall"] >= off["recall"]
+    assert on["completed"] == on["queries"] if "queries" in on else True
+
+
+# -- E10 -----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e10_result():
+    return e10(n_services=4, n_queries=4)
+
+
+def test_e10_semantic_order_of_magnitude_larger(e10_result):
+    uri = e10_result.single(model="uri")
+    semantic = e10_result.single(model="semantic")
+    assert semantic["ad_payload_bytes"] > 10 * uri["ad_payload_bytes"]
+
+
+def test_e10_compression_recovers_bytes(e10_result):
+    semantic = e10_result.single(model="semantic")
+    zipped = e10_result.single(model="semantic+zip")
+    assert zipped["publish_msg_bytes"] < semantic["publish_msg_bytes"]
+    assert zipped["recall_proxy"] == semantic["recall_proxy"] == 1.0
+
+
+def test_e10_same_stack_constant_renew_cost(e10_result):
+    renew_costs = {
+        row["model"]: row["renew_msg_bytes"]
+        for row in e10_result.rows if row["model"] in ("uri", "template", "semantic")
+    }
+    # Renewals carry only lease ids: identical across description models.
+    assert len(set(renew_costs.values())) == 1
+
+
+# -- E11 -----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e11_result():
+    return e11(lans=4, services_per_lan=2)
+
+
+def test_e11_targeted_kills_centralized_star(e11_result):
+    row = e11_result.single(arch="centralized", attack="targeted")
+    assert row["reach@10%"] < 0.2
+
+
+def test_e11_distributed_beats_centralized_under_attack(e11_result):
+    central = e11_result.single(arch="centralized", attack="targeted")
+    distributed = e11_result.single(arch="distributed", attack="targeted")
+    assert distributed["reach@10%"] > central["reach@10%"]
+
+
+def test_e11_decentralized_never_spans_wan(e11_result):
+    rows = e11_result.where(arch="decentralized")
+    assert all(row["connected_frac"] < 0.5 for row in rows)
+
+
+# -- E12 -----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def e12_result():
+    return e12(n_services=2, n_queries=3)
+
+
+def test_e12_sync_restores_semantic_evaluation(e12_result):
+    off = e12_result.single(variant="sync=off")
+    on = e12_result.single(variant="sync=on")
+    assert not off["registry_b_can_evaluate"]
+    assert off["recall"] == 0.0
+    assert off["discarded_queries"] > 0
+    assert on["registry_b_can_evaluate"]
+    assert on["recall"] == 1.0
+    assert on["artifact_bytes"] > 0
+
+
+def test_e12_thin_client_delegates_selection(e12_result):
+    thin = e12_result.single(variant="thin-client")
+    assert thin["recall"] == 1.0
+
+
+# -- cross-seed aggregation and charts ------------------------------------------
+
+def test_repeat_runs_aggregates_means_and_sd():
+    from repro.experiments.common import ExperimentResult, repeat_runs
+
+    def fake_run(*, seed=0):
+        result = ExperimentResult(experiment="FAKE", description="d")
+        result.add(arch="a", value=float(seed), label="x")
+        result.add(arch="b", value=10.0 + seed, label="y")
+        return result
+
+    aggregated = repeat_runs(fake_run, seeds=(0, 1, 2), group_by=["arch"])
+    row_a = aggregated.single(arch="a")
+    assert row_a["value"] == pytest.approx(1.0)
+    assert row_a["value_sd"] > 0.0
+    assert row_a["n"] == 3
+    assert "label" not in row_a  # non-numeric, non-key columns dropped
+    assert aggregated.experiment == "FAKExN"
+
+
+def test_repeat_runs_requires_seeds():
+    from repro.errors import ExperimentError
+    from repro.experiments.common import ExperimentResult, repeat_runs
+
+    with pytest.raises(ExperimentError):
+        repeat_runs(lambda *, seed=0: ExperimentResult("X", "d"),
+                    seeds=(), group_by=["arch"])
+
+
+def test_bar_chart_renders_scaled_bars():
+    from repro.experiments.common import ExperimentResult, bar_chart
+
+    result = ExperimentResult(experiment="CHART", description="d")
+    result.add(arch="big", bytes=1000)
+    result.add(arch="small", bytes=250)
+    chart = bar_chart(result, label="arch", value="bytes", width=20)
+    lines = chart.splitlines()
+    assert "CHART" in lines[0]
+    big_bar = lines[1].count("#")
+    small_bar = lines[2].count("#")
+    assert big_bar == 20
+    assert small_bar == 5
+
+
+def test_bar_chart_handles_non_numeric():
+    from repro.experiments.common import ExperimentResult, bar_chart
+
+    result = ExperimentResult(experiment="CHART", description="d")
+    result.add(arch="a", bytes="n/a")
+    assert "no numeric values" in bar_chart(result, label="arch", value="bytes")
+
+
+def test_stdev_helper():
+    from repro.experiments.common import stdev
+
+    assert stdev([]) == 0.0
+    assert stdev([5.0]) == 0.0
+    assert stdev([1.0, 3.0]) == pytest.approx(1.0)

@@ -1,0 +1,131 @@
+"""Heterogeneous deployments: mixed description models on one stack.
+
+"Primitive devices using only a lightweight URI-matching service discovery
+… can use the same service discovery infrastructure as the more
+heavyweight ones based on semantic service descriptions."
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+
+@pytest.fixture
+def mixed_system():
+    system = DiscoverySystem(seed=61, ontology=battlefield_ontology())
+    system.add_lan("lan-0")
+    system.add_registry("lan-0")  # supports all three models
+    # A primitive device: URI-only advertisement.
+    system.add_service("lan-0", ServiceProfile.build(
+        "legacy-radar", "ncw:RadarService", outputs=["ncw:AirTrack"]),
+        model_ids=("uri",))
+    # A heavyweight device: semantic-only advertisement.
+    system.add_service("lan-0", ServiceProfile.build(
+        "smart-radar", "ncw:AirSurveillanceRadarService",
+        outputs=["ncw:AirTrack"]),
+        model_ids=("semantic",))
+    system.run(until=2.0)
+    return system
+
+
+def test_registry_stores_both_models(mixed_system):
+    registry = mixed_system.registries[0]
+    assert len(registry.store.of_model("uri")) == 1
+    assert len(registry.store.of_model("semantic")) == 1
+
+
+def test_uri_client_sees_only_exact_uri_matches(mixed_system):
+    client = mixed_system.add_client("lan-0", model_ids=("uri",))
+    mixed_system.run_for(1.0)
+    exact = mixed_system.discover(
+        client, ServiceRequest.build("ncw:RadarService"), model_id="uri")
+    assert exact.service_names() == ["legacy-radar"]
+    general = mixed_system.discover(
+        client, ServiceRequest.build("ncw:SensorService"), model_id="uri")
+    assert general.hits == []  # no subsumption in the URI model
+
+
+def test_semantic_client_sees_only_semantic_ads(mixed_system):
+    client = mixed_system.add_client("lan-0", model_ids=("semantic",))
+    mixed_system.run_for(1.0)
+    call = mixed_system.discover(
+        client, ServiceRequest.build("ncw:SensorService"))
+    # The legacy device's capability is invisible to semantic queries —
+    # the per-model trade the layered stack makes explicit.
+    assert call.service_names() == ["smart-radar"]
+
+
+def test_dual_model_client_can_query_both(mixed_system):
+    client = mixed_system.add_client("lan-0")
+    mixed_system.run_for(1.0)
+    names = set()
+    for model_id, category in (("uri", "ncw:RadarService"),
+                               ("semantic", "ncw:SensorService")):
+        call = mixed_system.discover(
+            client, ServiceRequest.build(category), model_id=model_id)
+        names |= set(call.service_names())
+    assert names == {"legacy-radar", "smart-radar"}
+
+
+def test_uri_only_registry_discards_semantic_publishes():
+    system = DiscoverySystem(seed=62, ontology=battlefield_ontology())
+    system.add_lan("lan-0")
+    registry = system.add_registry("lan-0", model_ids=("uri",))
+    system.add_service("lan-0", ServiceProfile.build(
+        "smart", "ncw:RadarService", outputs=["ncw:AirTrack"]),
+        model_ids=("semantic",))
+    system.run(until=2.0)
+    assert len(registry.store) == 0
+    assert registry.models.discarded_payloads >= 1
+
+
+# -- property-based: whole-system determinism -----------------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_full_system_deterministic_for_any_seed(seed):
+    """The same seed must always produce byte-identical traffic and results."""
+
+    def run_once():
+        config = DiscoveryConfig(beacon_interval=2.0, lease_duration=6.0,
+                                 purge_interval=1.0)
+        system = DiscoverySystem(seed=seed, ontology=battlefield_ontology(),
+                                 config=config)
+        for i in range(2):
+            system.add_lan(f"lan-{i}")
+            system.add_registry(f"lan-{i}")
+        system.federate_chain()
+        system.add_service("lan-1", ServiceProfile.build(
+            "radar", "ncw:RadarService", outputs=["ncw:AirTrack"]))
+        client = system.add_client("lan-0")
+        system.run(until=4.0)
+        call = system.discover(client, ServiceRequest.build("ncw:SensorService"))
+        return (system.traffic(), tuple(call.service_names()),
+                round(call.latency, 9))
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    text=st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                               whitelist_characters=":-_ "),
+        max_size=60,
+    )
+)
+def test_tokenize_properties(text):
+    """Tokens are lowercase, non-empty, and tokenizing is idempotent."""
+    from repro.descriptions.template import tokenize
+
+    tokens = tokenize(text)
+    assert all(t == t.lower() and t for t in tokens)
+    retokenized = frozenset().union(*(tokenize(t) for t in tokens)) \
+        if tokens else frozenset()
+    assert retokenized == tokens

@@ -1,0 +1,95 @@
+"""Unit tests for envelopes and the size model."""
+
+from __future__ import annotations
+
+from repro.netsim.messages import (
+    DEFAULT_ENVELOPE_OVERHEAD,
+    Envelope,
+    SizeModel,
+    estimate_payload_size,
+)
+
+
+class _Sized:
+    def size_bytes(self) -> int:
+        return 1234
+
+
+class _Plain:
+    def __init__(self):
+        self.name = "abcd"
+        self.value = 7
+        self._hidden = "x" * 1000
+
+
+def test_none_payload_is_zero():
+    assert estimate_payload_size(None) == 0
+
+
+def test_size_bytes_method_is_authoritative():
+    assert estimate_payload_size(_Sized()) == 1234
+
+
+def test_string_size_scales_with_length():
+    short = estimate_payload_size("ab")
+    long = estimate_payload_size("ab" * 100)
+    assert long > short
+
+
+def test_bytes_counted_exactly():
+    assert estimate_payload_size(b"12345") == 5
+
+
+def test_container_sizes_recurse():
+    flat = estimate_payload_size(["abc", "def"])
+    nested = estimate_payload_size({"k": ["abc", "def"], "j": "ghi"})
+    assert nested > flat > 0
+
+
+def test_object_private_attrs_excluded():
+    obj = _Plain()
+    with_hidden = estimate_payload_size(obj)
+    assert with_hidden < 1000  # the _hidden kilobyte string is not counted
+
+
+def test_message_size_adds_envelope_overhead():
+    model = SizeModel()
+    assert model.message_size(None) == DEFAULT_ENVELOPE_OVERHEAD
+    assert model.message_size("hello") > DEFAULT_ENVELOPE_OVERHEAD
+
+
+def test_compression_reduces_payload_only():
+    plain = SizeModel()
+    zipped = SizeModel(compression_ratio=0.25)
+    payload = "x" * 4000
+    assert zipped.message_size(payload) < plain.message_size(payload)
+    # The envelope itself is not compressed.
+    assert zipped.message_size(None) == plain.message_size(None)
+
+
+def test_forwarded_envelope_increments_hops():
+    env = Envelope(msg_type="query", src="a", dst="b", payload="p", headers={"ttl": 3})
+    fwd = env.forwarded("b", "c")
+    assert fwd.hops == env.hops + 1
+    assert fwd.src == "b"
+    assert fwd.dst == "c"
+    assert fwd.msg_type == env.msg_type
+
+
+def test_forwarded_headers_are_independent():
+    env = Envelope(msg_type="query", src="a", dst="b", headers={"ttl": 3})
+    fwd = env.forwarded("b", "c")
+    fwd.headers["ttl"] = 2
+    assert env.headers["ttl"] == 3
+
+
+def test_envelope_ids_are_unique():
+    a = Envelope(msg_type="x", src="a", dst="b")
+    b = Envelope(msg_type="x", src="a", dst="b")
+    assert a.envelope_id != b.envelope_id
+
+
+def test_header_accessor_default():
+    env = Envelope(msg_type="x", src="a", dst="b", headers={"k": 1})
+    assert env.header("k") == 1
+    assert env.header("missing", "d") == "d"

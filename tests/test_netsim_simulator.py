@@ -1,0 +1,179 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.simulator import Simulator
+
+
+def test_time_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_until(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.schedule(2.5, lambda: fired.append(sim.now))
+    sim.run(until=2.0)
+    assert fired == [1.0]
+    assert sim.now == 2.0
+
+
+def test_run_drains_heap_without_until(sim):
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("a"))
+    sim.schedule(1.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["b", "a"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, lambda label=label: fired.append(label))
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_schedule_with_args(sim):
+    got = []
+    sim.schedule(0.5, got.append, "value")
+    sim.run()
+    assert got == ["value"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_firing(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_events_scheduled_during_run_fire(sim):
+    fired = []
+
+    def outer():
+        sim.schedule(1.0, lambda: fired.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == ["inner"]
+    assert sim.now == 2.0
+
+
+def test_zero_delay_event_fires_after_current(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, lambda: order.append("chained"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "chained"]
+
+
+def test_periodic_task_fires_repeatedly(sim):
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_periodic_initial_delay(sim):
+    ticks = []
+    sim.every(2.0, lambda: ticks.append(sim.now), initial_delay=0.5)
+    sim.run(until=5.0)
+    assert ticks == [0.5, 2.5, 4.5]
+
+
+def test_periodic_stop(sim):
+    ticks = []
+    handle = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.schedule(2.5, handle.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+
+
+def test_periodic_nonpositive_interval_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_step_fires_single_event(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert fired == ["a", "b"]
+    assert not sim.step()
+
+
+def test_pending_excludes_cancelled(sim):
+    sim.schedule(1.0, lambda: None)
+    handle = sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.pending() == 1
+
+
+def test_max_events_bound(sim):
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_run_advances_to_until_even_without_events(sim):
+    sim.run(until=9.0)
+    assert sim.now == 9.0
+
+
+def test_rng_determinism():
+    a = Simulator(seed=123)
+    b = Simulator(seed=123)
+    assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+
+
+def test_clear_drops_pending(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.clear()
+    sim.run()
+    assert fired == []
+
+
+def test_reentrant_run_rejected(sim):
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()

@@ -1,0 +1,125 @@
+"""Unit tests for the lease manager — the §4.8 aliveness mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LeaseError
+from repro.registry.leases import DEFAULT_LEASE_DURATION, Lease, LeaseManager
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def leases(clock):
+    return LeaseManager(clock, default_duration=10.0)
+
+
+def test_grant_sets_expiry(leases, clock):
+    lease = leases.grant("ad-1")
+    assert lease.expires_at == 10.0
+    assert not lease.expired(clock())
+    assert len(leases) == 1
+
+
+def test_grant_custom_duration(leases):
+    lease = leases.grant("ad-1", duration=3.0)
+    assert lease.expires_at == 3.0
+
+
+def test_grant_rejects_nonpositive_duration(leases):
+    with pytest.raises(LeaseError):
+        leases.grant("ad-1", duration=0.0)
+
+
+def test_default_duration_validation():
+    with pytest.raises(LeaseError):
+        LeaseManager(lambda: 0.0, default_duration=-1.0)
+
+
+def test_regrant_replaces_old_lease(leases):
+    first = leases.grant("ad-1")
+    second = leases.grant("ad-1")
+    assert len(leases) == 1
+    assert leases.lease_for_ad("ad-1") is second
+    with pytest.raises(LeaseError):
+        leases.renew(first.lease_id)
+
+
+def test_renew_extends_from_now(leases, clock):
+    lease = leases.grant("ad-1")
+    clock.now = 7.0
+    leases.renew(lease.lease_id)
+    assert lease.expires_at == 17.0
+    assert lease.renewals == 1
+
+
+def test_renew_unknown_raises(leases):
+    with pytest.raises(LeaseError):
+        leases.renew("lease-nonexistent")
+
+
+def test_renew_after_expiry_raises_and_drops(leases, clock):
+    lease = leases.grant("ad-1")
+    clock.now = 11.0
+    with pytest.raises(LeaseError):
+        leases.renew(lease.lease_id)
+    # The lapsed lease is gone even before a purge sweep.
+    assert leases.lease_for_ad("ad-1") is None
+
+
+def test_expired_ads_returns_and_removes(leases, clock):
+    leases.grant("ad-1", duration=5.0)
+    leases.grant("ad-2", duration=20.0)
+    clock.now = 6.0
+    assert leases.expired_ads() == ["ad-1"]
+    assert leases.expired_ads() == []  # already purged
+    assert len(leases) == 1
+    assert leases.expired_total == 1
+
+
+def test_never_serves_expired_entry(leases, clock):
+    """Invariant: an expired lease is indistinguishable from no lease."""
+    lease = leases.grant("ad-1", duration=5.0)
+    clock.now = 5.0  # boundary is inclusive expiry
+    assert lease.expired(clock())
+    with pytest.raises(LeaseError):
+        leases.renew(lease.lease_id)
+
+
+def test_cancel_for_ad(leases):
+    leases.grant("ad-1")
+    leases.cancel_for_ad("ad-1")
+    assert leases.lease_for_ad("ad-1") is None
+    assert len(leases) == 0
+    leases.cancel_for_ad("ad-unknown")  # no-op, no raise
+
+
+def test_renewal_keeps_ad_alive_across_sweeps(leases, clock):
+    lease = leases.grant("ad-1", duration=5.0)
+    for step in range(1, 6):
+        clock.now = step * 4.0
+        leases.renew(lease.lease_id)
+        assert leases.expired_ads() == []
+    assert lease.renewals == 5
+
+
+def test_clear(leases):
+    leases.grant("ad-1")
+    leases.clear()
+    assert len(leases) == 0
+
+
+def test_default_module_duration_positive():
+    assert DEFAULT_LEASE_DURATION > 0

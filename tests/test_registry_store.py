@@ -1,0 +1,134 @@
+"""Unit tests for the advertisement store and records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdvertisementNotFoundError
+from repro.registry.advertisements import Advertisement, new_uuid, summarize
+from repro.registry.store import AdvertisementStore
+
+
+def _ad(ad_id="ad-1", service_node="svc-node-1", name="svc-1", version=1,
+        model_id="uri"):
+    return Advertisement(
+        ad_id=ad_id,
+        service_node=service_node,
+        service_name=name,
+        endpoint=f"svc://{name}",
+        model_id=model_id,
+        description=f"uri:{name}",
+        version=version,
+    )
+
+
+def test_new_uuid_unique_and_prefixed():
+    a, b = new_uuid("ad"), new_uuid("ad")
+    assert a != b
+    assert a.startswith("ad-")
+    assert new_uuid("lease").startswith("lease-")
+
+
+def test_put_and_get():
+    store = AdvertisementStore()
+    ad = _ad()
+    store.put(ad)
+    assert store.get("ad-1") is ad
+    assert "ad-1" in store
+    assert len(store) == 1
+
+
+def test_get_missing_raises():
+    with pytest.raises(AdvertisementNotFoundError):
+        AdvertisementStore().get("ghost")
+
+
+def test_newer_version_replaces():
+    store = AdvertisementStore()
+    store.put(_ad(version=1))
+    newer = _ad(version=2)
+    store.put(newer)
+    assert store.get("ad-1").version == 2
+
+
+def test_stale_version_ignored():
+    store = AdvertisementStore()
+    current = _ad(version=3)
+    store.put(current)
+    result = store.put(_ad(version=1))
+    assert result is current
+    assert store.get("ad-1").version == 3
+
+
+def test_remove_and_discard():
+    store = AdvertisementStore()
+    store.put(_ad())
+    removed = store.remove("ad-1")
+    assert removed.ad_id == "ad-1"
+    assert len(store) == 0
+    assert store.discard("ad-1") is None  # already gone
+    with pytest.raises(AdvertisementNotFoundError):
+        store.remove("ad-1")
+
+
+def test_by_service_index():
+    store = AdvertisementStore()
+    store.put(_ad(ad_id="ad-1", service_node="node-a"))
+    store.put(_ad(ad_id="ad-2", service_node="node-a", model_id="semantic"))
+    store.put(_ad(ad_id="ad-3", service_node="node-b"))
+    assert [a.ad_id for a in store.by_service("node-a")] == ["ad-1", "ad-2"]
+    assert store.service_nodes() == ["node-a", "node-b"]
+    store.remove("ad-1")
+    store.remove("ad-2")
+    assert store.service_nodes() == ["node-b"]
+
+
+def test_of_model_filter():
+    store = AdvertisementStore()
+    store.put(_ad(ad_id="ad-1", model_id="uri"))
+    store.put(_ad(ad_id="ad-2", model_id="semantic"))
+    assert [a.ad_id for a in store.of_model("semantic")] == ["ad-2"]
+
+
+def test_all_sorted_by_uuid():
+    store = AdvertisementStore()
+    store.put(_ad(ad_id="ad-9"))
+    store.put(_ad(ad_id="ad-1"))
+    assert [a.ad_id for a in store.all()] == ["ad-1", "ad-9"]
+
+
+def test_clear():
+    store = AdvertisementStore()
+    store.put(_ad())
+    store.clear()
+    assert len(store) == 0
+    assert store.service_nodes() == []
+
+
+def test_bumped_copy():
+    ad = _ad(version=1)
+    bumped = ad.bumped("new-description", now=5.0)
+    assert bumped.version == 2
+    assert bumped.description == "new-description"
+    assert bumped.published_at == 5.0
+    assert ad.version == 1  # original untouched
+
+
+def test_advertisement_size_includes_description():
+    small = _ad()
+    large = Advertisement(
+        ad_id="ad-x", service_node="n", service_name="s", endpoint="e",
+        model_id="m", description="x" * 5000,
+    )
+    assert large.size_bytes() > small.size_bytes()
+
+
+def test_summary_is_compact():
+    ad = Advertisement(
+        ad_id="ad-x", service_node="n", service_name="s", endpoint="e",
+        model_id="semantic", description="x" * 5000,
+    )
+    summary = summarize(ad)
+    assert summary.size_bytes() < ad.size_bytes() / 10
+    assert summary.ad_id == ad.ad_id
+    assert summary.version == ad.version

@@ -1,0 +1,125 @@
+"""Long-horizon resilience scenarios: sustained registry churn, stale
+summaries, and combined dynamics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DiscoveryConfig, STRATEGY_INFORMED
+from repro.core.system import DiscoverySystem
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+REQUEST = ServiceRequest.build("ncw:SensorService", outputs=["ncw:Track"])
+
+
+def _radar(name):
+    return ServiceProfile.build(name, "ncw:RadarService",
+                                outputs=["ncw:AirTrack"])
+
+
+def test_sustained_registry_churn_with_standbys():
+    """The registry role survives repeated registry crashes when standbys
+    implement the LAN quota policy — availability through the whole run."""
+    config = DiscoveryConfig(
+        beacon_interval=1.0, lease_duration=5.0, purge_interval=1.0,
+        query_timeout=2.0, aggregation_timeout=0.3, fallback_timeout=0.4,
+    )
+    system = DiscoverySystem(seed=81, ontology=battlefield_ontology(),
+                             config=config)
+    system.add_lan("lan-0")
+    primary = system.add_registry("lan-0")
+    standby_a = system.add_standby_registry("lan-0", lan_target=1)
+    standby_b = system.add_standby_registry("lan-0", lan_target=1)
+    system.add_service("lan-0", _radar("radar"))
+    client = system.add_client("lan-0")
+    system.run(until=3.0)
+
+    # Crash whichever registry is active, three times in a row.
+    served = 0
+    for _round in range(3):
+        active = [r for r in (primary, standby_a, standby_b)
+                  if r.alive and getattr(r, "active", True)]
+        active[0].crash()
+        system.run_for(12.0)
+        call = system.discover(client, REQUEST, timeout=30.0)
+        if call.service_names() == ["radar"]:
+            served += 1
+        # Bring the victim back as a fresh standby/registry for the next round.
+        active[0].restart()
+        system.run_for(6.0)
+    assert served == 3
+    assert standby_a.promotions + standby_b.promotions >= 1
+
+
+def test_informed_routing_summary_staleness_window():
+    """A service that appears *after* the last gossip round is invisible
+    to informed routing until summaries refresh — the documented trade."""
+    config = DiscoveryConfig(strategy=STRATEGY_INFORMED,
+                             signalling_interval=10.0,
+                             aggregation_timeout=0.3)
+    system = DiscoverySystem(seed=82, ontology=battlefield_ontology(),
+                             config=config)
+    for i in range(2):
+        system.add_lan(f"lan-{i}")
+        system.add_registry(f"lan-{i}")
+    system.federate_chain()
+    client = system.add_client("lan-0")
+    system.run(until=25.0)  # summaries gossiped (empty remote)
+
+    system.add_service("lan-1", _radar("fresh"))
+    system.run_for(1.0)  # published, but not yet gossiped
+    stale_call = system.discover(client, REQUEST, timeout=30.0)
+    assert stale_call.hits == []  # stale summary: remote registry skipped
+
+    system.run_for(15.0)  # one gossip round refreshes the summary
+    fresh_call = system.discover(client, REQUEST, timeout=30.0)
+    assert fresh_call.service_names() == ["fresh"]
+
+
+def test_everything_at_once():
+    """Churn + roaming + registry outage + standby + queries, all together.
+
+    The kitchen-sink scenario: whatever interleaving happens, every
+    query completes and nothing crashes the simulator.
+    """
+    config = DiscoveryConfig(
+        beacon_interval=1.0, lease_duration=6.0, purge_interval=1.0,
+        query_timeout=2.0, aggregation_timeout=0.3, signalling_interval=3.0,
+    )
+    system = DiscoverySystem(seed=83, ontology=battlefield_ontology(),
+                             config=config)
+    for i in range(3):
+        system.add_lan(f"lan-{i}")
+        system.add_registry(f"lan-{i}")
+    system.federate_ring()
+    system.add_standby_registry("lan-0", lan_target=1)
+    services = [
+        system.add_service(f"lan-{i % 3}", _radar(f"radar-{i}"))
+        for i in range(6)
+    ]
+    clients = [system.add_client(f"lan-{i}") for i in range(3)]
+    system.run(until=5.0)
+
+    # Interleave dynamics over ~60 s.
+    system.sim.schedule_at(10.0, services[0].crash)
+    system.sim.schedule_at(15.0, system.registries[1].crash)
+    system.sim.schedule_at(20.0, lambda: system.move(services[1], "lan-2"))
+    system.sim.schedule_at(30.0, services[0].restart)
+    system.sim.schedule_at(35.0, system.registries[1].restart)
+    system.sim.schedule_at(40.0, lambda: system.move(services[1], "lan-0"))
+
+    completed = 0
+    with_hits = 0
+    for round_index in range(12):
+        client = clients[round_index % 3]
+        call = system.discover(client, REQUEST, timeout=30.0)
+        completed += 1 if call.completed else 0
+        with_hits += 1 if call.hits else 0
+        system.run_for(5.0)
+    assert completed == 12
+    assert with_hits >= 10  # brief transients may hide some services
+    # After the dust settles, everything is discoverable again.
+    system.run_for(30.0)
+    final = system.discover(clients[0], REQUEST, timeout=30.0)
+    assert len(final.hits) == 6

@@ -1,0 +1,115 @@
+"""Unit tests for ontology and profile generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.semantics.generator import (
+    OntologyGenerator,
+    ProfileGenerator,
+    battlefield_ontology,
+    emergency_ontology,
+)
+from repro.semantics.matchmaker import DegreeOfMatch, Matchmaker
+from repro.semantics.ontology import THING
+from repro.semantics.reasoner import Reasoner
+
+
+def test_domain_ontologies_are_consistent():
+    for factory in (battlefield_ontology, emergency_ontology):
+        ont = factory()
+        assert len(ont) > 40
+        reasoner = Reasoner(ont)
+        for cls in ont.classes():
+            if cls != THING:
+                assert reasoner.subsumes(THING, cls)
+
+
+def test_random_ontology_deterministic():
+    a = OntologyGenerator(7).random_ontology()
+    b = OntologyGenerator(7).random_ontology()
+    assert a.classes() == b.classes()
+    assert list(a.iter_edges()) == list(b.iter_edges())
+
+
+def test_random_ontology_different_seeds_differ():
+    a = OntologyGenerator(1).random_ontology()
+    b = OntologyGenerator(2).random_ontology()
+    assert list(a.iter_edges()) != list(b.iter_edges())
+
+
+def test_random_ontology_class_counts():
+    ont = OntologyGenerator(0).random_ontology(
+        n_service_classes=10, n_data_classes=20
+    )
+    # roots + generated members + THING
+    assert len(ont) == 10 + 20 + 2 + 1
+
+
+def test_random_ontology_rejects_empty():
+    with pytest.raises(WorkloadError):
+        OntologyGenerator(0).random_ontology(n_service_classes=0)
+
+
+def test_profile_generator_pools_are_disjoint():
+    ont = battlefield_ontology()
+    gen = ProfileGenerator(ont, seed=1)
+    assert not set(gen.category_pool) & set(gen.data_pool)
+    assert all("Service" in c for c in gen.category_pool)
+
+
+def test_profiles_deterministic():
+    ont = battlefield_ontology()
+    assert ProfileGenerator(ont, seed=3).profiles(10) == \
+        ProfileGenerator(ont, seed=3).profiles(10)
+
+
+def test_profiles_draw_from_right_pools():
+    ont = emergency_ontology()
+    gen = ProfileGenerator(ont, seed=2)
+    for profile in gen.profiles(20):
+        assert profile.category in gen.category_pool
+        for concept in (*profile.inputs, *profile.outputs):
+            assert concept in gen.data_pool
+        assert profile.outputs  # at least one output always
+
+
+def test_request_for_generalize_zero_matches_anchor():
+    ont = battlefield_ontology()
+    gen = ProfileGenerator(ont, seed=4)
+    profile = gen.random_profile(0)
+    request = gen.request_for(profile, generalize=0)
+    assert request.category == profile.category
+
+
+def test_request_for_generalize_walks_up():
+    ont = battlefield_ontology()
+    gen = ProfileGenerator(ont, seed=4)
+    reasoner = Reasoner(ont)
+    profile = gen.random_profile(0)
+    request = gen.request_for(profile, generalize=2)
+    assert reasoner.subsumes(request.category, profile.category) or \
+        request.category == profile.category
+
+
+def test_labelled_requests_anchor_is_relevant():
+    ont = battlefield_ontology()
+    gen = ProfileGenerator(ont, seed=5)
+    profiles = gen.profiles(20)
+    for item in gen.labelled_requests(profiles, 10, generalize=1):
+        assert item.relevant  # the anchor at least must match
+        matchmaker = Matchmaker(Reasoner(ont))
+        for name in item.relevant:
+            profile = next(p for p in profiles if p.service_name == name)
+            assert matchmaker.match(profile, item.request).degree \
+                >= DegreeOfMatch.SUBSUMES
+
+
+def test_profile_generator_rejects_flat_ontology():
+    from repro.semantics.ontology import Ontology
+
+    flat = Ontology("flat")
+    flat.add_class("OnlyData")
+    with pytest.raises(WorkloadError):
+        ProfileGenerator(flat)

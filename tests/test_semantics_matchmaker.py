@@ -1,0 +1,192 @@
+"""Unit tests for the degree-of-match matchmaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantics.matchmaker import DegreeOfMatch, Matchmaker
+from repro.semantics.ontology import Ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+from repro.semantics.reasoner import Reasoner
+
+
+@pytest.fixture
+def ont():
+    o = Ontology("mm")
+    o.add_subtree("Service", {
+        "SensorService": {"RadarService": {"AirRadarService": {}}},
+        "MapService": {},
+    })
+    o.add_subtree("Data", {
+        "Track": {"AirTrack": {}, "GroundTrack": {}},
+        "Map": {},
+    })
+    return o
+
+
+@pytest.fixture
+def mm(ont):
+    return Matchmaker(Reasoner(ont))
+
+
+def _profile(category="RadarService", outputs=("AirTrack",), inputs=(), qos=None):
+    return ServiceProfile.build(
+        "svc", category, inputs=list(inputs), outputs=list(outputs), qos=qos or {}
+    )
+
+
+# -- concept degrees --------------------------------------------------------
+
+def test_exact_same_concept(mm):
+    assert mm.concept_degree("Track", "Track") is DegreeOfMatch.EXACT
+
+
+def test_exact_direct_subclass_rule(mm):
+    # Requested is a DIRECT subclass of advertised: Paolucci's exact case.
+    assert mm.concept_degree("AirTrack", "Track") is DegreeOfMatch.EXACT
+
+
+def test_plugin_when_advertised_more_general(mm):
+    # Advertised subsumes requested from further away.
+    assert mm.concept_degree("AirRadarService", "SensorService") is DegreeOfMatch.PLUGIN
+
+
+def test_subsumes_when_advertised_more_specific(mm):
+    assert mm.concept_degree("Track", "AirTrack") is DegreeOfMatch.SUBSUMES
+
+
+def test_fail_when_unrelated(mm):
+    assert mm.concept_degree("Track", "Map") is DegreeOfMatch.FAIL
+
+
+def test_fail_when_concept_unknown(mm):
+    assert mm.concept_degree("Track", "alien:Thing") is DegreeOfMatch.FAIL
+    assert mm.concept_degree("alien:Thing", "Track") is DegreeOfMatch.FAIL
+
+
+def test_degree_ordering():
+    assert DegreeOfMatch.EXACT > DegreeOfMatch.PLUGIN > DegreeOfMatch.SUBSUMES \
+        > DegreeOfMatch.FAIL
+
+
+# -- profile-level matching ---------------------------------------------------
+
+def test_exact_match_full_profile(mm):
+    request = ServiceRequest.build("RadarService", outputs=["AirTrack"])
+    result = mm.match(_profile(), request)
+    assert result.degree is DegreeOfMatch.EXACT
+    assert result.matched
+
+
+def test_generalized_request_matches_special_service(mm):
+    # Ask for SensorService/Track, advertised RadarService/AirTrack.
+    request = ServiceRequest.build("SensorService", outputs=["Track"])
+    result = mm.match(_profile(), request)
+    assert result.matched
+    # Category: RadarService is a direct subclass of... requested
+    # SensorService subsumes advertised RadarService (direct child =>
+    # Paolucci exact is requested-direct-subclass-of-advertised, which is
+    # the other direction) -> SUBSUMES here; outputs likewise.
+    assert result.degree >= DegreeOfMatch.SUBSUMES
+
+
+def test_every_requested_output_must_be_served(mm):
+    request = ServiceRequest.build(None, outputs=["AirTrack", "Map"])
+    result = mm.match(_profile(outputs=("AirTrack",)), request)
+    assert result.degree is DegreeOfMatch.FAIL
+
+
+def test_weakest_link_degree(mm):
+    # One requested output exact (AirTrack), the other (Track) only
+    # satisfied by more-specific advertised outputs => SUBSUMES; the
+    # overall output degree is the weakest link.
+    request = ServiceRequest.build(None, outputs=["AirTrack", "Track"])
+    profile = _profile(outputs=("AirTrack", "GroundTrack"))
+    result = mm.match(profile, request)
+    assert result.output_degree is DegreeOfMatch.SUBSUMES
+    assert result.matched
+
+
+def test_unrelated_category_fails(mm):
+    request = ServiceRequest.build("MapService", outputs=["AirTrack"])
+    result = mm.match(_profile(), request)
+    assert not result.matched
+
+
+def test_input_direction(mm):
+    # The service requires a Track input; client provides AirTrack (more
+    # specific) — acceptable.
+    request = ServiceRequest.build("RadarService", inputs=["AirTrack"])
+    profile = _profile(inputs=("Track",))
+    assert mm.match(profile, request).matched
+    # Client provides something unrelated: fail.
+    request_bad = ServiceRequest.build("RadarService", inputs=["Map"])
+    assert not mm.match(profile, request_bad).matched
+
+
+def test_no_declared_inputs_is_unconstrained(mm):
+    request = ServiceRequest.build("RadarService")
+    profile = _profile(inputs=("Track",))
+    assert mm.match(profile, request).matched
+
+
+def test_qos_constraint_filters(mm):
+    profile = _profile(qos={"latency_ms": 200.0})
+    ok = ServiceRequest.build("RadarService", qos={"latency_ms": (None, 500.0)})
+    bad = ServiceRequest.build("RadarService", qos={"latency_ms": (None, 100.0)})
+    assert mm.match(profile, ok).matched
+    result = mm.match(profile, bad)
+    assert not result.matched
+    assert result.failed_constraints == ("latency_ms",)
+
+
+def test_missing_qos_attribute_fails_constraint(mm):
+    profile = _profile()  # no QoS at all
+    request = ServiceRequest.build("RadarService", qos={"latency_ms": (None, 100.0)})
+    assert not mm.match(profile, request).matched
+
+
+def test_rank_orders_by_degree_then_score(mm):
+    exact = ServiceProfile.build("exact", "RadarService", outputs=["AirTrack"])
+    general = ServiceProfile.build("general", "SensorService", outputs=["Track"])
+    request = ServiceRequest.build("RadarService", outputs=["AirTrack"])
+    ranked = mm.rank([general, exact], request)
+    assert [r.profile.service_name for r in ranked][0] == "exact"
+
+
+def test_rank_limit_is_response_control(mm):
+    profiles = [
+        ServiceProfile.build(f"svc-{i}", "RadarService", outputs=["AirTrack"])
+        for i in range(10)
+    ]
+    request = ServiceRequest.build("RadarService")
+    assert len(mm.rank(profiles, request, limit=3)) == 3
+    assert len(mm.rank(profiles, request)) == 10
+
+
+def test_rank_excludes_failures(mm):
+    bad = ServiceProfile.build("bad", "MapService", outputs=["Map"])
+    request = ServiceRequest.build("RadarService", outputs=["AirTrack"])
+    assert mm.rank([bad], request) == []
+
+
+def test_rank_deterministic_tie_break(mm):
+    twins = [
+        ServiceProfile.build(name, "RadarService", outputs=["AirTrack"])
+        for name in ("b-svc", "a-svc")
+    ]
+    request = ServiceRequest.build("RadarService")
+    ranked = mm.rank(twins, request)
+    assert [r.profile.service_name for r in ranked] == ["a-svc", "b-svc"]
+
+
+def test_score_in_unit_interval(mm):
+    request = ServiceRequest.build("SensorService", outputs=["Track"])
+    result = mm.match(_profile(), request)
+    assert 0.0 <= result.score <= 1.0
+
+
+def test_evaluation_counter(mm):
+    before = mm.evaluations
+    mm.match(_profile(), ServiceRequest.build("RadarService"))
+    assert mm.evaluations == before + 1

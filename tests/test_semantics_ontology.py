@@ -1,0 +1,149 @@
+"""Unit tests for the ontology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CycleError, OntologyError, UnknownClassError
+from repro.semantics.ontology import Ontology, THING
+
+
+@pytest.fixture
+def ont():
+    o = Ontology("test")
+    o.add_class("A")
+    o.add_class("B", parents=["A"])
+    o.add_class("C", parents=["B"])
+    o.add_class("D", parents=["A"])
+    return o
+
+
+def test_thing_always_present():
+    assert THING in Ontology()
+
+
+def test_add_class_defaults_to_thing_parent():
+    o = Ontology()
+    o.add_class("X")
+    assert o.parents("X") == frozenset({THING})
+
+
+def test_unknown_parent_rejected():
+    o = Ontology()
+    with pytest.raises(UnknownClassError):
+        o.add_class("X", parents=["Missing"])
+
+
+def test_empty_uri_rejected():
+    with pytest.raises(OntologyError):
+        Ontology().add_class("")
+
+
+def test_self_parent_rejected():
+    o = Ontology()
+    o.add_class("X")
+    with pytest.raises(CycleError):
+        o.add_class("X", parents=["X"])
+
+
+def test_cycle_rejected(ont):
+    with pytest.raises(CycleError):
+        ont.add_class("A", parents=["C"])  # C is a descendant of A
+
+
+def test_readding_class_extends_parents(ont):
+    ont.add_class("D", parents=["B"])
+    assert ont.parents("D") == frozenset({"A", "B"})
+
+
+def test_ancestors_transitive(ont):
+    assert ont.ancestors("C") == frozenset({"B", "A", THING})
+
+
+def test_descendants_transitive(ont):
+    assert ont.descendants("A") == frozenset({"B", "C", "D"})
+
+
+def test_leaves(ont):
+    assert set(ont.leaves()) == {"C", "D"}
+
+
+def test_depth(ont):
+    assert ont.depth(THING) == 0
+    assert ont.depth("A") == 1
+    assert ont.depth("C") == 3
+
+
+def test_depth_uses_shortest_chain():
+    o = Ontology()
+    o.add_class("A")
+    o.add_class("B", parents=["A"])
+    o.add_class("X", parents=["B"])
+    o.add_class("X", parents=[THING])  # a direct shortcut to the root
+    assert o.depth("X") == 1
+
+
+def test_unknown_class_queries_raise(ont):
+    with pytest.raises(UnknownClassError):
+        ont.ancestors("Nope")
+    with pytest.raises(UnknownClassError):
+        ont.children("Nope")
+
+
+def test_contains_and_len(ont):
+    assert "A" in ont
+    assert "Z" not in ont
+    assert len(ont) == 5  # THING + 4
+
+
+def test_add_subtree_bulk(ont):
+    ont.add_subtree("A", {"E": {"F": {}}, "G": {}})
+    assert "F" in ont
+    assert ont.parents("F") == frozenset({"E"})
+    assert "A" in ont.ancestors("F")
+
+
+def test_version_increases_on_change(ont):
+    v = ont.version
+    ont.add_class("Z")
+    assert ont.version > v
+
+
+def test_properties(ont):
+    ont.add_property("rel", "A", "B")
+    props = ont.properties()
+    assert len(props) == 1
+    assert props[0].domain == "A"
+
+
+def test_duplicate_property_rejected(ont):
+    ont.add_property("rel", "A", "B")
+    with pytest.raises(OntologyError):
+        ont.add_property("rel", "A", "C")
+
+
+def test_property_requires_known_classes(ont):
+    with pytest.raises(UnknownClassError):
+        ont.add_property("rel", "A", "Nope")
+
+
+def test_iter_edges_sorted(ont):
+    edges = list(ont.iter_edges())
+    assert ("B", "A") in edges
+    assert edges == sorted(edges)
+
+
+def test_size_bytes_grows_with_content():
+    small = Ontology()
+    small.add_class("A")
+    large = Ontology()
+    large.add_subtree("A", {f"C{i}": {} for i in range(50)})
+    assert large.size_bytes() > small.size_bytes()
+
+
+def test_multiple_inheritance_ancestors():
+    o = Ontology()
+    o.add_class("A")
+    o.add_class("B")
+    o.add_class("AB", parents=["A", "B"])
+    assert o.ancestors("AB") >= {"A", "B"}

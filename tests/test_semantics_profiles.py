@@ -1,0 +1,105 @@
+"""Unit tests for service profiles and requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DescriptionError
+from repro.semantics.profiles import QoSConstraint, ServiceProfile, ServiceRequest
+
+
+def test_profile_build_normalizes(radar_profile):
+    assert radar_profile.inputs == ("ncw:GridPosition",)
+    assert radar_profile.qos_value("latency_ms") == 50.0
+    assert radar_profile.qos_value("missing") is None
+
+
+def test_profile_requires_name_and_category():
+    with pytest.raises(DescriptionError):
+        ServiceProfile.build("", "cat")
+    with pytest.raises(DescriptionError):
+        ServiceProfile.build("name", "")
+
+
+def test_profile_concepts(radar_profile):
+    assert radar_profile.concepts() == frozenset({
+        "ncw:AirSurveillanceRadarService", "ncw:GridPosition", "ncw:AirTrack",
+    })
+
+
+def test_profile_qos_dict_roundtrip(radar_profile):
+    assert radar_profile.qos_dict() == {"latency_ms": 50.0, "coverage_km": 40.0}
+
+
+def test_profile_is_hashable(radar_profile):
+    assert hash(radar_profile) == hash(radar_profile)
+    assert radar_profile in {radar_profile}
+
+
+def test_profile_size_grows_with_parameters():
+    small = ServiceProfile.build("s", "cat")
+    big = ServiceProfile.build(
+        "s", "cat",
+        inputs=["a", "b"], outputs=["c", "d", "e"],
+        qos={"q1": 1.0, "q2": 2.0}, text="long description " * 10,
+    )
+    assert big.size_bytes() > small.size_bytes() > 0
+
+
+def test_profile_size_dominates_uri_string():
+    """The paper: semantic advertisements are 'quite large' next to URIs."""
+    profile = ServiceProfile.build("s", "ncw:RadarService", outputs=["ncw:Track"])
+    assert profile.size_bytes() > 10 * len("ncw:RadarService")
+
+
+def test_request_requires_some_constraint():
+    with pytest.raises(DescriptionError):
+        ServiceRequest.build(None)
+
+
+def test_request_with_only_keywords_is_valid():
+    request = ServiceRequest.build(None, keywords=["radar"])
+    assert request.keywords == ("radar",)
+
+
+def test_request_max_results_validation():
+    with pytest.raises(DescriptionError):
+        ServiceRequest.build("cat", max_results=0)
+
+
+def test_request_qos_constraints_sorted():
+    request = ServiceRequest.build(
+        "cat", qos={"z_attr": (None, 5.0), "a_attr": (1.0, None)}
+    )
+    assert [c.attribute for c in request.qos_constraints] == ["a_attr", "z_attr"]
+
+
+def test_qos_constraint_bounds():
+    constraint = QoSConstraint("latency", minimum=10.0, maximum=100.0)
+    assert constraint.satisfied_by(50.0)
+    assert constraint.satisfied_by(10.0)   # inclusive
+    assert constraint.satisfied_by(100.0)  # inclusive
+    assert not constraint.satisfied_by(9.9)
+    assert not constraint.satisfied_by(100.1)
+    assert not constraint.satisfied_by(None)
+
+
+def test_qos_constraint_one_sided():
+    low = QoSConstraint("x", minimum=1.0)
+    assert low.satisfied_by(999.0)
+    high = QoSConstraint("x", maximum=1.0)
+    assert high.satisfied_by(-999.0)
+
+
+def test_qos_constraint_rejects_nan():
+    constraint = QoSConstraint("x", minimum=0.0)
+    assert not constraint.satisfied_by(float("nan"))
+
+
+def test_request_size_bytes(sensor_request):
+    assert sensor_request.size_bytes() > 0
+    bigger = ServiceRequest.build(
+        "cat", outputs=["a", "b", "c"], inputs=["d"],
+        qos={"q": (0.0, 1.0)}, keywords=["k1", "k2"],
+    )
+    assert bigger.size_bytes() > ServiceRequest.build("cat").size_bytes()

@@ -1,0 +1,117 @@
+"""Unit tests for the subsumption reasoner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantics.ontology import Ontology, THING
+from repro.semantics.reasoner import Reasoner
+
+
+@pytest.fixture
+def ont():
+    o = Ontology("vehicles")
+    o.add_subtree("Vehicle", {
+        "LandVehicle": {"Car": {"Sedan": {}, "SUV": {}}, "Truck": {}},
+        "WaterVehicle": {"Boat": {}},
+    })
+    return o
+
+
+@pytest.fixture
+def r(ont):
+    return Reasoner(ont)
+
+
+def test_subsumes_reflexive(r):
+    assert r.subsumes("Car", "Car")
+
+
+def test_subsumes_direct_and_transitive(r):
+    assert r.subsumes("LandVehicle", "Car")
+    assert r.subsumes("Vehicle", "Sedan")
+    assert r.subsumes(THING, "Boat")
+
+
+def test_subsumes_direction_matters(r):
+    assert not r.subsumes("Car", "Vehicle")
+    assert not r.subsumes("Sedan", "Car")
+
+
+def test_unrelated_not_subsumed(r):
+    assert not r.subsumes("Car", "Boat")
+    assert not r.subsumes("Boat", "Car")
+
+
+def test_paper_example():
+    """'a Radar is a kind of Sensor' — the paper's own inference case."""
+    from repro.semantics.generator import battlefield_ontology
+
+    r = Reasoner(battlefield_ontology())
+    assert r.subsumes("ncw:Sensor", "ncw:Radar")
+    assert not r.subsumes("ncw:Radar", "ncw:Sensor")
+
+
+def test_related_symmetric(r):
+    assert r.related("Car", "Vehicle")
+    assert r.related("Vehicle", "Car")
+    assert not r.related("Car", "Boat")
+
+
+def test_lca_of_siblings(r):
+    assert r.lca_set("Sedan", "SUV") == frozenset({"Car"})
+
+
+def test_lca_across_branches(r):
+    assert r.lca_set("Car", "Boat") == frozenset({"Vehicle"})
+
+
+def test_lca_with_self(r):
+    assert r.lca_set("Car", "Car") == frozenset({"Car"})
+
+
+def test_lca_with_ancestor(r):
+    assert r.lca_set("Sedan", "LandVehicle") == frozenset({"LandVehicle"})
+
+
+def test_distance_zero_for_identical(r):
+    assert r.distance("Car", "Car") == 0
+
+
+def test_distance_counts_edges(r):
+    assert r.distance("Sedan", "SUV") == 2
+    assert r.distance("Sedan", "Car") == 1
+    assert r.distance("Sedan", "Boat") == 5  # Sedan(4)+Boat(3)-2*Vehicle(1)... depths
+
+
+def test_distance_symmetric(r):
+    assert r.distance("Car", "Boat") == r.distance("Boat", "Car")
+
+
+def test_similarity_bounds(r):
+    assert r.similarity("Car", "Car") == 1.0
+    assert 0.0 < r.similarity("Sedan", "Boat") < 1.0
+
+
+def test_similarity_monotone_with_closeness(r):
+    assert r.similarity("Sedan", "SUV") > r.similarity("Sedan", "Boat")
+
+
+def test_cache_invalidation_on_ontology_change(ont, r):
+    assert not r.subsumes("Vehicle", "Hovercraft") if "Hovercraft" in ont else True
+    # warm the cache
+    assert r.subsumes("Vehicle", "Car")
+    ont.add_class("Hovercraft", parents=["LandVehicle", "WaterVehicle"])
+    assert r.subsumes("Vehicle", "Hovercraft")
+    assert r.subsumes("WaterVehicle", "Hovercraft")
+
+
+def test_depth_cache_matches_ontology(ont, r):
+    for cls in ont.classes():
+        assert r.depth_of(cls) == ont.depth(cls)
+
+
+def test_subsumption_counter_increments(r):
+    before = r.subsumption_checks
+    r.subsumes("Vehicle", "Car")
+    assert r.subsumption_checks == before + 1
