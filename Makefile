@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test perf-smoke bench all
+
+## Tier 1: the full unit/integration suite. Must always be green.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Tier 2: perf smoke for the registry query path. Fails if the indexed
+## path ever evaluates more profiles than the linear scan, or if the
+## evaluation reduction at 10k advertisements drops below 5x. Rewrites
+## BENCH_matchmaking.json at the repo root.
+perf-smoke:
+	$(PYTHON) -m pytest benchmarks/test_perf_matchmaking.py -q
+
+## Full experiment/benchmark sweep (slow).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+all: test perf-smoke

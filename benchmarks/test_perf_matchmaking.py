@@ -1,0 +1,173 @@
+"""Perf benchmark: indexed vs. linear semantic matchmaking (tier-2 smoke).
+
+Measures queries/sec and matchmaker evaluations-per-query at store sizes
+{100, 1k, 10k} for the index-pruned and linear-scan query paths, writes
+the perf trajectory to ``BENCH_matchmaking.json`` at the repo root, and
+enforces the regression floor: the indexed path must never evaluate more
+descriptions than the linear path, and at 10k advertisements selective
+requests must see at least a 5x evaluation reduction.
+
+Run directly (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_matchmaking.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.descriptions.base import ModelRegistry
+from repro.descriptions.semantic import SemanticModel
+from repro.registry.advertisements import Advertisement
+from repro.registry.matching import QueryEvaluator
+from repro.registry.store import AdvertisementStore
+from repro.semantics.generator import OntologyGenerator, ProfileGenerator
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_matchmaking.json"
+
+STORE_SIZES = (100, 1_000, 10_000)
+QUERIES_PER_SIZE = 25
+MAX_RESULTS = 5
+SEED = 42
+#: Required evaluations-per-query reduction at the largest store size.
+MIN_REDUCTION_AT_10K = 5.0
+
+
+def _advertise(profile, index: int) -> Advertisement:
+    return Advertisement(
+        ad_id=f"ad-{index:06d}",
+        service_node=f"svc-node-{index}",
+        service_name=profile.service_name,
+        endpoint=f"svc://{profile.service_name}",
+        model_id="semantic",
+        description=profile,
+    )
+
+
+def _measure(ontology, profiles, requests, *, use_indexes: bool) -> dict:
+    """One query-path measurement over a freshly built store."""
+    store = AdvertisementStore()
+    model = SemanticModel(ontology)
+    evaluator = QueryEvaluator(store, ModelRegistry([model]), use_indexes=use_indexes)
+    build_start = time.perf_counter()
+    for i, profile in enumerate(profiles):
+        store.put(_advertise(profile, i))
+    build_seconds = time.perf_counter() - build_start
+
+    # Warm-up pass: populate degree/ancestor caches so both paths are
+    # measured steady-state (the production-relevant regime).
+    for request in requests:
+        evaluator.evaluate("semantic", request, max_results=MAX_RESULTS)
+
+    evals_before = model.matchmaker.evaluations
+    scored_before = evaluator.descriptions_evaluated
+    hits_digest = []
+    query_start = time.perf_counter()
+    for request in requests:
+        hits = evaluator.evaluate("semantic", request, max_results=MAX_RESULTS)
+        hits_digest.append(tuple(
+            (h.advertisement.ad_id, h.degree, round(h.score, 12)) for h in hits
+        ))
+    elapsed = time.perf_counter() - query_start
+    n = len(requests)
+    return {
+        "build_seconds": round(build_seconds, 6),
+        "queries_per_sec": round(n / elapsed, 2) if elapsed > 0 else float("inf"),
+        "evaluations_per_query": (model.matchmaker.evaluations - evals_before) / n,
+        "descriptions_scored_per_query": (evaluator.descriptions_evaluated - scored_before) / n,
+        "_hits_digest": hits_digest,
+    }
+
+
+@pytest.fixture(scope="module")
+def bench_results():
+    ontology = OntologyGenerator(SEED).random_ontology()
+    generator = ProfileGenerator(ontology, seed=SEED)
+    rows = []
+    for size in STORE_SIZES:
+        profiles = generator.profiles(size)
+        # Selective anchored requests (generalize one step): the common
+        # query-response-control shape the paper's registries serve.
+        requests = [
+            generator.request_for(
+                profiles[(i * 37) % size], generalize=1, max_results=MAX_RESULTS
+            )
+            for i in range(QUERIES_PER_SIZE)
+        ]
+        linear = _measure(ontology, profiles, requests, use_indexes=False)
+        indexed = _measure(ontology, profiles, requests, use_indexes=True)
+        assert indexed.pop("_hits_digest") == linear.pop("_hits_digest"), \
+            f"indexed and linear hits diverged at store size {size}"
+        reduction = (
+            linear["evaluations_per_query"] / indexed["evaluations_per_query"]
+            if indexed["evaluations_per_query"] else float("inf")
+        )
+        rows.append({
+            "store_size": size,
+            "queries": QUERIES_PER_SIZE,
+            "linear": linear,
+            "indexed": indexed,
+            "evaluation_reduction": round(reduction, 2),
+            "query_speedup": round(
+                indexed["queries_per_sec"] / linear["queries_per_sec"], 2
+            ),
+        })
+    return rows
+
+
+def test_perf_trajectory_written(bench_results, results_dir):
+    payload = {
+        "benchmark": "indexed vs linear semantic matchmaking",
+        "config": {
+            "seed": SEED,
+            "queries_per_size": QUERIES_PER_SIZE,
+            "max_results": MAX_RESULTS,
+            "ontology": "OntologyGenerator(42).random_ontology()  # 40+60 classes",
+            "requests": "anchored, generalize=1 (selective)",
+        },
+        "sizes": bench_results,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    lines = [
+        f"{'store':>7} {'lin q/s':>9} {'idx q/s':>9} {'lin ev/q':>9} "
+        f"{'idx ev/q':>9} {'reduction':>10}"
+    ]
+    for row in bench_results:
+        lines.append(
+            f"{row['store_size']:>7} {row['linear']['queries_per_sec']:>9} "
+            f"{row['indexed']['queries_per_sec']:>9} "
+            f"{row['linear']['evaluations_per_query']:>9.1f} "
+            f"{row['indexed']['evaluations_per_query']:>9.1f} "
+            f"{row['evaluation_reduction']:>9.1f}x"
+        )
+    table = "\n".join(lines)
+    (results_dir / "perf_matchmaking.txt").write_text(table + "\n")
+    print()
+    print(table)
+
+
+def test_indexed_never_scores_more_than_linear(bench_results):
+    """Regression floor: pruning must only ever shrink the candidate set."""
+    for row in bench_results:
+        assert row["indexed"]["descriptions_scored_per_query"] \
+            <= row["linear"]["descriptions_scored_per_query"], row
+        # The linear path scores the whole store, every query.
+        assert row["linear"]["descriptions_scored_per_query"] == row["store_size"]
+
+
+def test_reduction_floor_at_10k(bench_results):
+    """ISSUE acceptance: >= 5x fewer matchmaker evaluations at 10k ads."""
+    largest = bench_results[-1]
+    assert largest["store_size"] == 10_000
+    assert largest["evaluation_reduction"] >= MIN_REDUCTION_AT_10K, largest
+
+
+def test_indexed_throughput_wins_at_10k(bench_results):
+    """Pruning must translate into wall-clock wins where scans are costly."""
+    largest = bench_results[-1]
+    assert largest["indexed"]["queries_per_sec"] \
+        > largest["linear"]["queries_per_sec"], largest

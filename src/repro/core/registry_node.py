@@ -162,10 +162,7 @@ class RegistryNode(Node):
         from repro.semantics.ontology import THING
         from repro.semantics.profiles import ServiceProfile
 
-        ontology = None
-        if self.models.supports("semantic"):
-            model = self.models.get("semantic")
-            ontology = getattr(model, "ontology", None)
+        ontology, reasoner = self._semantic_reasoner()
         terms: set[str] = set()
         for ad in self.store.all():
             description = ad.description
@@ -176,19 +173,31 @@ class RegistryNode(Node):
             elif ad.model_id == "semantic" and isinstance(description, ServiceProfile):
                 concepts = {description.category, *description.outputs}
                 terms |= concepts
-                if ontology is not None:
+                if reasoner is not None:
                     for concept in concepts:
                         if concept in ontology:
-                            terms |= ontology.ancestors(concept)
+                            terms |= reasoner.ancestors_of(concept)
         terms.discard(THING)
-        if ontology is not None:
+        if reasoner is not None:
             # Near-root concepts (depth <= 1) match almost any query and
             # would make every summary a false positive: drop them.
             terms = {
                 t for t in terms
-                if t not in ontology or ontology.depth(t) > 1
+                if t not in ontology or reasoner.depth_of(t) > 1
             }
         return tuple(sorted(terms))
+
+    def _semantic_reasoner(self):
+        """The semantic model's (ontology, cached reasoner), if present.
+
+        Summary and query-term expansion reuse the reasoner's memoized
+        ancestor closures instead of re-walking the ontology DAG per
+        concept — the same caches the query-path concept index warms.
+        """
+        if self.models.supports("semantic"):
+            model = self.models.get("semantic")
+            return getattr(model, "ontology", None), getattr(model, "reasoner", None)
+        return None, None
 
     def _query_terms(self, payload: protocol.QueryPayload) -> frozenset[str]:
         """The index terms a query can match against summaries."""
@@ -207,13 +216,11 @@ class RegistryNode(Node):
             if query.category is not None:
                 concepts.add(query.category)
             terms |= concepts
-            ontology = None
-            if self.models.supports("semantic"):
-                ontology = getattr(self.models.get("semantic"), "ontology", None)
-            if ontology is not None:
+            ontology, reasoner = self._semantic_reasoner()
+            if reasoner is not None:
                 for concept in concepts:
                     if concept in ontology:
-                        terms |= ontology.ancestors(concept)
+                        terms |= reasoner.ancestors_of(concept)
             terms.discard(THING)
             return frozenset(terms)
         return frozenset()

@@ -62,6 +62,12 @@ class DescriptionModel(abc.ABC):
         queries (e.g. the shared ontology for semantic models)."""
         return True
 
+    def make_index(self) -> Any | None:
+        """A fresh :class:`~repro.registry.index.ConceptIndexer` for this
+        model's advertisements, or ``None`` when the model's queries can
+        only be answered by a linear scan (the default)."""
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} id={self.model_id!r}>"
 

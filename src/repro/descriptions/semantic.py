@@ -41,8 +41,29 @@ class SemanticModel(DescriptionModel):
         """The attached ontology, if any."""
         return self._matchmaker.reasoner.ontology if self._matchmaker else None
 
+    @property
+    def matchmaker(self) -> Matchmaker | None:
+        """The live matchmaker (replaced whenever the ontology is)."""
+        return self._matchmaker
+
+    @property
+    def reasoner(self) -> Reasoner | None:
+        """The live subsumption reasoner, if an ontology is attached."""
+        return self._matchmaker.reasoner if self._matchmaker else None
+
     def can_evaluate(self) -> bool:
         return self._matchmaker is not None
+
+    def make_index(self):
+        """An inverted concept index over this model's advertisements.
+
+        The index reads the ontology/reasoner through this model at every
+        lookup, so attaching or swapping the ontology later (repository
+        fetch, E12) is picked up without re-wiring.
+        """
+        from repro.registry.index import SemanticConceptIndex
+
+        return SemanticConceptIndex(self)
 
     def describe(self, profile: ServiceProfile, endpoint: str) -> ServiceProfile:
         # The profile is already a full semantic description; the endpoint

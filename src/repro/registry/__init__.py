@@ -8,7 +8,10 @@ These are the pieces inside every registry node (and the baselines):
   … would be needed in order to reference published advertisements when
   updating information, renewing leases, and removing advertisements."
 * :class:`~repro.registry.store.AdvertisementStore` — the registry's
-  content, indexed by UUID and by owning service node.
+  content, indexed by UUID, owning service node, and description model.
+* :class:`~repro.registry.index.SemanticConceptIndex` — the inverted
+  ancestor-closure concept index that prunes semantic queries to their
+  plugin/subsumes-compatible candidates before any scoring.
 * :class:`~repro.registry.leases.LeaseManager` — the aliveness mechanism
   (§4.8): advertisements expire unless their service node renews.
 * :class:`~repro.registry.matching.QueryEvaluator` — dispatches queries
@@ -19,6 +22,7 @@ These are the pieces inside every registry node (and the baselines):
 """
 
 from repro.registry.advertisements import Advertisement, new_uuid
+from repro.registry.index import ConceptIndexer, SemanticConceptIndex
 from repro.registry.leases import Lease, LeaseManager
 from repro.registry.matching import QueryEvaluator, QueryHit
 from repro.registry.rim import RegistryInfoModel
@@ -27,10 +31,12 @@ from repro.registry.store import AdvertisementStore
 __all__ = [
     "Advertisement",
     "AdvertisementStore",
+    "ConceptIndexer",
     "Lease",
     "LeaseManager",
     "QueryEvaluator",
     "QueryHit",
     "RegistryInfoModel",
+    "SemanticConceptIndex",
     "new_uuid",
 ]

@@ -1,0 +1,288 @@
+"""Inverted concept indexing for sub-linear semantic matchmaking.
+
+A full store scan per query is the scalability ceiling of a centralized
+semantic registry (the survey literature's standing criticism, and the
+reason the paper wants registry-side selection to stay cheap). This module
+prunes the scan: every stored semantic advertisement is indexed under its
+category/output concepts *and their ancestor closure*, so a request's
+desired concepts map straight to the plugin/subsumes-compatible candidate
+set before any degree-of-match scoring runs.
+
+Correctness contract (verified property-style in
+``tests/test_registry_index.py``): the candidate set is a **superset** of
+the advertisements the linear scan would accept. Two concepts are related
+(degree > FAIL) only if one is an ancestor-or-self of the other; indexing
+each advertised concept under its ancestor-or-self closure and looking up
+the requested concept's ancestor-or-self closure covers both directions:
+
+* advertised at-or-below requested (EXACT/SUBSUMES) — the *closure* table
+  keys every advertisement under its concepts' ancestor-or-self closure,
+  so one lookup of the requested concept finds every advertisement
+  advertising it or a descendant;
+* advertised strictly above requested (EXACT-direct-parent/PLUGIN) — the
+  *exact* table keys every advertisement under its own concepts only, so
+  looking up the requested concept's ancestors finds precisely the
+  advertisements advertising one of those more general concepts.
+
+Splitting the two directions across two tables is what keeps the candidate
+set tight: looking up ancestors in the closure table instead would drag in
+every advertisement sharing a subtree root — a full scan in disguise.
+THING would be a closure key on every advertisement (everything's
+ancestor), so closure keys exclude it; an advertisement literally
+advertising THING still carries THING as its exact key, and a request for
+THING matches every indexed profile by construction.
+
+The candidate set is concept-exact per field; residual false positives
+(e.g. QoS-violating or input-incompatible profiles) are harmless because
+the matchmaker still scores every candidate, so indexed and linear query
+paths return bit-identical results. Requests carrying no concepts
+(keyword-only templates) and non-profile payloads fall back to the linear
+scan transparently.
+
+The index is maintained incrementally on ``put``/``remove`` and rebuilt
+lazily when the ontology's version counter moves or the ontology object is
+swapped (mirroring ``Reasoner.sync``), so mid-run ontology growth — the
+repository experiments do this — never yields stale candidates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, TYPE_CHECKING
+
+from repro.semantics.ontology import THING
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.descriptions.semantic import SemanticModel
+    from repro.registry.advertisements import Advertisement
+
+
+class ConceptIndexer(abc.ABC):
+    """Store-side candidate pruning for one description model.
+
+    The :class:`~repro.registry.store.AdvertisementStore` notifies an
+    attached indexer on every mutation; the query evaluator asks it for
+    candidate advertisement ids. Returning ``None`` from
+    :meth:`candidate_ids` means "cannot prune this query" and routes the
+    evaluator to the plain linear scan.
+    """
+
+    #: The description model whose advertisements this indexer covers.
+    model_id: str = ""
+
+    @abc.abstractmethod
+    def add(self, ad: "Advertisement") -> None:
+        """A record of this model entered the store (or was replaced)."""
+
+    @abc.abstractmethod
+    def discard(self, ad: "Advertisement") -> None:
+        """A record of this model left the store."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Drop all index state (store cleared or index re-attached)."""
+
+    @abc.abstractmethod
+    def candidate_ids(self, query: Any) -> set[str] | None:
+        """Superset of matching ad ids, or ``None`` to force a linear scan."""
+
+
+class SemanticConceptIndex(ConceptIndexer):
+    """Inverted ancestor-closure index over semantic advertisements.
+
+    Holds a reference to the node's :class:`SemanticModel` rather than a
+    fixed ontology: the model may receive its ontology later (repository
+    fetch, experiment E12) or swap it, and the index follows along by
+    rebuilding on the next lookup.
+    """
+
+    model_id = "semantic"
+
+    def __init__(self, model: "SemanticModel") -> None:
+        self._model = model
+        #: ad_id -> profile for every indexable record (rebuild source).
+        self._profiles: dict[str, ServiceProfile] = {}
+        #: Records whose description is not a ServiceProfile; always kept
+        #: in the candidate set so indexed evaluation sees exactly what a
+        #: linear scan would.
+        self._unindexable: set[str] = set()
+        #: Closure tables: concept -> ad ids advertising it *or a
+        #: descendant* in that field (the EXACT/SUBSUMES direction).
+        self._category_closure: dict[str, set[str]] = {}
+        self._output_closure: dict[str, set[str]] = {}
+        #: Exact tables: concept -> ad ids advertising precisely it
+        #: (looked up via requested-concept ancestors: the PLUGIN direction).
+        self._category_exact: dict[str, set[str]] = {}
+        self._output_exact: dict[str, set[str]] = {}
+        #: ad_id -> keys per table, for exact removal.
+        self._keys: dict[str, tuple[frozenset[str], ...]] = {}
+        self._indexed_ontology: Any = None
+        self._indexed_version: int | None = None
+        self.rebuilds = 0
+        self.lookups = 0
+        self.fallbacks = 0
+
+    # -- store notifications ---------------------------------------------
+
+    def add(self, ad: "Advertisement") -> None:
+        description = ad.description
+        self._drop_keys(ad.ad_id)
+        if not isinstance(description, ServiceProfile):
+            self._profiles.pop(ad.ad_id, None)
+            self._unindexable.add(ad.ad_id)
+            return
+        self._unindexable.discard(ad.ad_id)
+        self._profiles[ad.ad_id] = description
+        if self._in_sync():
+            self._insert_keys(ad.ad_id, description)
+
+    def discard(self, ad: "Advertisement") -> None:
+        self._profiles.pop(ad.ad_id, None)
+        self._unindexable.discard(ad.ad_id)
+        self._drop_keys(ad.ad_id)
+
+    def reset(self) -> None:
+        self._profiles.clear()
+        self._unindexable.clear()
+        self._clear_tables()
+        self._indexed_ontology = None
+        self._indexed_version = None
+
+    def _tables(self) -> tuple[dict[str, set[str]], ...]:
+        return (self._category_closure, self._output_closure,
+                self._category_exact, self._output_exact)
+
+    def _clear_tables(self) -> None:
+        for table in self._tables():
+            table.clear()
+        self._keys.clear()
+
+    # -- candidate lookup ------------------------------------------------
+
+    def candidate_ids(self, query: Any) -> set[str] | None:
+        """Ads plausibly matching ``query``, or ``None`` for linear scan.
+
+        The result is the intersection of the per-concept candidate sets:
+        the requested category (when given) must relate to the advertised
+        category, and *every* desired output must relate to some advertised
+        output — exactly the conditions under which the matchmaker can
+        return a degree above FAIL.
+        """
+        if self._model.ontology is None or not isinstance(query, ServiceRequest):
+            self.fallbacks += 1
+            return None
+        if query.category is None and not query.desired_outputs:
+            # Keyword-only request: no concept to prune on.
+            self.fallbacks += 1
+            return None
+        self._ensure_synced()
+        reasoner = self._model.reasoner
+        assert reasoner is not None
+        reasoner.sync()
+        self.lookups += 1
+        pruned: set[str] | None = None
+        if query.category is not None:
+            pruned = self._lookup(
+                self._category_closure, self._category_exact, query.category
+            )
+        for requested in query.desired_outputs:
+            if pruned is not None and not pruned:
+                break
+            found = self._lookup(self._output_closure, self._output_exact, requested)
+            pruned = found if pruned is None else pruned & found
+        assert pruned is not None
+        if self._unindexable:
+            pruned = pruned | self._unindexable
+        return pruned
+
+    def _lookup(
+        self,
+        closure_table: dict[str, set[str]],
+        exact_table: dict[str, set[str]],
+        concept: str,
+    ) -> set[str]:
+        """Ids of ads advertising a concept related to ``concept``.
+
+        Ads advertising ``concept`` or a descendant come from one closure
+        lookup; ads advertising a strict ancestor come from exact lookups
+        along the requested concept's ancestor chain.
+        """
+        reasoner = self._model.reasoner
+        ontology = reasoner.ontology
+        if concept not in ontology:
+            return set()
+        if concept == THING:
+            # THING subsumes every advertised concept: all profiles relate.
+            return set(self._profiles)
+        found = set(closure_table.get(concept, ()))
+        for ancestor in reasoner.ancestors_of(concept):
+            bucket = exact_table.get(ancestor)
+            if bucket:
+                found |= bucket
+        return found
+
+    # -- maintenance -----------------------------------------------------
+
+    def _in_sync(self) -> bool:
+        ontology = self._model.ontology
+        return (
+            ontology is not None
+            and self._indexed_ontology is ontology
+            and self._indexed_version == ontology.version
+        )
+
+    def _ensure_synced(self) -> None:
+        """Rebuild the concept maps if the ontology moved underneath us."""
+        if self._in_sync():
+            return
+        ontology = self._model.ontology
+        self._clear_tables()
+        self._indexed_ontology = ontology
+        self._indexed_version = ontology.version
+        self.rebuilds += 1
+        for ad_id, profile in self._profiles.items():
+            self._insert_keys(ad_id, profile)
+
+    def _insert_keys(self, ad_id: str, profile: ServiceProfile) -> None:
+        ontology = self._model.ontology
+        category_closure = self._closure_keys(profile.category)
+        category_exact = frozenset(
+            {profile.category} if profile.category in ontology else ()
+        )
+        output_closure: set[str] = set()
+        for output in profile.outputs:
+            output_closure |= self._closure_keys(output)
+        output_exact = frozenset(o for o in profile.outputs if o in ontology)
+        per_table = (category_closure, frozenset(output_closure),
+                     category_exact, output_exact)
+        self._keys[ad_id] = per_table
+        for table, keys in zip(self._tables(), per_table):
+            for key in keys:
+                table.setdefault(key, set()).add(ad_id)
+
+    def _closure_keys(self, concept: str) -> frozenset[str]:
+        """Ancestor-or-self keys for one advertised concept.
+
+        Out-of-ontology concepts get no keys — the matchmaker can never
+        match them, so they must never make an ad a candidate. THING is
+        kept only when it *is* the advertised concept (see module doc).
+        """
+        reasoner = self._model.reasoner
+        if concept not in reasoner.ontology:
+            return frozenset()
+        return frozenset(
+            {concept, *(a for a in reasoner.ancestors_of(concept) if a != THING)}
+        )
+
+    def _drop_keys(self, ad_id: str) -> None:
+        per_table = self._keys.pop(ad_id, None)
+        if per_table is None:
+            return
+        for table, keys in zip(self._tables(), per_table):
+            for key in keys:
+                bucket = table.get(key)
+                if bucket is not None:
+                    bucket.discard(ad_id)
+                    if not bucket:
+                        del table[key]

@@ -2,30 +2,55 @@
 
 "Thick" storage, per the paper: registries "contain all the information in
 the service advertisements, not just pointers to where the advertisements
-are". The store is indexed by advertisement UUID and by owning service
-node, and keeps only the newest version of each advertisement.
+are". The store is indexed by advertisement UUID, by owning service node,
+and by description model; pluggable :class:`~repro.registry.index.ConceptIndexer`
+plug-ins (attached per model) additionally maintain inverted concept
+indexes so query evaluation scales with the candidate set rather than the
+store size.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Any, TYPE_CHECKING
 
 from repro.errors import AdvertisementNotFoundError
 from repro.registry.advertisements import Advertisement
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.registry.index import ConceptIndexer
+
 
 class AdvertisementStore:
-    """In-memory advertisement storage with UUID and per-service indexes."""
+    """In-memory advertisement storage with UUID, service, and model indexes."""
 
     def __init__(self) -> None:
         self._by_id: dict[str, Advertisement] = {}
         self._by_service: dict[str, set[str]] = defaultdict(set)
+        self._by_model: dict[str, set[str]] = defaultdict(set)
+        self._indexes: dict[str, "ConceptIndexer"] = {}
 
     def __len__(self) -> int:
         return len(self._by_id)
 
     def __contains__(self, ad_id: str) -> bool:
         return ad_id in self._by_id
+
+    def attach_index(self, indexer: "ConceptIndexer") -> None:
+        """Install (or replace) the concept indexer for one model.
+
+        The indexer is reset and bulk-loaded with the advertisements
+        already stored for its model, then kept current incrementally on
+        every ``put``/``remove``/``clear``.
+        """
+        self._indexes[indexer.model_id] = indexer
+        indexer.reset()
+        for ad_id in self._by_model.get(indexer.model_id, ()):
+            indexer.add(self._by_id[ad_id])
+
+    def index_for(self, model_id: str) -> "ConceptIndexer | None":
+        """The attached concept indexer for one model, if any."""
+        return self._indexes.get(model_id)
 
     def put(self, ad: Advertisement) -> Advertisement:
         """Insert or upgrade an advertisement.
@@ -37,8 +62,14 @@ class AdvertisementStore:
         existing = self._by_id.get(ad.ad_id)
         if existing is not None and existing.version > ad.version:
             return existing
+        if existing is not None:
+            self._unlink(existing)
         self._by_id[ad.ad_id] = ad
         self._by_service[ad.service_node].add(ad.ad_id)
+        self._by_model[ad.model_id].add(ad.ad_id)
+        indexer = self._indexes.get(ad.model_id)
+        if indexer is not None:
+            indexer.add(ad)
         return ad
 
     def get(self, ad_id: str) -> Advertisement:
@@ -52,12 +83,24 @@ class AdvertisementStore:
         """Delete by UUID; returns the removed record."""
         ad = self.get(ad_id)
         del self._by_id[ad_id]
+        self._unlink(ad)
+        return ad
+
+    def _unlink(self, ad: Advertisement) -> None:
+        """Drop one record's secondary-index entries (not ``_by_id``)."""
         owned = self._by_service.get(ad.service_node)
         if owned is not None:
-            owned.discard(ad_id)
+            owned.discard(ad.ad_id)
             if not owned:
                 del self._by_service[ad.service_node]
-        return ad
+        of_model = self._by_model.get(ad.model_id)
+        if of_model is not None:
+            of_model.discard(ad.ad_id)
+            if not of_model:
+                del self._by_model[ad.model_id]
+        indexer = self._indexes.get(ad.model_id)
+        if indexer is not None:
+            indexer.discard(ad)
 
     def discard(self, ad_id: str) -> Advertisement | None:
         """Delete by UUID if present; returns the record or ``None``."""
@@ -74,8 +117,27 @@ class AdvertisementStore:
         return [self._by_id[aid] for aid in sorted(self._by_id)]
 
     def of_model(self, model_id: str) -> list[Advertisement]:
-        """Stored advertisements using one description model."""
-        return [ad for ad in self.all() if ad.model_id == model_id]
+        """Stored advertisements using one description model.
+
+        Served from the per-model index — no full-store scan — in the
+        same deterministic UUID order as before.
+        """
+        return [self._by_id[aid] for aid in sorted(self._by_model.get(model_id, ()))]
+
+    def candidates(self, model_id: str, query: Any) -> list[Advertisement]:
+        """Advertisements of one model plausibly matching ``query``.
+
+        Routed through the model's concept indexer when one is attached
+        and the query is indexable (a guaranteed superset of the true
+        matches, in deterministic UUID order); otherwise the plain
+        :meth:`of_model` linear scan — bit-identical results either way.
+        """
+        indexer = self._indexes.get(model_id)
+        if indexer is not None:
+            ids = indexer.candidate_ids(query)
+            if ids is not None:
+                return [self._by_id[aid] for aid in sorted(ids) if aid in self._by_id]
+        return self.of_model(model_id)
 
     def service_nodes(self) -> list[str]:
         """Service nodes with at least one stored advertisement."""
@@ -85,3 +147,6 @@ class AdvertisementStore:
         """Drop all content (a registry crash loses volatile state)."""
         self._by_id.clear()
         self._by_service.clear()
+        self._by_model.clear()
+        for indexer in self._indexes.values():
+            indexer.reset()

@@ -30,6 +30,7 @@ score blends semantic similarity and QoS headroom.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 
 from repro.semantics.profiles import ServiceProfile, ServiceRequest
@@ -87,11 +88,37 @@ class Matchmaker:
     def __init__(self, reasoner: Reasoner) -> None:
         self.reasoner = reasoner
         self.evaluations = 0
+        #: Memoized (requested, advertised) -> degree, valid for one
+        #: ontology version (mirrors ``Reasoner.sync``).
+        self._degree_cache: dict[tuple[str, str], DegreeOfMatch] = {}
+        self._cached_version = reasoner.ontology.version
+
+    def _sync(self) -> None:
+        """One version check per query entry: drop memoized degrees when
+        the ontology changed, and let the reasoner do the same."""
+        version = self.reasoner.ontology.version
+        if version != self._cached_version:
+            self._degree_cache.clear()
+            self._cached_version = version
+        self.reasoner.sync()
 
     # -- concept-level degrees -------------------------------------------
 
     def concept_degree(self, requested: str, advertised: str) -> DegreeOfMatch:
         """Paolucci degree of ``advertised`` against ``requested``."""
+        self._sync()
+        return self._degree(requested, advertised)
+
+    def _degree(self, requested: str, advertised: str) -> DegreeOfMatch:
+        """Memoized degree; ``_sync`` must have run for the current query."""
+        key = (requested, advertised)
+        cached = self._degree_cache.get(key)
+        if cached is None:
+            cached = self._compute_degree(requested, advertised)
+            self._degree_cache[key] = cached
+        return cached
+
+    def _compute_degree(self, requested: str, advertised: str) -> DegreeOfMatch:
         ontology = self.reasoner.ontology
         if requested not in ontology or advertised not in ontology:
             return DegreeOfMatch.FAIL
@@ -110,7 +137,7 @@ class Matchmaker:
         """Best degree any advertised output achieves for one requested output."""
         best = DegreeOfMatch.FAIL
         for advertised in profile.outputs:
-            degree = self.concept_degree(requested, advertised)
+            degree = self._degree(requested, advertised)
             if degree > best:
                 best = degree
                 if best is DegreeOfMatch.EXACT:
@@ -133,7 +160,7 @@ class Matchmaker:
         for advertised in profile.inputs:
             best = DegreeOfMatch.FAIL
             for provided in request.provided_inputs:
-                degree = self.concept_degree(advertised, provided)
+                degree = self._degree(advertised, provided)
                 if degree > best:
                     best = degree
                     if best is DegreeOfMatch.EXACT:
@@ -148,6 +175,7 @@ class Matchmaker:
     def match(self, profile: ServiceProfile, request: ServiceRequest) -> MatchResult:
         """Evaluate one advertisement against one request."""
         self.evaluations += 1
+        self._sync()
 
         failed = tuple(
             constraint.attribute
@@ -166,7 +194,7 @@ class Matchmaker:
             )
 
         if request.category is not None:
-            category_degree = self.concept_degree(request.category, profile.category)
+            category_degree = self._degree(request.category, profile.category)
         else:
             category_degree = DegreeOfMatch.EXACT
 
@@ -181,7 +209,11 @@ class Matchmaker:
         input_degree = self._input_degree(profile, request)
 
         overall = min(category_degree, output_degree, input_degree)
-        score = self._score(profile, request) if overall > DegreeOfMatch.FAIL else 0.0
+        # The QoS gate above already established every constraint holds, so
+        # the satisfied ratio on the scoring path is 1.0 by construction —
+        # pass it through instead of re-evaluating each constraint.
+        score = self._score(profile, request, qos_ratio=1.0) \
+            if overall > DegreeOfMatch.FAIL else 0.0
         return MatchResult(
             profile=profile,
             degree=overall,
@@ -205,16 +237,29 @@ class Matchmaker:
         registry nodes (they may return only the best service
         advertisement)".
         """
-        results = [self.match(profile, request) for profile in profiles]
-        matched = sorted((r for r in results if r.matched), key=MatchResult.sort_key)
+        matched = (r for profile in profiles if (r := self.match(profile, request)).matched)
         if limit is not None:
-            matched = matched[:limit]
-        return matched
+            # Top-k selection: O(n log k) instead of a full O(n log n) sort.
+            # ``nsmallest`` is stable (equivalent to ``sorted(...)[:k]``),
+            # so capped results stay a prefix of the full ranking.
+            return heapq.nsmallest(limit, matched, key=MatchResult.sort_key)
+        return sorted(matched, key=MatchResult.sort_key)
 
     # -- scoring ----------------------------------------------------------
 
-    def _score(self, profile: ServiceProfile, request: ServiceRequest) -> float:
-        """Tie-break score in [0, 1]: semantic similarity + QoS headroom."""
+    def _score(
+        self,
+        profile: ServiceProfile,
+        request: ServiceRequest,
+        *,
+        qos_ratio: float = 1.0,
+    ) -> float:
+        """Tie-break score in [0, 1]: semantic similarity + QoS headroom.
+
+        ``qos_ratio`` is the caller's already-known fraction of satisfied
+        QoS constraints (``match`` only scores profiles that passed every
+        constraint, so it passes 1.0).
+        """
         parts: list[float] = []
         ontology = self.reasoner.ontology
         if request.category is not None and profile.category in ontology \
@@ -229,12 +274,7 @@ class Matchmaker:
                     best = max(best, self.reasoner.similarity(requested, advertised))
             parts.append(best)
         if request.qos_constraints:
-            satisfied = sum(
-                1
-                for constraint in request.qos_constraints
-                if constraint.satisfied_by(profile.qos_value(constraint.attribute))
-            )
-            parts.append(satisfied / len(request.qos_constraints))
+            parts.append(qos_ratio)
         if not parts:
             return 1.0
         return sum(parts) / len(parts)

@@ -12,6 +12,11 @@ a kind of Sensor") needs three primitives, all provided here:
 Ancestor sets are cached per class and invalidated when the ontology's
 version counter changes, so repeated matchmaking over a stable ontology is
 O(1) per subsumption test after warm-up.
+
+The version check happens once per public entry point (:meth:`Reasoner.sync`),
+not once per internal cache lookup: callers composing many lookups (the
+matchmaker, the concept index) pay a single integer compare per query
+instead of one per traversed concept.
 """
 
 from __future__ import annotations
@@ -30,7 +35,13 @@ class Reasoner:
         self._cached_version = ontology.version
         self.subsumption_checks = 0
 
-    def _maybe_invalidate(self) -> None:
+    def sync(self) -> None:
+        """Drop all caches if the ontology's version counter advanced.
+
+        Every public method calls this once on entry; the unchecked
+        ``_ancestors``/``_depth``/``_up_distances`` internals assume it
+        already ran for the current call.
+        """
         if self._cached_version != self.ontology.version:
             self._ancestor_cache.clear()
             self._depth_cache.clear()
@@ -40,7 +51,6 @@ class Reasoner:
     def _up_distances(self, uri: str) -> dict[str, int]:
         """Minimum superclass-edge counts from ``uri`` to each ancestor
         (including ``uri`` itself at 0), cached. BFS over parent edges."""
-        self._maybe_invalidate()
         cached = self._updist_cache.get(uri)
         if cached is not None:
             return cached
@@ -57,23 +67,31 @@ class Reasoner:
         self._updist_cache[uri] = distances
         return distances
 
-    def ancestors_of(self, uri: str) -> frozenset[str]:
-        """Strict ancestors of ``uri``, cached."""
-        self._maybe_invalidate()
+    def _ancestors(self, uri: str) -> frozenset[str]:
+        """Strict ancestors, cached, without the version check."""
         cached = self._ancestor_cache.get(uri)
         if cached is None:
             cached = self.ontology.ancestors(uri)
             self._ancestor_cache[uri] = cached
         return cached
 
-    def depth_of(self, uri: str) -> int:
-        """Shortest-chain depth of ``uri`` below THING, cached."""
-        self._maybe_invalidate()
+    def _depth(self, uri: str) -> int:
+        """Depth below THING, cached, without the version check."""
         cached = self._depth_cache.get(uri)
         if cached is None:
             cached = self.ontology.depth(uri)
             self._depth_cache[uri] = cached
         return cached
+
+    def ancestors_of(self, uri: str) -> frozenset[str]:
+        """Strict ancestors of ``uri``, cached."""
+        self.sync()
+        return self._ancestors(uri)
+
+    def depth_of(self, uri: str) -> int:
+        """Shortest-chain depth of ``uri`` below THING, cached."""
+        self.sync()
+        return self._depth(uri)
 
     def subsumes(self, general: str, specific: str) -> bool:
         """True iff ``general`` is ``specific`` or a (transitive) superclass.
@@ -83,7 +101,8 @@ class Reasoner:
         self.subsumption_checks += 1
         if general == specific:
             return True
-        return general in self.ancestors_of(specific)
+        self.sync()
+        return general in self._ancestors(specific)
 
     def related(self, a: str, b: str) -> bool:
         """True iff the classes are comparable (either subsumes the other)."""
@@ -94,11 +113,12 @@ class Reasoner:
 
         THING is always a common ancestor, so the result is non-empty.
         """
-        common = (self.ancestors_of(a) | {a}) & (self.ancestors_of(b) | {b})
+        self.sync()
+        common = (self._ancestors(a) | {a}) & (self._ancestors(b) | {b})
         if not common:  # pragma: no cover - THING is universal
             return frozenset({THING})
-        max_depth = max(self.depth_of(c) for c in common)
-        return frozenset(c for c in common if self.depth_of(c) == max_depth)
+        max_depth = max(self._depth(c) for c in common)
+        return frozenset(c for c in common if self._depth(c) == max_depth)
 
     def distance(self, a: str, b: str) -> int:
         """Edge-count semantic distance: the shortest up-up path between
@@ -112,6 +132,7 @@ class Reasoner:
         """
         if a == b:
             return 0
+        self.sync()
         up_a = self._up_distances(a)
         up_b = self._up_distances(b)
         common = up_a.keys() & up_b.keys()
@@ -127,8 +148,8 @@ class Reasoner:
         if a == b:
             return 1.0
         lcas = self.lca_set(a, b)
-        lca_depth = max(self.depth_of(c) for c in lcas)
-        denominator = self.depth_of(a) + self.depth_of(b)
+        lca_depth = max(self._depth(c) for c in lcas)
+        denominator = self._depth(a) + self._depth(b)
         if denominator == 0:
             return 1.0
         return min(1.0, (2.0 * lca_depth) / denominator)

@@ -1,0 +1,238 @@
+"""Indexed vs. linear query-path equivalence.
+
+The inverted concept index is an optimization with a hard contract: the
+indexed path must return *exactly* the hits the linear scan returns, in
+the same order, under every store/ontology mutation. These property-style
+tests drive both paths over randomized ontologies and stores from
+``semantics/generator.py`` and assert bit-identical results — including
+after removals (lease expiry), version-bumping republishes, ontology
+growth, and late ontology attachment.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.descriptions.base import ModelRegistry
+from repro.descriptions.semantic import SemanticModel
+from repro.registry.advertisements import Advertisement
+from repro.registry.index import SemanticConceptIndex
+from repro.registry.matching import QueryEvaluator
+from repro.registry.store import AdvertisementStore
+from repro.semantics.generator import OntologyGenerator, ProfileGenerator
+from repro.semantics.ontology import THING, Ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+
+def _ad(index: int, profile: ServiceProfile, version: int = 1) -> Advertisement:
+    return Advertisement(
+        ad_id=f"ad-{index:06d}",
+        service_node=f"svc-node-{index}",
+        service_name=profile.service_name,
+        endpoint=f"svc://{profile.service_name}",
+        model_id="semantic",
+        description=profile,
+        version=version,
+    )
+
+
+class _Paths:
+    """An indexed and a linear evaluator over identical store content."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self.indexed_store = AdvertisementStore()
+        self.linear_store = AdvertisementStore()
+        self.indexed_model = SemanticModel(ontology)
+        self.linear_model = SemanticModel(ontology)
+        self.indexed = QueryEvaluator(
+            self.indexed_store, ModelRegistry([self.indexed_model])
+        )
+        self.linear = QueryEvaluator(
+            self.linear_store, ModelRegistry([self.linear_model]), use_indexes=False
+        )
+
+    def put(self, ad: Advertisement) -> None:
+        self.indexed_store.put(ad)
+        self.linear_store.put(ad)
+
+    def discard(self, ad_id: str) -> None:
+        self.indexed_store.discard(ad_id)
+        self.linear_store.discard(ad_id)
+
+    def assert_equivalent(self, request: ServiceRequest, max_results=None) -> list:
+        indexed_hits = self.indexed.evaluate("semantic", request, max_results=max_results)
+        linear_hits = self.linear.evaluate("semantic", request, max_results=max_results)
+        as_rows = lambda hits: [
+            (h.advertisement.ad_id, h.advertisement.version, h.degree, h.score)
+            for h in hits
+        ]
+        assert as_rows(indexed_hits) == as_rows(linear_hits)
+        return indexed_hits
+
+
+def _requests(gen: ProfileGenerator, profiles, rng: random.Random):
+    """A mixed bag of request shapes exercising every index code path."""
+    anchor = rng.choice(profiles)
+    yield gen.request_for(anchor, generalize=0)
+    yield gen.request_for(anchor, generalize=1, max_results=3)
+    yield gen.request_for(rng.choice(profiles), generalize=2)
+    yield gen.random_request(max_results=5)
+    # category-only / outputs-only / THING / out-of-ontology / keyword-only
+    yield ServiceRequest.build(rng.choice(gen.category_pool))
+    yield ServiceRequest.build(outputs=[rng.choice(gen.data_pool)])
+    yield ServiceRequest.build(THING)
+    yield ServiceRequest.build(category=THING, outputs=[rng.choice(gen.data_pool)])
+    yield ServiceRequest.build("gen:NotAConcept", outputs=["gen:AlsoMissing"])
+    yield ServiceRequest.build(keywords=["service"])
+    yield ServiceRequest.build(
+        rng.choice(gen.category_pool),
+        outputs=[rng.choice(gen.data_pool), rng.choice(gen.data_pool)],
+        qos={"latency_ms": (None, 250.0)},
+        max_results=2,
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_indexed_equals_linear_on_random_stores(seed):
+    ontology = OntologyGenerator(seed).random_ontology()
+    gen = ProfileGenerator(ontology, seed=seed)
+    rng = random.Random(seed)
+    paths = _Paths(ontology)
+    profiles = gen.profiles(60)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    for request in _requests(gen, profiles, rng):
+        paths.assert_equivalent(request, max_results=request.max_results)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_equivalence_survives_removal_and_republish(seed):
+    ontology = OntologyGenerator(seed).random_ontology()
+    gen = ProfileGenerator(ontology, seed=seed)
+    rng = random.Random(100 + seed)
+    paths = _Paths(ontology)
+    profiles = gen.profiles(40)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    # Lease-expiry-style removals of a third of the store.
+    for i in rng.sample(range(40), 13):
+        paths.discard(f"ad-{i:06d}")
+    # Republishes: newer versions with *different* descriptions.
+    for i in rng.sample(range(40), 10):
+        replacement = gen.random_profile(1000 + i)
+        paths.put(_ad(i, replacement, version=2))
+    for request in _requests(gen, profiles, rng):
+        paths.assert_equivalent(request, max_results=request.max_results)
+
+
+def test_equivalence_survives_ontology_version_bump():
+    ontology = OntologyGenerator(7).random_ontology()
+    gen = ProfileGenerator(ontology, seed=7)
+    paths = _Paths(ontology)
+    profiles = gen.profiles(30)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    request = gen.request_for(profiles[0], generalize=1)
+    paths.assert_equivalent(request)
+    index = paths.indexed_store.index_for("semantic")
+    rebuilds_before = index.rebuilds
+    # Grow the ontology mid-run: a new class under an advertised concept.
+    parent = profiles[0].outputs[0]
+    ontology.add_class("gen:DataFresh", parents=[parent])
+    paths.put(_ad(999, ServiceProfile.build(
+        "svc-fresh", profiles[0].category, outputs=["gen:DataFresh"])))
+    fresh_request = ServiceRequest.build(outputs=[parent])
+    hits = paths.assert_equivalent(fresh_request)
+    assert any(h.advertisement.ad_id == "ad-000999" for h in hits)
+    assert index.rebuilds == rebuilds_before + 1
+
+
+def test_index_attaches_over_existing_content():
+    """Bulk-loading an index over a pre-populated store must be exact."""
+    ontology = OntologyGenerator(3).random_ontology()
+    gen = ProfileGenerator(ontology, seed=3)
+    store = AdvertisementStore()
+    profiles = gen.profiles(25)
+    for i, profile in enumerate(profiles):
+        store.put(_ad(i, profile))
+    model = SemanticModel(ontology)
+    store.attach_index(SemanticConceptIndex(model))
+    request = gen.request_for(profiles[3], generalize=1)
+    candidates = {ad.ad_id for ad in store.candidates("semantic", request)}
+    matches = {
+        f"ad-{i:06d}"
+        for i, p in enumerate(profiles)
+        if model.matchmaker.match(p, request).matched
+    }
+    assert matches <= candidates  # superset contract
+    assert len(candidates) <= len(profiles)
+
+
+def test_indexed_path_prunes_evaluations():
+    """The point of the index: fewer descriptions scored per query."""
+    ontology = OntologyGenerator(11).random_ontology(
+        n_service_classes=60, n_data_classes=90
+    )
+    gen = ProfileGenerator(ontology, seed=11)
+    paths = _Paths(ontology)
+    profiles = gen.profiles(300)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    request = gen.request_for(profiles[0], generalize=1, max_results=5)
+    paths.assert_equivalent(request, max_results=5)
+    assert paths.linear.descriptions_evaluated == len(profiles)
+    assert paths.indexed.descriptions_evaluated < len(profiles)
+
+
+def test_keyword_only_query_falls_back_to_linear():
+    ontology = OntologyGenerator(5).random_ontology()
+    gen = ProfileGenerator(ontology, seed=5)
+    paths = _Paths(ontology)
+    for i, profile in enumerate(gen.profiles(20)):
+        paths.put(_ad(i, profile))
+    index = paths.indexed_store.index_for("semantic")
+    fallbacks_before = index.fallbacks
+    paths.assert_equivalent(ServiceRequest.build(keywords=["anything"]))
+    assert index.fallbacks == fallbacks_before + 1
+    assert paths.indexed.descriptions_evaluated == paths.linear.descriptions_evaluated
+
+
+def test_late_ontology_attachment_is_picked_up():
+    """A registry that fetches its ontology later (E12) starts pruning."""
+    ontology = OntologyGenerator(9).random_ontology()
+    gen = ProfileGenerator(ontology, seed=9)
+    model = SemanticModel()  # no ontology yet
+    store = AdvertisementStore()
+    evaluator = QueryEvaluator(store, ModelRegistry([model]))
+    profiles = gen.profiles(15)
+    for i, profile in enumerate(profiles):
+        store.put(_ad(i, profile))
+    request = gen.request_for(profiles[0], generalize=1)
+    assert evaluator.evaluate("semantic", request) == []  # cannot evaluate
+    model.attach_ontology(ontology)
+    hits = evaluator.evaluate("semantic", request)
+    linear = QueryEvaluator(
+        AdvertisementStore(), ModelRegistry([SemanticModel(ontology)]),
+        use_indexes=False,
+    )
+    for i, profile in enumerate(profiles):
+        linear.store.put(_ad(i, profile))
+    linear_hits = linear.evaluate("semantic", request)
+    assert [(h.advertisement.ad_id, h.degree, h.score) for h in hits] \
+        == [(h.advertisement.ad_id, h.degree, h.score) for h in linear_hits]
+
+
+def test_store_clear_resets_index():
+    ontology = OntologyGenerator(2).random_ontology()
+    gen = ProfileGenerator(ontology, seed=2)
+    paths = _Paths(ontology)
+    for i, profile in enumerate(gen.profiles(10)):
+        paths.put(_ad(i, profile))
+    paths.indexed_store.clear()
+    paths.linear_store.clear()
+    request = gen.random_request()
+    assert paths.assert_equivalent(request) == []
+    assert paths.indexed_store.candidates("semantic", request) == []

@@ -90,6 +90,28 @@ def test_of_model_filter():
     assert [a.ad_id for a in store.of_model("semantic")] == ["ad-2"]
 
 
+def test_of_model_index_stays_current():
+    store = AdvertisementStore()
+    store.put(_ad(ad_id="ad-2", model_id="uri"))
+    store.put(_ad(ad_id="ad-1", model_id="uri"))
+    assert [a.ad_id for a in store.of_model("uri")] == ["ad-1", "ad-2"]  # UUID order
+    store.remove("ad-1")
+    assert [a.ad_id for a in store.of_model("uri")] == ["ad-2"]
+    # A republish that switches description model moves the index entry.
+    store.put(_ad(ad_id="ad-2", model_id="semantic", version=2))
+    assert store.of_model("uri") == []
+    assert [a.ad_id for a in store.of_model("semantic")] == ["ad-2"]
+    store.clear()
+    assert store.of_model("semantic") == []
+
+
+def test_candidates_without_index_is_linear_scan():
+    store = AdvertisementStore()
+    store.put(_ad(ad_id="ad-1", model_id="uri"))
+    assert store.candidates("uri", object()) == store.of_model("uri")
+    assert store.index_for("uri") is None
+
+
 def test_all_sorted_by_uuid():
     store = AdvertisementStore()
     store.put(_ad(ad_id="ad-9"))

@@ -115,3 +115,49 @@ def test_subsumption_counter_increments(r):
     before = r.subsumption_checks
     r.subsumes("Vehicle", "Car")
     assert r.subsumption_checks == before + 1
+
+
+def test_sync_is_noop_on_stable_ontology(ont, r):
+    r.subsumes("Vehicle", "Car")  # warm
+    cached = dict(r._ancestor_cache)
+    r.sync()
+    assert dict(r._ancestor_cache) == cached  # nothing dropped
+
+
+# -- cache-regression guards --------------------------------------------------
+#
+# The query path relies on two memoization layers staying effective: the
+# reasoner's ancestor caches and the matchmaker's per-ontology-version
+# degree cache. These counter assertions fail if either silently stops
+# caching (e.g. an accidental per-call invalidation).
+
+def test_repeated_match_does_not_rerun_subsumption(ont, r):
+    from repro.semantics.matchmaker import Matchmaker
+    from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+    mm = Matchmaker(r)
+    profile = ServiceProfile.build("svc", "Car", outputs=["Sedan"])
+    request = ServiceRequest.build("LandVehicle", outputs=["Car"])  # PLUGIN-ish
+    mm.match(profile, request)
+    warm_checks = r.subsumption_checks
+    warm_evals = mm.evaluations
+    assert warm_checks > 0  # the first pass really did reason
+    for _ in range(5):
+        assert mm.match(profile, request).matched
+    assert mm.evaluations == warm_evals + 5
+    # Every concept degree was memoized: zero new subsumption checks.
+    assert r.subsumption_checks == warm_checks
+
+
+def test_degree_cache_invalidated_by_version_bump(ont, r):
+    from repro.semantics.matchmaker import Matchmaker
+    from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+    mm = Matchmaker(r)
+    profile = ServiceProfile.build("svc", "Car", outputs=["Sedan"])
+    request = ServiceRequest.build("LandVehicle", outputs=["Car"])
+    mm.match(profile, request)
+    warm_checks = r.subsumption_checks
+    ont.add_class("Hovercraft", parents=["LandVehicle", "WaterVehicle"])
+    mm.match(profile, request)  # must re-reason against the new version
+    assert r.subsumption_checks > warm_checks
