@@ -34,11 +34,15 @@ from repro.core import (
     DiscoverySystem,
     MediationPlanner,
     RegistryNode,
+    RetryPolicy,
     ServiceNode,
     StandbyRegistry,
     Watch,
+    assert_invariants,
+    check_invariants,
     make_models,
 )
+from repro.netsim import FaultPlan
 from repro.semantics import (
     Matchmaker,
     Ontology,
@@ -54,16 +58,20 @@ __all__ = [
     "DiscoveryCall",
     "DiscoveryConfig",
     "DiscoverySystem",
+    "FaultPlan",
     "Matchmaker",
     "MediationPlanner",
     "Ontology",
     "Reasoner",
     "RegistryNode",
+    "RetryPolicy",
     "StandbyRegistry",
     "Watch",
     "ServiceNode",
     "ServiceProfile",
     "ServiceRequest",
+    "assert_invariants",
+    "check_invariants",
     "make_models",
     "__version__",
 ]

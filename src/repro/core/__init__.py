@@ -21,8 +21,10 @@ from repro.core.config import (
     STRATEGY_INFORMED,
     STRATEGY_RANDOM_WALK,
 )
+from repro.core.invariants import assert_invariants, check_invariants
 from repro.core.mediation import MediatedResult, MediationPlan, MediationPlanner
 from repro.core.registry_node import RegistryNode
+from repro.core.retry import RetryPolicy
 from repro.core.service_node import ServiceNode
 from repro.core.standby import StandbyRegistry
 from repro.core.system import DiscoverySystem, make_models
@@ -38,6 +40,7 @@ __all__ = [
     "MediationPlan",
     "MediationPlanner",
     "RegistryNode",
+    "RetryPolicy",
     "STRATEGY_EXPANDING_RING",
     "STRATEGY_FLOODING",
     "STRATEGY_INFORMED",
@@ -45,5 +48,7 @@ __all__ = [
     "ServiceNode",
     "StandbyRegistry",
     "Watch",
+    "assert_invariants",
+    "check_invariants",
     "make_models",
 ]

@@ -31,7 +31,8 @@ from repro.registry.matching import QueryEvaluator, QueryHit
 from repro.semantics.ontology import Ontology
 from repro.semantics.profiles import ServiceRequest
 
-#: Attempts before a query gives up on registries entirely.
+#: Attempts before a query gives up on registries entirely. Kept as the
+#: historical default; the live budget is ``config.query_retry.max_attempts``.
 MAX_ATTEMPTS = 3
 
 
@@ -82,6 +83,14 @@ class DiscoveryCall:
     response_bytes: int = 0
     responders: int = 0
     completed_at: float = 0.0
+    #: Times :meth:`ClientNode._complete` ran for this call — the
+    #: invariant checker asserts it never exceeds one.
+    completions: int = 0
+    #: Set by the synchronous driver when its deadline elapsed first.
+    timed_out: bool = False
+    #: Client-local call index; keys retry jitter (query ids come from a
+    #: process-global counter, so they are not stable run to run).
+    seq: int = 0
     _fallback_batches: list[list[QueryHit]] = field(default_factory=list)
 
     @property
@@ -123,6 +132,7 @@ class ClientNode(Node):
         self._by_wire_id: dict[str, DiscoveryCall] = {}
         self.watches: dict[str, Watch] = {}
         self.fallback_queries = 0
+        self.query_retries = 0
         self.artifacts_fetched: dict[str, object] = {}
 
     # -- lifecycle ------------------------------------------------------------
@@ -138,6 +148,18 @@ class ClientNode(Node):
         for watch in self.watches.values():
             if watch.active:
                 self._send_subscribe(watch, registry_id)
+
+    def on_crash(self) -> None:
+        """Fail every in-flight call so bookkeeping drains with the node.
+
+        A crashed client can never receive the responses it is waiting
+        for; leaving the calls pending would strand wire-id entries across
+        the restart and undercount failures in experiments.
+        """
+        for call in list(self._by_wire_id.values()):
+            if not call.completed:
+                self._complete(call, [], via="crashed")
+        self._by_wire_id.clear()
 
     def on_restart(self) -> None:
         self.tracker.current = None
@@ -175,6 +197,7 @@ class ClientNode(Node):
             model_id=model_id,
             issued_at=self.sim.now,
             ttl=self.config.default_ttl if ttl is None else ttl,
+            seq=len(self.calls),
         )
         self.calls.append(call)
         self._dispatch(call)
@@ -185,10 +208,12 @@ class ClientNode(Node):
         return f"{call.query_id}/{call.attempts}"
 
     def _dispatch(self, call: DiscoveryCall) -> None:
+        if call.completed:
+            # A backoff-delayed retry can race a crash-time completion.
+            return
         model = self.models.get(call.model_id)
         query = model.query_from(call.request)
         wire_id = self._wire_id(call)
-        self._by_wire_id[wire_id] = call
         payload = protocol.QueryPayload(
             query_id=wire_id,
             model_id=call.model_id,
@@ -198,6 +223,9 @@ class ClientNode(Node):
         )
         registry = self.tracker.current
         if registry is not None:
+            # Register the wire id only on paths that await a response —
+            # an immediate failure must not strand a map entry.
+            self._by_wire_id[wire_id] = call
             call.via = f"registry:{registry}"
             call.sent_to = registry
             self.send(registry, protocol.QUERY, payload, payload_type=call.model_id)
@@ -220,8 +248,19 @@ class ClientNode(Node):
             # A concurrent failover already replaced it; don't evict the
             # (possibly healthy) new attachment — just retry there.
             replacement = self.tracker.current
-        if replacement is not None and call.attempts <= MAX_ATTEMPTS:
-            self._dispatch(call)
+        policy = self.config.query_retry
+        if replacement is not None and call.attempts <= policy.max_attempts:
+            # Capped exponential backoff with deterministic jitter keyed
+            # by the call, so concurrent clients de-synchronize instead of
+            # stampeding the replacement registry.
+            self.query_retries += 1
+            if self.network is not None:
+                self.network.stats.record_retry("query")
+            delay = policy.delay(
+                call.attempts - 1, seed=self.sim.seed,
+                key=f"{self.node_id}/{call.seq}",
+            )
+            self.after(delay, lambda: self._dispatch(call))
         elif self.config.fallback_enabled:
             model = self.models.get(call.model_id)
             payload = protocol.QueryPayload(
@@ -261,9 +300,11 @@ class ClientNode(Node):
         call._fallback_batches.append(list(payload.hits))
 
     def _fallback_done(self, call: DiscoveryCall, wire_id: str) -> None:
+        # Drain the wire-id entry unconditionally: even a call completed
+        # through another path must not leave its fallback entry behind.
+        self._by_wire_id.pop(wire_id, None)
         if call.completed:
             return
-        self._by_wire_id.pop(wire_id, None)
         merged = QueryEvaluator.merge(
             call._fallback_batches, max_results=call.request.max_results
         )
@@ -284,6 +325,7 @@ class ClientNode(Node):
         self._complete(call, list(payload.hits), via=call.via)
 
     def _complete(self, call: DiscoveryCall, hits: list[QueryHit], *, via: str) -> None:
+        call.completions += 1
         call.hits = hits
         call.via = via
         call.completed = True

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.core.retry import RetryPolicy
 
 #: Query forwarding strategies (§4.9: "increasing the reach of a query
 #: gradually in several rounds, random walks, or broadcasting in the
@@ -109,6 +110,23 @@ class DiscoveryConfig:
     fallback_enabled: bool = True
     #: Seconds a client collects decentralized responses before reporting.
     fallback_timeout: float = 0.5
+
+    # -- recovery / retries ------------------------------------------------
+    #: Backoff between client query attempts (failover retries). The
+    #: attempt budget replaces the old fixed MAX_ATTEMPTS constant.
+    query_retry: RetryPolicy = RetryPolicy(
+        base=0.2, factor=2.0, cap=2.0, max_attempts=3, jitter=0.1
+    )
+    #: Retransmission of unacked publishes (lost on a lossy link).
+    publish_retry: RetryPolicy = RetryPolicy(
+        base=1.0, factor=2.0, cap=8.0, max_attempts=4, jitter=0.1
+    )
+    #: Retransmission of unacked lease renewals. Keeping this shorter than
+    #: the renew interval lets a transiently lost RENEW recover without
+    #: tripping the registry-death failover heuristic.
+    renew_retry: RetryPolicy = RetryPolicy(
+        base=1.0, factor=2.0, cap=6.0, max_attempts=3, jitter=0.1
+    )
 
     def __post_init__(self) -> None:
         if self.strategy not in _STRATEGIES:

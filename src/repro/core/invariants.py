@@ -1,0 +1,91 @@
+"""Post-scenario invariant checking.
+
+Fault scenarios exercise recovery code paths (retry, failover, fallback,
+lease expiry) whose bugs are silent: a stale wire-id entry or a lease
+outliving its advertisement does not crash anything, it just skews the
+next measurement. :func:`check_invariants` sweeps a quiesced
+:class:`~repro.core.system.DiscoverySystem` for the three classes of
+bookkeeping rot the recovery paths can leave behind:
+
+* **single completion** — no discovery call ever completes twice;
+* **wire-id drain** — no client keeps a wire-id entry for a completed
+  call (after every call has resolved, the maps are empty);
+* **lease/store agreement** — no lease outlives its advertisement, and
+  the lease manager's two maps mirror each other exactly.
+
+Run it after every fault scenario (the experiment helpers in
+:mod:`repro.experiments` do); :func:`assert_invariants` raises
+:class:`~repro.errors.InvariantError` listing every violation at once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvariantError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import DiscoverySystem
+
+
+def check_invariants(system: "DiscoverySystem") -> list[str]:
+    """Sweep ``system`` for bookkeeping violations; returns descriptions.
+
+    Intended for a *quiesced* system (no in-flight calls); clients with
+    still-pending calls are allowed matching wire-id entries, so running
+    mid-flight only reports genuine rot, never transients.
+    """
+    violations: list[str] = []
+
+    for client in system.clients:
+        for call in getattr(client, "calls", ()):
+            if call.completions > 1:
+                violations.append(
+                    f"{client.node_id}: call {call.query_id} completed "
+                    f"{call.completions} times"
+                )
+            if call.completed and call.completions == 0:
+                violations.append(
+                    f"{client.node_id}: call {call.query_id} marked completed "
+                    f"without passing through _complete"
+                )
+        for wire_id, call in getattr(client, "_by_wire_id", {}).items():
+            if call.completed:
+                violations.append(
+                    f"{client.node_id}: stale wire-id {wire_id!r} for "
+                    f"completed call {call.query_id}"
+                )
+
+    for registry in system.registries:
+        leases = getattr(registry, "leases", None)
+        store = getattr(registry, "store", None)
+        if leases is None or store is None:
+            continue
+        for lease in leases._by_lease.values():
+            if lease.ad_id not in store:
+                violations.append(
+                    f"{registry.node_id}: lease {lease.lease_id} outlives "
+                    f"advertisement {lease.ad_id}"
+                )
+            if leases._by_ad.get(lease.ad_id) != lease.lease_id:
+                violations.append(
+                    f"{registry.node_id}: lease {lease.lease_id} missing from "
+                    f"the per-advertisement map"
+                )
+        for ad_id, lease_id in leases._by_ad.items():
+            if lease_id not in leases._by_lease:
+                violations.append(
+                    f"{registry.node_id}: advertisement {ad_id} maps to "
+                    f"dropped lease {lease_id}"
+                )
+
+    return violations
+
+
+def assert_invariants(system: "DiscoverySystem") -> None:
+    """Raise :class:`InvariantError` listing every violation found."""
+    violations = check_invariants(system)
+    if violations:
+        raise InvariantError(
+            "invariant violations:\n  " + "\n  ".join(violations)
+        )

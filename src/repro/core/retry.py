@@ -1,0 +1,79 @@
+"""Shared retry policy: capped exponential backoff with deterministic jitter.
+
+Survey work on discovery in unreliable networks singles out *retry* as one
+of the recovery behaviours that separates robust architectures from
+fragile ones. Every protocol path that re-sends after silence (client
+queries, service publishes and renewals) shares this one policy object so
+the backoff shape is a deployment knob, not an ad-hoc constant.
+
+Jitter is **deterministic**: it is derived by hashing ``(seed, key,
+attempt)`` rather than drawing from the simulator RNG, so adding or
+removing a retry never perturbs the RNG stream consumed by loss sampling
+and workload generation — a fixed seed still fully determines a run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff.
+
+    Attributes
+    ----------
+    base:
+        Delay before the first retry (seconds).
+    factor:
+        Multiplier applied per additional retry.
+    cap:
+        Upper bound on the un-jittered delay.
+    max_attempts:
+        Total attempts allowed (the first try counts as attempt 1);
+        ``attempts_exhausted(n)`` is true once ``n >= max_attempts``.
+    jitter:
+        Fractional spread: the delay is scaled into
+        ``[1 - jitter, 1 + jitter]`` by the deterministic hash.
+    """
+
+    base: float = 0.5
+    factor: float = 2.0
+    cap: float = 8.0
+    max_attempts: int = 3
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ReproError(f"retry base must be positive, got {self.base}")
+        if self.factor < 1.0:
+            raise ReproError(f"retry factor must be >= 1, got {self.factor}")
+        if self.cap < self.base:
+            raise ReproError(f"retry cap {self.cap} must be >= base {self.base}")
+        if self.max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, attempt: int, *, seed: int = 0, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``seed`` and ``key`` select the jitter deterministically — the same
+        (seed, key, attempt) triple always yields the same delay, and
+        distinct keys (e.g. per call or per node) de-synchronize retries
+        so a crashed registry is not hammered by a thundering herd.
+        """
+        if attempt < 1:
+            raise ReproError(f"retry attempt must be >= 1, got {attempt}")
+        raw = min(self.cap, self.base * self.factor ** (attempt - 1))
+        if self.jitter == 0.0:
+            return raw
+        unit = zlib.crc32(f"{seed}:{key}:{attempt}".encode("utf-8")) / 0xFFFFFFFF
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+    def attempts_exhausted(self, attempts: int) -> bool:
+        """Whether ``attempts`` tries have used up the budget."""
+        return attempts >= self.max_attempts

@@ -75,6 +75,8 @@ class ServiceNode(Node):
         self._attached_at: float | None = None
         self.publishes_sent = 0
         self.republish_events = 0
+        self.publish_retries = 0
+        self.renew_retries = 0
 
     def _describe_all(self) -> dict[str, object]:
         return {
@@ -144,19 +146,54 @@ class ServiceNode(Node):
             if not record.ad_id:
                 record.ad_id = new_uuid("ad")
             self.publishes_sent += 1
-            self.send(
-                registry_id,
-                protocol.PUBLISH,
-                protocol.PublishPayload(
-                    service_node=self.node_id,
-                    service_name=self.profile.service_name,
-                    endpoint=self.endpoint,
-                    model_id=model_id,
-                    description=self._descriptions[model_id],
-                    ad_id=record.ad_id,
-                ),
-                payload_type=model_id,
-            )
+            self._send_publish(registry_id, record)
+            self._arm_publish_retry(record, registry_id, attempt=1)
+
+    def _send_publish(self, registry_id: str, record: PublishedAd) -> None:
+        self.send(
+            registry_id,
+            protocol.PUBLISH,
+            protocol.PublishPayload(
+                service_node=self.node_id,
+                service_name=self.profile.service_name,
+                endpoint=self.endpoint,
+                model_id=record.model_id,
+                description=self._descriptions[record.model_id],
+                ad_id=record.ad_id,
+            ),
+            payload_type=record.model_id,
+        )
+
+    def _arm_publish_retry(self, record: PublishedAd, registry_id: str,
+                           attempt: int) -> None:
+        """Retransmit an unacked publish with capped exponential backoff.
+
+        A publish lost on a lossy link used to stay silent for almost a
+        whole renew interval before the failover heuristic noticed;
+        retrying recovers within seconds without evicting a healthy
+        registry. Exhaustion hands the case back to the renew-tick
+        failover heuristic unchanged.
+        """
+        policy = self.config.publish_retry
+        if attempt > policy.max_attempts:
+            return
+        delay = policy.delay(
+            attempt, seed=self.sim.seed,
+            key=f"{self.node_id}/{record.model_id}/publish",
+        )
+
+        def maybe_resend() -> None:
+            if record.acked or record.registry != registry_id:
+                return
+            if self.tracker.current != registry_id:
+                return
+            self.publish_retries += 1
+            if self.network is not None:
+                self.network.stats.record_retry("publish")
+            self._send_publish(registry_id, record)
+            self._arm_publish_retry(record, registry_id, attempt + 1)
+
+        self.after(delay, maybe_resend)
 
     def handle_publish_ack(self, envelope: Envelope) -> None:
         ack = envelope.payload
@@ -204,11 +241,48 @@ class ServiceNode(Node):
         for record in sorted(self._published.values(), key=lambda r: r.model_id):
             if record.acked and record.lease_id:
                 record.renew_outstanding = True
-                self.send(
-                    registry,
-                    protocol.RENEW,
-                    protocol.RenewPayload(lease_id=record.lease_id, ad_id=record.ad_id),
-                )
+                self._send_renew(registry, record)
+                self._arm_renew_retry(record, registry, record.lease_id, attempt=1)
+
+    def _send_renew(self, registry_id: str, record: PublishedAd) -> None:
+        self.send(
+            registry_id,
+            protocol.RENEW,
+            protocol.RenewPayload(lease_id=record.lease_id, ad_id=record.ad_id),
+        )
+
+    def _arm_renew_retry(self, record: PublishedAd, registry_id: str,
+                         lease_id: str, attempt: int) -> None:
+        """Retransmit an unanswered renew before the next tick fails over.
+
+        A single lost RENEW used to look identical to a dead registry at
+        the next tick (``stale_renew``); a couple of quick retransmissions
+        let transient loss resolve without tearing down the attachment.
+        The failover heuristic is untouched — it still fires if every
+        retry drowns.
+        """
+        policy = self.config.renew_retry
+        if attempt > policy.max_attempts:
+            return
+        delay = policy.delay(
+            attempt, seed=self.sim.seed,
+            key=f"{self.node_id}/{record.model_id}/renew",
+        )
+
+        def maybe_resend() -> None:
+            if not record.renew_outstanding:
+                return
+            if record.lease_id != lease_id or record.registry != registry_id:
+                return
+            if self.tracker.current != registry_id:
+                return
+            self.renew_retries += 1
+            if self.network is not None:
+                self.network.stats.record_retry("renew")
+            self._send_renew(registry_id, record)
+            self._arm_renew_retry(record, registry_id, lease_id, attempt + 1)
+
+        self.after(delay, maybe_resend)
 
     def handle_renew_ack(self, envelope: Envelope) -> None:
         payload = envelope.payload

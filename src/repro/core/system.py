@@ -265,9 +265,14 @@ class DiscoverySystem:
         """
         call = client.discover(request, model_id=model_id, ttl=ttl)
         deadline = self.sim.now + timeout
-        while not call.completed and self.sim.now < deadline:
-            if not self.sim.step():
-                break
+        while not call.completed and self.sim.step(until=deadline):
+            pass
+        if not call.completed:
+            # Timed out: no event at or before the deadline can complete
+            # the call. Clamp the clock to the deadline (events beyond it
+            # stay queued) instead of running arbitrarily far past it.
+            call.timed_out = True
+            self.sim.advance_to(deadline)
         return call
 
     # -- reporting ------------------------------------------------------------------

@@ -66,3 +66,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment is configured inconsistently."""
+
+
+class InvariantError(ReproError):
+    """Raised when a post-scenario invariant sweep finds bookkeeping rot."""

@@ -20,6 +20,7 @@ edges; LAN cliques for the registry-less case), and compute:
 from __future__ import annotations
 
 from repro.core.config import DiscoveryConfig
+from repro.core.invariants import assert_invariants
 from repro.experiments.common import ExperimentResult
 from repro.metrics.topology import (
     characteristic_path_length,
@@ -112,6 +113,53 @@ def _build_graph(arch: str, lans: int, services_per_lan: int, seed: int):
                            with_registries=registries > 0)
     built.system.run(until=12.0)
     return discovery_graph(built.system)
+
+
+def run_fault_scenario(
+    *,
+    lans: int = 4,
+    services_per_lan: int = 2,
+    seed: int = 0,
+) -> dict:
+    """The canonical crash + partition + loss-burst scenario on the
+    distributed (super-peer) topology, measured as a survivability story.
+
+    Snapshots the discovery graph before the faults, at the depth of the
+    partition window, and after heal + recovery, then sweeps the
+    bookkeeping invariants. Deterministic under a fixed seed.
+    """
+    from repro.experiments.e3_robustness import canonical_fault_plan
+
+    spec = ScenarioSpec(
+        name="e11-fault-scenario",
+        lan_names=tuple(f"lan-{i}" for i in range(lans)),
+        ontology_factory=battlefield_ontology,
+        registries_per_lan=1,
+        services_per_lan=services_per_lan,
+        clients_per_lan=1,
+        federation="mesh",
+        seed=seed,
+    )
+    built = build_scenario(spec, config=DiscoveryConfig())
+    system = built.system
+    system.run(until=12.0)
+    before = largest_component_fraction(discovery_graph(system))
+
+    plan = canonical_fault_plan(system)
+    applied = plan.apply(system)
+    system.run_for(10.0)  # inside the partition + loss window
+    during = largest_component_fraction(discovery_graph(system))
+    system.run_for(2 * system.config.lease_duration)  # heal + recover
+    after = largest_component_fraction(discovery_graph(system))
+    assert_invariants(system)
+
+    return {
+        "faults": applied.counts(),
+        "traffic": system.traffic(),
+        "connected_before": before,
+        "connected_during": during,
+        "connected_after": after,
+    }
 
 
 def _removal_order(graph, strategy: str, seed: int) -> list[str]:

@@ -17,10 +17,12 @@ from __future__ import annotations
 from repro.baselines.uddi import UddiSystem
 from repro.baselines.wsdiscovery import WsDiscoverySystem
 from repro.core.config import COOPERATION_REPLICATE_ADS, DiscoveryConfig
+from repro.core.invariants import assert_invariants
 from repro.experiments.common import ExperimentResult
 from repro.metrics.retrieval import score_queries
 from repro.metrics.topology import degree_of, discovery_graph
 from repro.netsim.failures import AttackSchedule
+from repro.netsim.faults import FaultPlan
 from repro.semantics.generator import battlefield_ontology
 from repro.workloads.queries import QueryDriver, QueryWorkload
 from repro.workloads.scenarios import ScenarioSpec, build_scenario
@@ -132,8 +134,13 @@ def _run_one(
             value=lambda nid: float(degree_of(graph, nid)),
         )
         killed = attack.plan()[:n_kill]
+        # The attack ordering picks the victims; a FaultPlan executes
+        # the crashes so they are scheduled, counted, and auditable like
+        # every other injected fault.
+        plan = FaultPlan()
         for node_id in killed:
-            system.network.node(node_id).crash()
+            plan.crash(system.sim.now, node_id)
+        plan.apply(system)
         system.run_for(recovery)
 
     workload = QueryWorkload.anchored(
@@ -153,4 +160,71 @@ def _run_one(
         "recall": scores.recall,
         "completed": sum(1 for q in issued if q.call.completed),
         "queries": len(issued),
+    }
+
+
+def canonical_fault_plan(system, *, start: float | None = None) -> FaultPlan:
+    """The standard E3/E11 fault scenario: crash + partition + loss burst.
+
+    Relative to ``start`` (default: the system's current time): the first
+    registry crashes at +2 s; at +4 s the WAN splits with the first LAN
+    isolated from the rest while the isolated LAN also suffers a 40 % loss
+    burst for 8 s; everything heals at +14 s and the registry returns at
+    +16 s.
+    """
+    t0 = system.sim.now if start is None else start
+    lans = sorted(system.network.lans)
+    registry = system.registries[0].node_id
+    plan = (
+        FaultPlan()
+        .crash(t0 + 2.0, registry)
+        .loss_burst(t0 + 4.0, 8.0, 0.4, lan=lans[0])
+        .restart(t0 + 16.0, registry)
+    )
+    if len(lans) > 1:
+        plan.partition(t0 + 4.0, [[lans[0]], lans[1:]])
+        plan.heal(t0 + 14.0)
+    return plan
+
+
+def run_fault_scenario(
+    *,
+    lans: int = 3,
+    services_per_lan: int = 2,
+    n_queries: int = 6,
+    seed: int = 0,
+) -> dict:
+    """Run the canonical fault scenario on the federated architecture.
+
+    Builds the E3 federated deployment, applies
+    :func:`canonical_fault_plan`, plays a query workload *through* the
+    fault window, lets the system quiesce, and asserts the bookkeeping
+    invariants. Deterministic: the same seed returns an identical snapshot
+    on every invocation.
+
+    Returns a dict with the fault history counts, traffic snapshot, and
+    completed-query count — the experiment row a robustness report cites.
+    """
+    built = _build("federated", lans, services_per_lan, seed)
+    system = built.system
+    system.run(until=12.0)
+
+    plan = canonical_fault_plan(system)
+    applied = plan.apply(system)
+
+    workload = QueryWorkload.anchored(
+        built.generator, built.profiles, n_queries, generalize=1
+    )
+    driver = QueryDriver(system, workload, interval=2.0, seed=seed)
+    issued = driver.play(settle=1.0, drain=30.0)
+    # Let retries, renew cycles, and purge timers settle before sweeping.
+    system.run_for(2 * system.config.lease_duration)
+    assert_invariants(system)
+
+    return {
+        "faults": applied.counts(),
+        "traffic": system.traffic(),
+        "completed": sum(1 for q in issued if q.call.completed),
+        "queries": len(issued),
+        "alive_registries": sum(1 for r in system.registries if r.alive),
     }

@@ -28,9 +28,9 @@ from repro.core.config import DiscoveryConfig
 from repro.experiments.common import ExperimentResult
 from repro.metrics.staleness import registry_staleness, response_staleness
 from repro.semantics.generator import emergency_ontology
+from repro.netsim.faults import FaultPlan
 from repro.workloads.queries import QueryDriver, QueryWorkload
 from repro.workloads.scenarios import ScenarioSpec, build_scenario
-from repro.workloads.trace import DynamicsTrace
 
 ARCHITECTURES = ("leasing", "no-leasing", "uddi", "wsd-proxy", "wsd-adhoc")
 
@@ -122,20 +122,23 @@ def _run_one(
     built = _build(arch, n_services, seed)
     system = built.system
     system.run(until=3.0)
-    # A recorded trace, not a live churn process: every architecture in
-    # the comparison sees byte-identical crashes at identical instants.
-    trace = DynamicsTrace.churn(
-        n_services=n_services, rate=rate, window=churn_window,
+    # A fixed fault schedule, not a live churn process: every architecture
+    # in the comparison sees byte-identical crashes at identical instants
+    # (the plan's randomness is consumed at build time from its own RNG).
+    plan = FaultPlan.churn(
+        [s.node_id for s in built.services], rate=rate, window=churn_window,
         seed=seed, mean_downtime=None, start=system.sim.now,
     )
-    trace.apply(system)
+    plan.apply(system)
     system.run_for(churn_window)
     # Let leases of the last victims expire before sampling.
     system.run_for(2 * LEASE)
 
+    names = {s.node_id: s.profile.service_name for s in built.services}
     dead = frozenset(
-        built.services[index].profile.service_name
-        for index in trace.dead_indexes(float("inf"))
+        names[action.node_id]
+        for action in plan.actions()
+        if action.kind == "crash"
     )
     reg_staleness = registry_staleness(system)
 

@@ -17,21 +17,30 @@ runs on:
   size so bandwidth claims are *measured*, not asserted.
 * :mod:`~repro.netsim.failures` — churn processes, crash schedules, and
   random/targeted attack generators.
+* :mod:`~repro.netsim.faults` — declarative :class:`~repro.netsim.faults.
+  FaultPlan` schedules (crash/restart, partition/heal, loss bursts,
+  latency spikes) driving the primitives above deterministically.
 """
 
 from repro.netsim.messages import Envelope, SizeModel
-from repro.netsim.network import Lan, Network
+from repro.netsim.network import Lan, LatencySpike, LossWindow, Network
 from repro.netsim.node import Node, Timer
 from repro.netsim.simulator import Simulator
 from repro.netsim.stats import TrafficStats
 from repro.netsim.failures import AttackSchedule, ChurnProcess, CrashSchedule
+from repro.netsim.faults import AppliedFaults, FaultAction, FaultPlan
 
 __all__ = [
+    "AppliedFaults",
     "AttackSchedule",
     "ChurnProcess",
     "CrashSchedule",
     "Envelope",
+    "FaultAction",
+    "FaultPlan",
     "Lan",
+    "LatencySpike",
+    "LossWindow",
     "Network",
     "Node",
     "SizeModel",

@@ -137,6 +137,26 @@ class Envelope:
             hops=self.hops + 1,
         )
 
+    def copy_for(self, dst: str) -> "Envelope":
+        """A per-receiver delivery copy of this envelope.
+
+        Multicast delivers one copy per receiver so a handler mutating
+        envelope metadata (headers, hops) cannot contaminate sibling
+        deliveries. The payload object is shared — protocol payloads are
+        frozen dataclasses — but headers are copied.
+        """
+        return Envelope(
+            msg_type=self.msg_type,
+            src=self.src,
+            dst=dst,
+            payload=self.payload,
+            payload_type=self.payload_type,
+            headers=dict(self.headers),
+            size_bytes=self.size_bytes,
+            hops=self.hops,
+            sent_at=self.sent_at,
+        )
+
     def header(self, name: str, default: Any = None) -> Any:
         """Convenience accessor for :attr:`headers`."""
         return self.headers.get(name, default)

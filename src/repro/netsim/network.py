@@ -22,6 +22,69 @@ from repro.netsim.simulator import Simulator
 from repro.netsim.stats import TrafficStats
 
 
+@dataclass(frozen=True)
+class LossWindow:
+    """A timed burst of extra delivery loss on part of the network.
+
+    ``lan`` scopes the burst to traffic touching one LAN; ``link`` to
+    traffic between a specific pair of LANs; both ``None`` means global.
+    ``rate`` may be 1.0 (total blackout for the window). Composes with the
+    ambient :attr:`Network.loss_rate` as independent drop probabilities.
+    """
+
+    start: float
+    end: float
+    rate: float
+    lan: str | None = None
+    link: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise NetworkError(f"loss window rate must be in [0, 1], got {self.rate}")
+        if self.end <= self.start:
+            raise NetworkError(f"loss window must end after it starts "
+                               f"({self.start} .. {self.end})")
+
+    def applies(self, now: float, src_lan: str, dst_lan: str) -> bool:
+        """Whether this window affects a delivery between the LANs at ``now``."""
+        if not self.start <= now < self.end:
+            return False
+        if self.lan is not None:
+            return self.lan in (src_lan, dst_lan)
+        if self.link is not None:
+            return self.link == frozenset((src_lan, dst_lan))
+        return True
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """A timed additive delivery-latency increase, scoped like a
+    :class:`LossWindow` (per-LAN, per-link, or global)."""
+
+    start: float
+    end: float
+    extra: float
+    lan: str | None = None
+    link: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.extra < 0:
+            raise NetworkError(f"latency spike must be non-negative, got {self.extra}")
+        if self.end <= self.start:
+            raise NetworkError(f"latency spike must end after it starts "
+                               f"({self.start} .. {self.end})")
+
+    def applies(self, now: float, src_lan: str, dst_lan: str) -> bool:
+        """Whether this spike affects a delivery between the LANs at ``now``."""
+        if not self.start <= now < self.end:
+            return False
+        if self.lan is not None:
+            return self.lan in (src_lan, dst_lan)
+        if self.link is not None:
+            return self.link == frozenset((src_lan, dst_lan))
+        return True
+
+
 @dataclass
 class Lan:
     """One LAN segment: a local multicast domain.
@@ -100,6 +163,10 @@ class Network:
         self.stats = TrafficStats()
         self.nodes: dict[str, Node] = {}
         self.lans: dict[str, Lan] = {}
+        #: Fault-injection state (see :mod:`repro.netsim.faults`): timed
+        #: loss bursts and latency spikes consulted on every delivery.
+        self.loss_windows: list[LossWindow] = []
+        self.latency_spikes: list[LatencySpike] = []
 
     # -- construction ---------------------------------------------------
 
@@ -229,6 +296,44 @@ class Network:
             return False
         return src.lan_name != dst.lan_name
 
+    # -- fault hooks -----------------------------------------------------
+
+    def add_loss_window(self, window: LossWindow) -> None:
+        """Install a timed loss burst (normally via a FaultPlan)."""
+        for name in filter(None, [window.lan, *(window.link or ())]):
+            if name not in self.lans:
+                raise NetworkError(f"unknown LAN {name!r} in loss window")
+        self.loss_windows.append(window)
+
+    def add_latency_spike(self, spike: LatencySpike) -> None:
+        """Install a timed latency spike (normally via a FaultPlan)."""
+        for name in filter(None, [spike.lan, *(spike.link or ())]):
+            if name not in self.lans:
+                raise NetworkError(f"unknown LAN {name!r} in latency spike")
+        self.latency_spikes.append(spike)
+
+    def _fault_loss(self, src_lan: str, dst_lan: str) -> float:
+        """Combined drop probability of the loss windows active right now."""
+        if not self.loss_windows:
+            return 0.0
+        now = self.sim.now
+        pass_probability = 1.0
+        for window in self.loss_windows:
+            if window.applies(now, src_lan, dst_lan):
+                pass_probability *= 1.0 - window.rate
+        return 1.0 - pass_probability
+
+    def _extra_latency(self, src_lan: str, dst_lan: str) -> float:
+        """Additional delivery latency from active spikes."""
+        if not self.latency_spikes:
+            return 0.0
+        now = self.sim.now
+        return sum(
+            spike.extra
+            for spike in self.latency_spikes
+            if spike.applies(now, src_lan, dst_lan)
+        )
+
     # -- transport ------------------------------------------------------
 
     def unicast(self, envelope: Envelope) -> None:
@@ -246,15 +351,23 @@ class Network:
         wan = self.is_wan(envelope.src, envelope.dst)
         self.stats.record_send(envelope.msg_type, envelope.src, size, wan=wan, multicast=False)
         if not self.reachable(envelope.src, envelope.dst):
-            self.stats.record_drop()
+            self.stats.record_drop("unreachable")
             return
         if self.loss_rate and self.sim.rng.random() < self.loss_rate:
-            self.stats.record_drop()
+            self.stats.record_drop("loss")
+            return
+        sender = self.nodes.get(envelope.src)
+        receiver = self.nodes.get(envelope.dst)
+        src_lan = sender.lan_name if sender is not None else ""
+        dst_lan = receiver.lan_name if receiver is not None else ""
+        fault_loss = self._fault_loss(src_lan or "", dst_lan or "")
+        if fault_loss and self.sim.rng.random() < fault_loss:
+            self.stats.record_drop("fault-loss")
             return
         latency = self.wan_latency if wan else self.lan_latency
+        latency += self._extra_latency(src_lan or "", dst_lan or "")
         # The sender's LAN medium serializes the transmission (the uplink
         # is the bottleneck for narrow-band deployments).
-        sender = self.nodes.get(envelope.src)
         done_at = self.sim.now
         if sender is not None and sender.lan_name in self.lans:
             done_at = self.lans[sender.lan_name].transmission_done(
@@ -267,7 +380,8 @@ class Network:
         """Deliver ``envelope`` to every other node on the sender's LAN.
 
         One transmission is accounted (broadcast medium); each receiver
-        gets its own copy of the delivery record.
+        gets its *own envelope copy*, so a handler mutating headers or
+        routing metadata cannot contaminate sibling deliveries.
         """
         sender = self.nodes.get(envelope.src)
         if sender is None or sender.lan_name is None:
@@ -276,26 +390,32 @@ class Network:
         envelope.size_bytes = size
         envelope.sent_at = self.sim.now
         self.stats.record_send(envelope.msg_type, envelope.src, size, wan=False, multicast=True)
-        lan = self.lans[sender.lan_name]
+        lan_name = sender.lan_name
+        lan = self.lans[lan_name]
         done_at = lan.transmission_done(self.sim.now, size)
+        fault_loss = self._fault_loss(lan_name, lan_name)
+        latency = self.lan_latency + self._extra_latency(lan_name, lan_name)
         for dst_id in sorted(lan.node_ids):
             if dst_id == envelope.src:
                 continue
             if self.loss_rate and self.sim.rng.random() < self.loss_rate:
-                self.stats.record_drop()
+                self.stats.record_drop("loss")
                 continue
-            self.sim.schedule_at(done_at + self.lan_latency, self._deliver,
-                                 envelope, dst_id)
+            if fault_loss and self.sim.rng.random() < fault_loss:
+                self.stats.record_drop("fault-loss")
+                continue
+            self.sim.schedule_at(done_at + latency, self._deliver,
+                                 envelope.copy_for(dst_id), dst_id)
 
     def _deliver(self, envelope: Envelope, dst_id: str) -> None:
         """Delivery event: hand the envelope to the destination if it is up."""
         dst = self.nodes.get(dst_id)
         if dst is None or not dst.alive:
-            self.stats.record_drop()
+            self.stats.record_drop("dead-dst")
             return
         if not self.reachable(envelope.src, dst_id):
             # A partition formed while the message was in flight.
-            self.stats.record_drop()
+            self.stats.record_drop("partition-in-flight")
             return
         self.stats.record_delivery(dst_id, envelope.size_bytes)
         dst.receive(envelope)

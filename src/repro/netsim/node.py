@@ -38,6 +38,12 @@ class Timer:
 
         def guarded() -> None:
             self._fired = True
+            # Drop the bookkeeping reference so long-lived nodes do not
+            # accumulate fired timers (a slow leak under heavy retrying).
+            try:
+                node._timers.remove(self)
+            except ValueError:
+                pass
             if node.alive:
                 fn()
 

@@ -172,20 +172,44 @@ class Simulator:
             self._now = until
         return self._now
 
-    def step(self) -> bool:
+    def step(self, until: float | None = None) -> bool:
         """Process exactly one pending (non-cancelled) event.
 
-        Returns ``True`` if an event fired, ``False`` if the heap is empty.
+        Returns ``True`` if an event fired; ``False`` if the heap is empty
+        or (with ``until``) the next event lies beyond ``until``, in which
+        case that event is left in the heap and time does not advance —
+        callers stepping toward a deadline never execute past it.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+            if self._heap[0].cancelled:
+                heapq.heappop(self._heap)
                 continue
+            if until is not None and self._heap[0].time > until:
+                return False
+            event = heapq.heappop(self._heap)
             self._now = event.time
             event.callback()
             self.events_processed += 1
             return True
         return False
+
+    def advance_to(self, when: float) -> float:
+        """Advance the clock to ``when`` without firing any events.
+
+        Only legal when no pending event is scheduled at or before
+        ``when`` (use :meth:`run` or :meth:`step` to execute those first).
+        Used to close out a bounded window — e.g. a synchronous discovery
+        deadline — so ``now`` reflects the full window length.
+        """
+        if when < self._now:
+            raise SimulationError(f"cannot advance to {when} < now={self._now}")
+        for event in self._heap:
+            if not event.cancelled and event.time <= when:
+                raise SimulationError(
+                    f"cannot advance past pending event at t={event.time}"
+                )
+        self._now = when
+        return self._now
 
     def pending(self) -> int:
         """Number of scheduled, non-cancelled events."""

@@ -28,6 +28,16 @@ class TrafficStats:
     node_bytes_sent: Counter = field(default_factory=Counter)
     node_bytes_received: Counter = field(default_factory=Counter)
     node_messages_received: Counter = field(default_factory=Counter)
+    #: Drops broken down by cause: "loss" (ambient loss_rate),
+    #: "fault-loss" (an injected loss window), "unreachable", "dead-dst",
+    #: "partition-in-flight".
+    drops_by_reason: Counter = field(default_factory=Counter)
+    #: Protocol retries by kind ("query", "publish", "renew"), recorded by
+    #: the nodes that re-send.
+    retries: Counter = field(default_factory=Counter)
+    #: Injected fault events by kind ("crash", "restart", "partition",
+    #: "heal", "loss-window", "latency-spike"), recorded by FaultPlan.
+    faults: Counter = field(default_factory=Counter)
 
     def record_send(self, msg_type: str, src: str, size: int, *, wan: bool, multicast: bool) -> None:
         """Account for one transmission leaving ``src``."""
@@ -48,9 +58,18 @@ class TrafficStats:
         self.node_bytes_received[dst] += size
         self.node_messages_received[dst] += 1
 
-    def record_drop(self) -> None:
+    def record_drop(self, reason: str = "loss") -> None:
         """Account for a transmission that never arrived (loss/partition/crash)."""
         self.messages_dropped += 1
+        self.drops_by_reason[reason] += 1
+
+    def record_retry(self, kind: str) -> None:
+        """Account for one protocol-level retransmission of ``kind``."""
+        self.retries[kind] += 1
+
+    def record_fault(self, kind: str) -> None:
+        """Account for one injected fault event of ``kind``."""
+        self.faults[kind] += 1
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the scalar counters (for experiment tables)."""
@@ -62,6 +81,17 @@ class TrafficStats:
             "bytes_delivered": self.bytes_delivered,
             "bytes_wan": self.bytes_wan,
             "bytes_multicast": self.bytes_multicast,
+            "drops_fault": self.drops_by_reason["fault-loss"],
+            "retries_total": sum(self.retries.values()),
+            "faults_total": sum(self.faults.values()),
+        }
+
+    def fault_report(self) -> dict[str, dict[str, int]]:
+        """Detailed robustness counters (drops by cause, retries, faults)."""
+        return {
+            "drops_by_reason": dict(self.drops_by_reason),
+            "retries": dict(self.retries),
+            "faults": dict(self.faults),
         }
 
     def delta_since(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -94,3 +124,6 @@ class TrafficStats:
         self.node_bytes_sent.clear()
         self.node_bytes_received.clear()
         self.node_messages_received.clear()
+        self.drops_by_reason.clear()
+        self.retries.clear()
+        self.faults.clear()

@@ -78,9 +78,12 @@ class LeaseManager:
         length = self.default_duration if duration is None else duration
         if length <= 0:
             raise LeaseError(f"lease duration must be positive, got {length}")
-        old_lease_id = self._by_ad.get(ad_id)
-        if old_lease_id is not None:
-            self._by_lease.pop(old_lease_id, None)
+        old = self.lease_for_ad(ad_id)
+        if old is not None:
+            # Retire the replaced lease through the same path as expiry and
+            # cancellation so both maps stay mirrored; renewing the retired
+            # lease id afterwards raises LeaseError like any unknown lease.
+            self._drop(old)
         lease = Lease(
             lease_id=new_uuid("lease"),
             ad_id=ad_id,

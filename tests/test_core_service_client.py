@@ -241,3 +241,71 @@ def test_discovery_call_bookkeeping(fast):
     assert call.responders >= 1
     assert call.response_bytes > 0
     assert client.calls == [call]
+
+
+# -- wire-id bookkeeping and retry counters ---------------------------------
+
+def test_wire_id_map_drains_on_registry_path(fast):
+    system = _system(fast)
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = system.discover(client, REQUEST)
+    assert call.via.startswith("registry:")
+    assert client._by_wire_id == {}
+    assert call.completions == 1
+
+
+def test_wire_id_map_drains_on_fallback_path(fast):
+    system = _system(fast)
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    system.registries[0].crash()
+    call = system.discover(client, REQUEST, timeout=30.0)
+    assert call.via == "fallback"
+    assert client._by_wire_id == {}
+    assert call.completions == 1
+
+
+def test_wire_id_map_empty_when_call_fails_immediately():
+    config = DiscoveryConfig(fallback_enabled=False, query_timeout=1.0,
+                             beacon_interval=None)
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=config)
+    system.add_lan("lan-0")
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = system.discover(client, REQUEST, timeout=10.0)
+    assert call.via == "failed"
+    # A call that never went on the wire must not leave a wire-id entry.
+    assert client._by_wire_id == {}
+
+
+def test_client_crash_completes_in_flight_calls_and_drains_map(fast):
+    system = _system(fast)
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = client.discover(REQUEST)  # query on the wire, awaiting a response
+    assert not call.completed
+    assert client._by_wire_id
+    client.crash()
+    assert call.completed
+    assert call.via == "crashed"
+    assert client._by_wire_id == {}
+
+
+def test_query_retry_counters_match_network_stats(fast):
+    system = _system(fast)
+    system.add_registry("lan-0")  # second registry on the LAN
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    system.network.node(client.tracker.current).crash()
+    call = system.discover(client, REQUEST, timeout=30.0)
+    # The timed-out attempt fails over and retries at the survivor.
+    assert call.via.startswith("registry:")
+    assert call.attempts == 2
+    assert client.query_retries == 1
+    assert system.network.stats.retries.get("query", 0) == 1
+    assert client._by_wire_id == {}

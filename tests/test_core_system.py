@@ -172,3 +172,23 @@ def test_determinism_same_seed_same_traffic():
         return system.traffic(), tuple(call.service_names())
 
     assert build_and_run(99) == build_and_run(99)
+
+
+def test_discover_timeout_clamps_to_deadline():
+    # A call that cannot complete (registry crashed, query timeout far
+    # beyond the discover budget) must stop the clock exactly at the
+    # deadline instead of draining events arbitrarily far past it.
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=DiscoveryConfig(query_timeout=120.0))
+    system.add_lan("lan-0")
+    registry = system.add_registry("lan-0")
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    registry.crash()
+    deadline = system.sim.now + 5.0
+    call = system.discover(client, REQUEST, timeout=5.0)
+    assert call.timed_out
+    assert not call.completed
+    assert system.sim.now == deadline
+    # The client's own 120 s query timer is still queued, untouched.
+    assert system.sim.pending() > 0

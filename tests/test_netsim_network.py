@@ -301,3 +301,21 @@ def test_invalid_bandwidth_rejected():
     net = Network(Simulator(seed=1))
     with pytest.raises(NetworkError):
         net.add_lan("bad", bandwidth_bps=0.0)
+
+
+def test_multicast_delivers_per_receiver_copies(net):
+    a = _add(net, "a", "lan-a")
+    b = _add(net, "b", "lan-a")
+    c = _add(net, "c", "lan-a")
+    a.multicast("announce", payload="hi", headers={"ttl": 3})
+    net.sim.run()
+    (eb,), (ec,) = b.received, c.received
+    # One distinct Envelope per receiver, addressed to that receiver.
+    assert eb is not ec
+    assert eb.envelope_id != ec.envelope_id
+    assert eb.dst == "b" and ec.dst == "c"
+    # Mutating one delivery's metadata must not leak into the sibling's.
+    eb.headers["ttl"] = 0
+    eb.hops += 1
+    assert ec.headers == {"ttl": 3}
+    assert ec.hops != eb.hops

@@ -177,3 +177,43 @@ def test_reentrant_run_rejected(sim):
 
     sim.schedule(1.0, reenter)
     sim.run()
+
+
+def test_step_until_leaves_future_event_queued(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(5.0, lambda: fired.append("b"))
+    assert sim.step(until=2.0)
+    assert not sim.step(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 1.0  # the clock does not jump to the bound
+    assert sim.pending() == 1  # the late event is still queued
+    assert sim.step()  # and fires once the bound is lifted
+    assert fired == ["a", "b"]
+
+
+def test_step_until_discards_cancelled_events(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    assert not sim.step(until=2.0)
+    assert sim.pending() == 0
+
+
+def test_advance_to_moves_clock_without_firing(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("late"))
+    sim.advance_to(3.0)
+    assert sim.now == 3.0
+    assert fired == []
+
+
+def test_advance_to_refuses_to_skip_pending_event(sim):
+    sim.schedule(2.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.advance_to(2.0)
+
+
+def test_advance_to_refuses_backwards_time(sim):
+    sim.run(until=4.0)
+    with pytest.raises(SimulationError):
+        sim.advance_to(1.0)

@@ -123,3 +123,27 @@ def test_clear(leases):
 
 def test_default_module_duration_positive():
     assert DEFAULT_LEASE_DURATION > 0
+
+
+def test_republish_retires_replaced_lease(leases):
+    old = leases.grant("ad-1")
+    new = leases.grant("ad-1")
+    assert new.lease_id != old.lease_id
+    # The replaced lease is fully retired: renewing it raises like any
+    # unknown lease, and the new lease is untouched by the attempt.
+    with pytest.raises(LeaseError):
+        leases.renew(old.lease_id)
+    assert leases.lease_for_ad("ad-1") is new
+    leases.renew(new.lease_id)
+    assert len(leases) == 1
+    assert leases._by_ad == {"ad-1": new.lease_id}
+    assert list(leases._by_lease) == [new.lease_id]
+
+
+def test_republish_then_cancel_leaves_no_residue(leases):
+    leases.grant("ad-1")
+    leases.grant("ad-1")
+    leases.cancel_for_ad("ad-1")
+    assert len(leases) == 0
+    assert leases._by_ad == {}
+    assert leases._by_lease == {}
