@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke bench all
+.PHONY: test perf-smoke fault-smoke bench all
 
 ## Tier 1: the full unit/integration suite. Must always be green.
 test:
@@ -14,8 +14,15 @@ test:
 perf-smoke:
 	$(PYTHON) -m pytest benchmarks/test_perf_matchmaking.py -q
 
+## Tier 2: fault smoke — the canonical E3/E11 fault scenarios plus the
+## anti-entropy convergence sweep and the circuit-breaker degraded-latency
+## check. Fails if replicated stores do not reconverge within bounded
+## rounds or the invariant sweeps find bookkeeping rot.
+fault-smoke:
+	$(PYTHON) -m pytest benchmarks/test_fault_smoke.py -q
+
 ## Full experiment/benchmark sweep (slow).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-all: test perf-smoke
+all: test perf-smoke fault-smoke

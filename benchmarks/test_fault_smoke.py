@@ -1,0 +1,48 @@
+"""Fault smoke — the `make fault-smoke` CI gate.
+
+Replays the canonical E3/E11 fault scenarios (crash + partition + loss
+burst mid-workload) and the anti-entropy convergence sweep, asserting the
+recovery properties the self-healing machinery promises: bookkeeping
+invariants clean, replicated stores reconverged within bounded rounds,
+and recovery counters actually moving.
+"""
+
+from repro.experiments.e11_survivability import (
+    run_fault_scenario as e11_fault_scenario,
+)
+from repro.experiments.e3_robustness import (
+    run_convergence_scenario,
+    run_degraded_latency,
+    run_fault_scenario as e3_fault_scenario,
+)
+
+
+def test_e3_fault_scenario_recovers():
+    row = e3_fault_scenario()
+    assert row["faults"]["crash"] == 1
+    assert row["faults"]["heal"] == 1
+    assert row["completed"] == row["queries"]
+    assert row["alive_registries"] == 3
+    assert isinstance(row["recoveries"], dict)
+
+
+def test_e11_fault_scenario_reconnects():
+    row = e11_fault_scenario()
+    assert row["faults"]["partition"] == 1
+    assert row["connected_during"] < row["connected_before"]
+    assert row["connected_after"] >= row["connected_before"]
+    assert isinstance(row["recoveries"], dict)
+
+
+def test_convergence_within_bounded_rounds():
+    row = run_convergence_scenario(max_rounds=6)
+    assert row["diverged_after_heal"]
+    assert row["rounds_to_converge"] <= row["max_rounds"]
+    assert row["antientropy"]["ads_applied"] >= 1
+    assert row["recoveries"].get("antientropy-round", 0) >= 1
+
+
+def test_breaker_keeps_degraded_latency_low():
+    row = run_degraded_latency()
+    assert row["after_open_mean"] < row["aggregation_timeout"]
+    assert row["recoveries"].get("breaker-open", 0) >= 1

@@ -1,0 +1,275 @@
+"""Anti-entropy reconciliation for replicated registry stores.
+
+The paper's registries are soft-state super-peers that "dynamically
+connect and disconnect to the system" (§4.9). Under replication
+cooperation that dynamism leaves replicas divergent after every partition
+heal, registry restart, or standby promotion: an advertisement published
+on one side of a partition reaches the other side only when its lease
+happens to be renewed. This module closes that gap with classic
+anti-entropy:
+
+* each registry can render a **store digest** — ``(ad_id, version,
+  epoch)`` per live advertisement plus ``(ad_id, version)`` tombstones for
+  recent explicit removals — a few dozen bytes per entry;
+* neighbors exchange digests on a periodic round and on every federation
+  (re)join, then **delta-pull** only the missing or stale advertisements
+  (and push the ones the peer lacks), so two replicas reconverge within
+  one digest round-trip and a whole federation within its diameter in
+  rounds;
+* **tombstones** keep a removed advertisement from being resurrected by a
+  stale replica: the digest carries the removal, the peer deletes its
+  copy, and neither side will pull or absorb the advertisement at or
+  below the tombstoned version again.
+
+Anti-entropy is *pairwise and pull-based*: synced advertisements are not
+re-flooded (unlike ``AD_FORWARD`` pushes), so a round costs O(digest)
+per link plus exactly the missing deltas. The periodic round spreads
+updates epidemically — K rounds cover a federation of diameter K, the
+bound the convergence invariant in :mod:`repro.core.invariants` asserts.
+
+Only meaningful under ``COOPERATION_REPLICATE_ADS``; forwarding registries
+hold disjoint stores by design and never reconcile.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.registry_node import RegistryNode
+    from repro.core.config import DiscoveryConfig
+
+
+class AntiEntropy:
+    """Digest bookkeeping and reconciliation rounds for one registry."""
+
+    def __init__(self, registry: "RegistryNode", config: "DiscoveryConfig") -> None:
+        self.registry = registry
+        self.config = config
+        #: Last known origin epoch per stored advertisement. Epochs come
+        #: from the home registry's lease clock (see
+        #: ``RegistryNode._lease_epoch``) so every replica converges on
+        #: the same ``(version, epoch)`` coordinates per advertisement.
+        self.epochs: dict[str, int] = {}
+        #: Explicitly removed advertisements: ad_id -> (version, noted_at).
+        #: Pruned after ``2 * lease_duration`` — by then every replica's
+        #: lease has lapsed on its own.
+        self.tombstones: dict[str, tuple[int, float]] = {}
+        self.rounds_run = 0
+        self.pulls_sent = 0
+        self.ads_sent = 0
+        self.ads_applied = 0
+        self.removals_applied = 0
+        self.resurrections_blocked = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enabled(self) -> bool:
+        """Whether reconciliation is active for this deployment."""
+        return self.config.antientropy_enabled()
+
+    def start(self) -> None:
+        """Arm the periodic digest round (no-op when disabled)."""
+        if self.enabled():
+            assert self.config.antientropy_interval is not None
+            self.registry.every(self.config.antientropy_interval, self.run_round)
+
+    def reset(self) -> None:
+        """Drop all volatile reconciliation state (registry crash)."""
+        self.epochs.clear()
+        self.tombstones.clear()
+
+    # -- store bookkeeping (called by the registry node) -------------------
+
+    def note_stored(self, ad_id: str, epoch: int) -> None:
+        """An advertisement was stored/refreshed with origin ``epoch``."""
+        if epoch > self.epochs.get(ad_id, -1):
+            self.epochs[ad_id] = epoch
+        self.tombstones.pop(ad_id, None)
+
+    def note_dropped(self, ad_id: str) -> None:
+        """An advertisement left the store without an explicit removal
+        (lease expiry, capacity eviction): no tombstone — expiry is
+        already convergent, every replica's lease lapses on its own."""
+        self.epochs.pop(ad_id, None)
+
+    def note_removed(self, ad_id: str, version: int) -> None:
+        """An advertisement was explicitly removed: tombstone it so a
+        stale replica cannot resurrect it through reconciliation."""
+        self.epochs.pop(ad_id, None)
+        self.tombstones[ad_id] = (version, self._now())
+
+    def blocked(self, ad_id: str, version: int) -> bool:
+        """Whether absorbing ``(ad_id, version)`` would resurrect a
+        removed advertisement (version at or below the tombstone)."""
+        tomb = self.tombstones.get(ad_id)
+        return tomb is not None and version <= tomb[0]
+
+    def _now(self) -> float:
+        return self.registry.sim.now if self.registry.network is not None else 0.0
+
+    def _prune_tombstones(self) -> None:
+        horizon = self._now() - 2 * self.config.lease_duration
+        stale = [ad_id for ad_id, (_v, at) in self.tombstones.items() if at < horizon]
+        for ad_id in stale:
+            del self.tombstones[ad_id]
+
+    # -- digests -----------------------------------------------------------
+
+    def digest(self) -> protocol.DigestPayload:
+        """This registry's current store digest."""
+        self._prune_tombstones()
+        entries = tuple(
+            (ad.ad_id, ad.version, self.epochs.get(ad.ad_id, 0))
+            for ad in self.registry.store.all()
+        )
+        tombstones = tuple(
+            (ad_id, version)
+            for ad_id, (version, _at) in sorted(self.tombstones.items())
+        )
+        return protocol.DigestPayload(entries=entries, tombstones=tombstones)
+
+    def run_round(self) -> None:
+        """One periodic round: send our digest to every neighbor."""
+        if not self.enabled():
+            return
+        neighbors = sorted(self.registry.federation.neighbors)
+        if not neighbors:
+            return
+        self.rounds_run += 1
+        self._record("antientropy-round")
+        payload = self.digest()
+        for neighbor in neighbors:
+            self.registry.send(neighbor, protocol.ANTIENTROPY_DIGEST, payload)
+
+    def sync_with(self, peer: str) -> None:
+        """Kick off a digest exchange with one peer (join, promotion)."""
+        if not self.enabled() or peer == self.registry.node_id:
+            return
+        self.registry.send(peer, protocol.ANTIENTROPY_DIGEST, self.digest())
+
+    # -- message handling --------------------------------------------------
+
+    def handle_digest(self, src: str, payload: protocol.DigestPayload) -> None:
+        """Compare a peer's digest against our store; pull and push deltas.
+
+        One received digest drives both directions: we pull what the peer
+        has and we lack (or hold stale), and push what we have and the
+        peer lacks (or holds stale) — so a single digest send reconciles
+        the pair without waiting for the peer's next round.
+        """
+        if not self.enabled():
+            return
+        store = self.registry.store
+        # Adopt the peer's tombstones: delete our replica of anything the
+        # peer saw removed, and remember the removal ourselves.
+        for ad_id, version in payload.tombstones:
+            if self.blocked(ad_id, version):
+                continue
+            self.tombstones[ad_id] = (version, self._now())
+            existing = store.get(ad_id) if ad_id in store else None
+            if existing is not None and existing.version <= version:
+                store.discard(ad_id)
+                self.epochs.pop(ad_id, None)
+                if self.registry.leases is not None:
+                    self.registry.leases.cancel_for_ad(ad_id)
+                self.removals_applied += 1
+                self._record("antientropy-removal")
+
+        theirs = {ad_id: (version, epoch) for ad_id, version, epoch in payload.entries}
+        their_tombs = dict(payload.tombstones)
+
+        wants = sorted(
+            ad_id
+            for ad_id, (version, epoch) in theirs.items()
+            if not self.blocked(ad_id, version)
+            and (
+                ad_id not in store
+                or (version, epoch)
+                > (store.get(ad_id).version, self.epochs.get(ad_id, 0))
+            )
+        )
+        if wants:
+            self.pulls_sent += 1
+            self._record("antientropy-pull")
+            self.registry.send(
+                src, protocol.ANTIENTROPY_PULL,
+                protocol.DigestPullPayload(ad_ids=tuple(wants)),
+            )
+
+        push = [
+            ad for ad in store.all()
+            if ad.version > their_tombs.get(ad.ad_id, -1)
+            and (
+                ad.ad_id not in theirs
+                or (ad.version, self.epochs.get(ad.ad_id, 0)) > theirs[ad.ad_id]
+            )
+        ]
+        if push:
+            self._send_ads(src, [ad.ad_id for ad in push])
+
+    def handle_pull(self, src: str, payload: protocol.DigestPullPayload) -> None:
+        """A peer asked for advertisements our digest showed it lacks."""
+        if not self.enabled():
+            return
+        self._send_ads(src, payload.ad_ids)
+
+    def _send_ads(self, dst: str, ad_ids) -> None:
+        """Ship full advertisements with their *remaining* lease time."""
+        store = self.registry.store
+        leases = self.registry.leases
+        now = self._now()
+        entries = []
+        for ad_id in sorted(set(ad_ids)):
+            if ad_id not in store:
+                continue
+            duration = self.config.lease_duration
+            if self.config.leasing_enabled and leases is not None:
+                lease = leases.lease_for_ad(ad_id)
+                if lease is None:
+                    continue
+                duration = lease.expires_at - now
+                if duration <= 0:
+                    continue
+            entries.append(
+                protocol.AdForwardPayload(
+                    advertisement=store.get(ad_id),
+                    lease_duration=duration,
+                    epoch=self.epochs.get(ad_id, 0),
+                )
+            )
+        if not entries:
+            return
+        self.ads_sent += len(entries)
+        self._record("antientropy-ads-sent", len(entries))
+        self.registry.send(dst, protocol.ANTIENTROPY_ADS,
+                           protocol.SyncAdsPayload(ads=tuple(entries)))
+
+    def handle_ads(self, src: str, payload: protocol.SyncAdsPayload) -> None:
+        """Absorb pulled/pushed advertisements (no onward flooding)."""
+        if not self.enabled():
+            return
+        for entry in payload.ads:
+            if self.registry._absorb_replica(entry):
+                self.ads_applied += 1
+                self._record("antientropy-ads-applied")
+
+    # -- reporting ---------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Reconciliation counters for experiment rows."""
+        return {
+            "rounds_run": self.rounds_run,
+            "pulls_sent": self.pulls_sent,
+            "ads_sent": self.ads_sent,
+            "ads_applied": self.ads_applied,
+            "removals_applied": self.removals_applied,
+            "resurrections_blocked": self.resurrections_blocked,
+            "tombstones": len(self.tombstones),
+        }
+
+    def _record(self, kind: str, n: int = 1) -> None:
+        if self.registry.network is not None:
+            self.registry.network.stats.record_recovery(kind, n)

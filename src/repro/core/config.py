@@ -111,6 +111,31 @@ class DiscoveryConfig:
     #: Seconds a client collects decentralized responses before reporting.
     fallback_timeout: float = 0.5
 
+    # -- self-healing -------------------------------------------------------
+    #: Seconds between anti-entropy digest rounds among replicating
+    #: neighbors; ``None`` disables the periodic rounds (join-time and
+    #: promotion-time digest sync are disabled with it). Only effective
+    #: under ``COOPERATION_REPLICATE_ADS`` — forwarding registries hold
+    #: disjoint stores by design, so there is nothing to reconcile.
+    antientropy_interval: float | None = 10.0
+    #: Whether a promoting standby registry bootstraps its store with an
+    #: anti-entropy pull from known peers instead of activating empty.
+    standby_warm_sync: bool = True
+    #: Whether per-neighbor circuit breakers gate query fan-out.
+    breaker_enabled: bool = True
+    #: Consecutive failures (missed pongs, aggregation timeouts) that trip
+    #: a neighbor's breaker from closed to open.
+    breaker_failure_threshold: int = 3
+    #: Seconds an open breaker waits before allowing a half-open probe.
+    breaker_reset_timeout: float = 10.0
+
+    def antientropy_enabled(self) -> bool:
+        """Anti-entropy runs only for replicating registries."""
+        return (
+            self.antientropy_interval is not None
+            and self.cooperation == COOPERATION_REPLICATE_ADS
+        )
+
     # -- recovery / retries ------------------------------------------------
     #: Backoff between client query attempts (failover retries). The
     #: attempt budget replaces the old fixed MAX_ATTEMPTS constant.
@@ -141,6 +166,20 @@ class DiscoveryConfig:
             raise ReproError(f"lease_duration must be positive, got {self.lease_duration}")
         if self.default_ttl < 0:
             raise ReproError(f"default_ttl must be >= 0, got {self.default_ttl}")
+        if self.antientropy_interval is not None and self.antientropy_interval <= 0:
+            raise ReproError(
+                f"antientropy_interval must be positive or None, "
+                f"got {self.antientropy_interval}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ReproError(
+                f"breaker_failure_threshold must be >= 1, "
+                f"got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_reset_timeout <= 0:
+            raise ReproError(
+                f"breaker_reset_timeout must be positive, got {self.breaker_reset_timeout}"
+            )
 
     @property
     def renew_interval(self) -> float:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core import protocol
 from repro.core.config import DiscoveryConfig
+from repro.core.forwarding import BREAKER_OPEN, CircuitBreaker
 from repro.registry.rim import RegistryDescription
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -44,6 +45,9 @@ class Federation:
         self.neighbors: set[str] = set()
         self.known: dict[str, RegistryDescription] = {}
         self._missed_pongs: dict[str, int] = {}
+        #: Per-neighbor circuit breakers fed by missed pongs and
+        #: aggregation timeouts; consulted by the query fan-out.
+        self.breakers: dict[str, CircuitBreaker] = {}
         self.joins_sent = 0
         self.neighbors_lost = 0
         self.reconnects = 0
@@ -61,6 +65,7 @@ class Federation:
         self.neighbors.clear()
         self.known.clear()
         self._missed_pongs.clear()
+        self.breakers.clear()
 
     # -- joining ------------------------------------------------------------
 
@@ -85,17 +90,29 @@ class Federation:
         self.neighbors.discard(src)
         self.known.pop(src, None)
         self._missed_pongs.pop(src, None)
+        self.breakers.pop(src, None)
 
     def leave(self) -> None:
-        """Announce graceful departure to all neighbors."""
+        """Announce graceful departure to all neighbors.
+
+        Failure-detector and breaker state goes with the links: a stale
+        nonzero missed-pong counter would otherwise survive a leave/rejoin
+        cycle and get a re-federated neighbor dropped after a single
+        missed pong.
+        """
         for neighbor in sorted(self.neighbors):
             self.registry.send(neighbor, protocol.FEDERATION_LEAVE)
         self.neighbors.clear()
+        self._missed_pongs.clear()
+        self.breakers.clear()
 
     def _add_neighbor(self, other_id: str, description: RegistryDescription | None) -> None:
         is_new = other_id not in self.neighbors
         self.neighbors.add(other_id)
-        self._missed_pongs.setdefault(other_id, 0)
+        # A join (or join-ack) is proof of life: reset the failure
+        # detector rather than inheriting a stale pre-departure count.
+        self._missed_pongs[other_id] = 0
+        self.record_neighbor_success(other_id)
         if description is not None:
             self.known[other_id] = description
         if is_new:
@@ -134,7 +151,13 @@ class Federation:
         reachable again — the join simply keeps failing until then.
         """
         for neighbor in sorted(self.neighbors):
-            self._missed_pongs[neighbor] = self._missed_pongs.get(neighbor, 0) + 1
+            missed = self._missed_pongs.get(neighbor, 0)
+            if missed >= 1:
+                # The previous ping went unanswered: feed the breaker so
+                # the fan-out stops waiting on this neighbor well before
+                # the (slower) drop threshold fires.
+                self.record_neighbor_failure(neighbor)
+            self._missed_pongs[neighbor] = missed + 1
             if self._missed_pongs[neighbor] > self.config.ping_failure_threshold:
                 self._neighbor_lost(neighbor)
             else:
@@ -147,12 +170,14 @@ class Federation:
         """A neighbor answered: reset its failure counter."""
         if src in self.neighbors:
             self._missed_pongs[src] = 0
+            self.record_neighbor_success(src)
 
     def _neighbor_lost(self, neighbor: str) -> None:
         """Failure detector fired: unlink and try to re-wire the network."""
         self.neighbors.discard(neighbor)
         self.known.pop(neighbor, None)
         self._missed_pongs.pop(neighbor, None)
+        self.breakers.pop(neighbor, None)
         self.neighbors_lost += 1
         self._reconnect()
 
@@ -168,6 +193,60 @@ class Federation:
         if candidates:
             self.reconnects += 1
             self.join(candidates[0])
+
+    # -- circuit breakers -------------------------------------------------------------
+
+    def _breaker(self, neighbor: str) -> CircuitBreaker:
+        breaker = self.breakers.get(neighbor)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                lambda: self.registry.sim.now,
+                failure_threshold=self.config.breaker_failure_threshold,
+                reset_timeout=self.config.breaker_reset_timeout,
+            )
+            self.breakers[neighbor] = breaker
+        return breaker
+
+    def record_neighbor_failure(self, neighbor: str) -> None:
+        """Feed one failure signal (missed pong, aggregation timeout)."""
+        if not self.config.breaker_enabled:
+            return
+        if self._breaker(neighbor).record_failure():
+            self._record_recovery("breaker-open")
+
+    def record_neighbor_success(self, neighbor: str) -> None:
+        """Feed one success signal (pong, query response, join)."""
+        if not self.config.breaker_enabled:
+            return
+        breaker = self.breakers.get(neighbor)
+        if breaker is not None and breaker.record_success():
+            self._record_recovery("breaker-close")
+
+    def breaker_allows(self, neighbor: str) -> bool:
+        """Whether the fan-out may wait on ``neighbor`` right now.
+
+        Open breakers whose reset timeout elapsed flip to half-open and
+        admit the caller as the probe; otherwise the neighbor is skipped
+        (and not counted as outstanding by the aggregation).
+        """
+        if not self.config.breaker_enabled:
+            return True
+        breaker = self.breakers.get(neighbor)
+        if breaker is None:
+            return True
+        was_open = breaker.state == BREAKER_OPEN
+        allowed = breaker.allows()
+        if was_open and allowed:
+            self._record_recovery("breaker-half-open")
+        return allowed
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current breaker state per tracked neighbor (reporting)."""
+        return {nid: b.state for nid, b in sorted(self.breakers.items())}
+
+    def _record_recovery(self, kind: str) -> None:
+        if self.registry.network is not None:
+            self.registry.network.stats.record_recovery(kind)
 
     # -- signalling -------------------------------------------------------------------
 

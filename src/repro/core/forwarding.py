@@ -12,7 +12,10 @@ This module holds the bookkeeping shared by all strategies:
 * :class:`PendingAggregation` — a fan-out awaiting responses (or a
   timeout), completing exactly once,
 * :class:`RingController` — the expanding-ring round schedule,
-* :class:`WalkCoordinator` — collects random-walk hit streams.
+* :class:`WalkCoordinator` — collects random-walk hit streams,
+* :class:`CircuitBreaker` — per-neighbor health gating the fan-out, so
+  degraded-mode queries stop paying the aggregation timeout for peers
+  the failure detector already suspects.
 
 The registry node wires these to the protocol handlers.
 """
@@ -72,6 +75,11 @@ class PendingAggregation:
     Completes exactly once — either when every outstanding response has
     arrived or when the aggregation timeout fires — by calling
     ``on_complete`` with the merged, response-controlled hit list.
+
+    When the fan-out ``targets`` are known, the aggregation tracks which
+    of them answered; a timeout reports each silent target through
+    ``on_target_timeout`` so the caller can feed its failure detector
+    (circuit breakers, §4.9 aliveness).
     """
 
     def __init__(
@@ -80,24 +88,30 @@ class PendingAggregation:
         *,
         query_id: str,
         local_hits: list[QueryHit],
-        outstanding: int,
+        outstanding: int | None = None,
+        targets: tuple[str, ...] = (),
         timeout: float,
         max_results: int | None,
         on_complete: Callable[[list[QueryHit], int], None],
+        on_target_timeout: Callable[[str], None] | None = None,
     ) -> None:
         self.query_id = query_id
         self.batches: list[list[QueryHit]] = [local_hits]
-        self.outstanding = outstanding
+        self.outstanding = len(targets) if outstanding is None else outstanding
+        self.silent: set[str] = set(targets)
         self.max_results = max_results
         self.responders = 1  # ourselves
         self._on_complete = on_complete
+        self._on_target_timeout = on_target_timeout
         self._done = False
         self._timer: "Timer" = node.after(timeout, self._timeout)
 
-    def add_response(self, payload: protocol.ResponsePayload) -> None:
+    def add_response(self, payload: protocol.ResponsePayload, *, src: str | None = None) -> None:
         """A neighbor answered: record its hits, maybe complete."""
         if self._done:
             return
+        if src is not None:
+            self.silent.discard(src)
         self.batches.append(list(payload.hits))
         self.responders += payload.responders
         self.outstanding -= 1
@@ -106,8 +120,12 @@ class PendingAggregation:
 
     def _timeout(self) -> None:
         """Some neighbor never answered (crash/partition): finish anyway."""
-        if not self._done:
-            self._complete()
+        if self._done:
+            return
+        if self._on_target_timeout is not None:
+            for target in sorted(self.silent):
+                self._on_target_timeout(target)
+        self._complete()
 
     def _complete(self) -> None:
         self._done = True
@@ -214,3 +232,75 @@ class WalkCoordinator:
     @property
     def done(self) -> bool:
         return self._done
+
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-neighbor health: closed / open / half-open.
+
+    Fed by the registry's existing aliveness signals — missed pongs from
+    the federation ping round and silent targets from aggregation
+    timeouts. After ``failure_threshold`` consecutive failures the breaker
+    *opens*: the fan-out skips the neighbor (not counted as outstanding),
+    so degraded-mode queries complete without eating the aggregation
+    timeout for a peer that is already suspected dead. After
+    ``reset_timeout`` seconds the breaker turns *half-open* and lets one
+    probe through (in practice the next ping/gossip round or a single
+    forwarded query); a success closes it, a failure re-opens it.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 10.0,
+    ) -> None:
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = BREAKER_CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.times_opened = 0
+
+    def record_failure(self) -> bool:
+        """One failure signal; returns True when this trip *opened* it."""
+        if self.state == BREAKER_HALF_OPEN:
+            # The probe failed: straight back to open, timer re-armed.
+            self.state = BREAKER_OPEN
+            self.opened_at = self._clock()
+            self.times_opened += 1
+            return True
+        self.failures += 1
+        if self.state == BREAKER_CLOSED and self.failures >= self.failure_threshold:
+            self.state = BREAKER_OPEN
+            self.opened_at = self._clock()
+            self.times_opened += 1
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """One success signal; returns True when it *closed* the breaker."""
+        was = self.state
+        self.state = BREAKER_CLOSED
+        self.failures = 0
+        return was != BREAKER_CLOSED
+
+    def allows(self) -> bool:
+        """Whether traffic may flow to the neighbor right now.
+
+        An open breaker whose reset timeout has elapsed flips to
+        half-open as a side effect and admits the caller as the probe.
+        """
+        if self.state == BREAKER_OPEN:
+            if self._clock() - self.opened_at >= self.reset_timeout:
+                self.state = BREAKER_HALF_OPEN
+                return True
+            return False
+        return True

@@ -16,6 +16,10 @@ bookkeeping rot the recovery paths can leave behind:
 Run it after every fault scenario (the experiment helpers in
 :mod:`repro.experiments` do); :func:`assert_invariants` raises
 :class:`~repro.errors.InvariantError` listing every violation at once.
+
+:func:`check_convergence` adds a fourth, replication-specific sweep:
+after a quiesced anti-entropy cycle every live active registry in a
+replicate-ads deployment must hold the same ``(ad_id, version)`` set.
 """
 
 from __future__ import annotations
@@ -88,4 +92,58 @@ def assert_invariants(system: "DiscoverySystem") -> None:
     if violations:
         raise InvariantError(
             "invariant violations:\n  " + "\n  ".join(violations)
+        )
+
+
+def check_convergence(system: "DiscoverySystem") -> list[str]:
+    """Replica agreement sweep for replicate-ads deployments.
+
+    After a quiesced anti-entropy cycle, every *live, active* registry
+    should hold the same advertisement set at the same versions — the
+    bounded-round convergence the reconciliation protocol promises. Each
+    disagreeing registry yields one violation naming its surplus and
+    missing ``(ad_id, version)`` pairs against the majority view. Under
+    forwarding cooperation stores are disjoint by design, so the check is
+    vacuously clean.
+    """
+    from repro.core.config import COOPERATION_REPLICATE_ADS
+
+    if system.config.cooperation != COOPERATION_REPLICATE_ADS:
+        return []
+    members = [
+        r for r in system.registries
+        if r.alive and getattr(r, "active", True)
+    ]
+    if len(members) < 2:
+        return []
+    views = {
+        r.node_id: frozenset((ad.ad_id, ad.version) for ad in r.store.all())
+        for r in members
+    }
+    if len(set(views.values())) <= 1:
+        return []
+    # Majority (ties broken toward the larger set) as the reference view.
+    counts: dict[frozenset, int] = {}
+    for view in views.values():
+        counts[view] = counts.get(view, 0) + 1
+    reference = max(counts, key=lambda v: (counts[v], len(v)))
+    violations = []
+    for node_id, view in sorted(views.items()):
+        if view == reference:
+            continue
+        extra = sorted(view - reference)
+        missing = sorted(reference - view)
+        violations.append(
+            f"{node_id}: store diverges from majority view "
+            f"(extra={extra[:5]}, missing={missing[:5]})"
+        )
+    return violations
+
+
+def assert_convergence(system: "DiscoverySystem") -> None:
+    """Raise :class:`InvariantError` when replicated stores disagree."""
+    violations = check_convergence(system)
+    if violations:
+        raise InvariantError(
+            "store convergence violations:\n  " + "\n  ".join(violations)
         )

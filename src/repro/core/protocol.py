@@ -56,6 +56,12 @@ REMOVE = "remove"
 REMOVE_ACK = "remove-ack"
 #: Registry-to-registry advertisement push (replication cooperation).
 AD_FORWARD = "ad-forward"
+#: Anti-entropy reconciliation (replication cooperation): a compact store
+#: digest, a delta-pull request for missing/stale advertisements, and the
+#: bulk advertisement reply.
+ANTIENTROPY_DIGEST = "antientropy-digest"
+ANTIENTROPY_PULL = "antientropy-pull"
+ANTIENTROPY_ADS = "antientropy-ads"
 
 # -- message types: subscriptions (notification extension) -----------------
 
@@ -308,6 +314,54 @@ class AdForwardPayload:
 
     def size_bytes(self) -> int:
         return self.advertisement.size_bytes() + 24
+
+
+@dataclass(frozen=True)
+class DigestPayload:
+    """A compact snapshot of one registry's replicated store.
+
+    ``entries`` maps each live advertisement to its freshness coordinates
+    ``(ad_id, version, epoch)`` — a few dozen bytes per advertisement
+    instead of the full description. ``tombstones`` carries recently
+    removed advertisements as ``(ad_id, version)`` so peers delete their
+    replicas instead of pushing them back (resurrection avoidance).
+    """
+
+    entries: tuple[tuple[str, int, int], ...] = ()
+    tombstones: tuple[tuple[str, int], ...] = ()
+
+    def size_bytes(self) -> int:
+        return (
+            16
+            + sum(len(ad_id) + 16 for ad_id, _v, _e in self.entries)
+            + sum(len(ad_id) + 8 for ad_id, _v in self.tombstones)
+        )
+
+
+@dataclass(frozen=True)
+class DigestPullPayload:
+    """Delta pull: the advertisement ids a digest showed we lack."""
+
+    ad_ids: tuple[str, ...]
+
+    def size_bytes(self) -> int:
+        return 16 + sum(len(ad_id) + 8 for ad_id in self.ad_ids)
+
+
+@dataclass(frozen=True)
+class SyncAdsPayload:
+    """Bulk anti-entropy transfer: full advertisements with lease context.
+
+    Each entry is an :class:`AdForwardPayload` so the receiver integrates
+    it through the same replica-absorption path as a replication push —
+    but sync entries carry the *remaining* lease duration, so
+    reconciliation never extends the life of a silent service.
+    """
+
+    ads: tuple[AdForwardPayload, ...]
+
+    def size_bytes(self) -> int:
+        return 16 + sum(entry.size_bytes() for entry in self.ads)
 
 
 @dataclass(frozen=True)

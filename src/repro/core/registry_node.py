@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core import protocol
+from repro.core.antientropy import AntiEntropy
 from repro.core.config import (
     COOPERATION_REPLICATE_ADS,
     DiscoveryConfig,
@@ -96,6 +97,7 @@ class RegistryNode(Node):
             supported_models=self.models.model_ids(),
         )
         self.federation = Federation(self, config, describe=self.describe)
+        self.antientropy = AntiEntropy(self, config)
         self.leases: LeaseManager | None = None
         self._seen: SeenQueries | None = None
         self._pending: dict[str, PendingAggregation] = {}
@@ -104,6 +106,9 @@ class RegistryNode(Node):
         self._subscriptions: dict[str, _Subscription] = {}
         self.responses_sent = 0
         self.notifications_sent = 0
+        #: Query responses that arrived after their aggregation completed
+        #: (work the aggregation timeout threw away).
+        self.late_responses = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -120,6 +125,7 @@ class RegistryNode(Node):
         if self.config.leasing_enabled:
             self.every(self.config.purge_interval, self._purge)
         self.federation.start()
+        self.antientropy.start()
         # Find same-LAN peer registries immediately (gateway election needs
         # them) and join the statically seeded WAN peers.
         self.multicast(protocol.REGISTRY_PROBE)
@@ -131,6 +137,7 @@ class RegistryNode(Node):
         self.store.clear()
         self.repository.clear()
         self.federation.reset()
+        self.antientropy.reset()
         self._pending.clear()
         self._walks.clear()
         self._seen_ad_pushes.clear()
@@ -325,6 +332,7 @@ class RegistryNode(Node):
             home_registry=self.node_id,
         )
         self.store.put(ad)
+        self.antientropy.note_stored(ad_id, self._lease_epoch())
         self.rim.publishes += 1
         lease_id = ""
         duration = float("inf")
@@ -361,6 +369,8 @@ class RegistryNode(Node):
             self.send(envelope.src, protocol.RENEW_NACK, payload)
             return
         self.send(envelope.src, protocol.RENEW_ACK, payload)
+        if payload.ad_id in self.store:
+            self.antientropy.note_stored(payload.ad_id, self._lease_epoch())
         if self.config.cooperation == COOPERATION_REPLICATE_ADS and payload.ad_id in self.store:
             # Refresh replicas: the lease epoch advances the dedup key so
             # the push floods through.
@@ -375,6 +385,9 @@ class RegistryNode(Node):
             self.leases.cancel_for_ad(payload.ad_id)
         if removed is not None:
             self.rim.removals += 1
+            # Tombstone the removal so a stale replica cannot resurrect
+            # the advertisement through anti-entropy reconciliation.
+            self.antientropy.note_removed(payload.ad_id, removed.version)
         self.send(envelope.src, protocol.REMOVE_ACK, payload)
 
     def _purge(self) -> None:
@@ -383,6 +396,7 @@ class RegistryNode(Node):
             for ad_id in self.leases.expired_ads():
                 if self.store.discard(ad_id) is not None:
                     self.rim.removals += 1
+                    self.antientropy.note_dropped(ad_id)
         now = self.sim.now
         lapsed = [sid for sid, sub in self._subscriptions.items()
                   if now >= sub.expires_at]
@@ -450,12 +464,16 @@ class RegistryNode(Node):
         """A federation link formed: synchronize state over it.
 
         In replicate-advertisements cooperation, a new link triggers
-        anti-entropy — every stored advertisement is pushed to the new
-        neighbor, so members joining (or re-joining after a crash) catch
-        up without waiting for the next lease refresh. Independently,
-        repository artifacts the neighbor advertises and we lack are
-        fetched (§4.6), so ontologies spread through the registry network
-        without any Internet dependency.
+        anti-entropy: with reconciliation enabled, the two sides exchange
+        a compact store digest and delta-pull only the missing or stale
+        advertisements — so members joining (or re-joining after a crash
+        or partition heal) catch up within one round-trip without either
+        waiting for the next lease refresh or re-shipping the whole
+        store. With reconciliation disabled, the pre-digest behavior
+        remains: every stored advertisement is pushed to the new
+        neighbor. Independently, repository artifacts the neighbor
+        advertises and we lack are fetched (§4.6), so ontologies spread
+        through the registry network without any Internet dependency.
         """
         if self.config.artifact_sync:
             known = self.federation.known.get(neighbor)
@@ -468,6 +486,9 @@ class RegistryNode(Node):
                             protocol.ArtifactRequestPayload(artifact_name=name),
                         )
         if self.config.cooperation != COOPERATION_REPLICATE_ADS:
+            return
+        if self.antientropy.enabled():
+            self.antientropy.sync_with(neighbor)
             return
         epoch = self._lease_epoch()
         for ad in self.store.all():
@@ -514,6 +535,37 @@ class RegistryNode(Node):
         for neighbor in self.federation.forward_targets(exclude):
             self.send(neighbor, protocol.AD_FORWARD, payload)
 
+    def _absorb_replica(self, payload: protocol.AdForwardPayload) -> bool:
+        """Integrate one replicated advertisement into the local store.
+
+        Shared by the ``AD_FORWARD`` flood and anti-entropy sync; returns
+        True when the advertisement was stored (or refreshed). Tombstoned
+        advertisements are never resurrected; the store's version guard
+        rejects stale copies on its own.
+        """
+        ad = payload.advertisement
+        if self.antientropy.blocked(ad.ad_id, ad.version):
+            self.antientropy.resurrections_blocked += 1
+            if self.network is not None:
+                self.network.stats.record_recovery("resurrection-blocked")
+            return False
+        over_capacity = (
+            self.capacity is not None
+            and len(self.store) >= self.capacity
+            and ad.ad_id not in self.store
+        )
+        if not self.models.supports(ad.model_id) or over_capacity:
+            self.models.discarded_payloads += 1
+            return False
+        fresh = ad.ad_id not in self.store
+        self.store.put(ad)
+        self.antientropy.note_stored(ad.ad_id, payload.epoch)
+        if self.config.leasing_enabled and self.leases is not None:
+            self.leases.grant(ad.ad_id, payload.lease_duration)
+        if fresh:
+            self._notify_subscribers(ad)
+        return True
+
     def handle_ad_forward(self, envelope: Envelope) -> None:
         payload = envelope.payload
         if not isinstance(payload, protocol.AdForwardPayload):
@@ -522,24 +574,25 @@ class RegistryNode(Node):
         if key in self._seen_ad_pushes:
             return
         self._seen_ad_pushes.add(key)
-        over_capacity = (
-            self.capacity is not None
-            and len(self.store) >= self.capacity
-            and payload.advertisement.ad_id not in self.store
-        )
-        if not self.models.supports(payload.advertisement.model_id) or over_capacity:
-            self.models.discarded_payloads += 1
-        else:
-            fresh = payload.advertisement.ad_id not in self.store
-            self.store.put(payload.advertisement)
-            if self.config.leasing_enabled and self.leases is not None:
-                self.leases.grant(payload.advertisement.ad_id, payload.lease_duration)
-            if fresh:
-                self._notify_subscribers(payload.advertisement)
+        self._absorb_replica(payload)
         # Flood onward regardless of local support — we may bridge two
         # capable registries.
         for neighbor in self.federation.forward_targets({envelope.src}):
             self.send(neighbor, protocol.AD_FORWARD, payload)
+
+    # -- anti-entropy reconciliation ----------------------------------------------
+
+    def handle_antientropy_digest(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, protocol.DigestPayload):
+            self.antientropy.handle_digest(envelope.src, envelope.payload)
+
+    def handle_antientropy_pull(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, protocol.DigestPullPayload):
+            self.antientropy.handle_pull(envelope.src, envelope.payload)
+
+    def handle_antientropy_ads(self, envelope: Envelope) -> None:
+        if isinstance(envelope.payload, protocol.SyncAdsPayload):
+            self.antientropy.handle_ads(envelope.src, envelope.payload)
 
     # -- querying ----------------------------------------------------------------------
 
@@ -603,8 +656,23 @@ class RegistryNode(Node):
         *,
         on_complete,
     ) -> None:
-        """Forward to ``targets`` and aggregate their responses."""
+        """Forward to ``targets`` and aggregate their responses.
+
+        Targets whose circuit breaker is open are skipped entirely — not
+        sent to, and not counted as outstanding — so a degraded-mode
+        query completes as soon as the healthy neighbors answer instead
+        of riding out the aggregation timeout for a suspected-dead peer.
+        """
         query_id = forwarded.query_id
+        allowed = [t for t in targets if self.federation.breaker_allows(t)]
+        skipped = len(targets) - len(allowed)
+        if skipped and self.network is not None:
+            self.network.stats.record_recovery("breaker-skip", skipped)
+        if not allowed:
+            on_complete(
+                QueryEvaluator.merge([local], max_results=forwarded.max_results), 1
+            )
+            return
 
         def complete(hits: list[QueryHit], responders: int) -> None:
             self._pending.pop(query_id, None)
@@ -619,12 +687,13 @@ class RegistryNode(Node):
             self,
             query_id=query_id,
             local_hits=local,
-            outstanding=len(targets),
+            targets=tuple(allowed),
             timeout=timeout,
             max_results=forwarded.max_results,
             on_complete=complete,
+            on_target_timeout=self.federation.record_neighbor_failure,
         )
-        for target in targets:
+        for target in allowed:
             self.send(target, protocol.QUERY_FORWARD, forwarded)
             self.rim.queries_forwarded += 1
 
@@ -658,9 +727,18 @@ class RegistryNode(Node):
         payload = envelope.payload
         if not isinstance(payload, protocol.ResponsePayload):
             return
+        # Any answer is proof of life, even a late one.
+        self.federation.record_neighbor_success(envelope.src)
         pending = self._pending.get(payload.query_id)
-        if pending is not None:
-            pending.add_response(payload)
+        if pending is None:
+            # The aggregation already completed (timeout or duplicate):
+            # the response's work is wasted — count it so experiments can
+            # report how much the timeout threw away.
+            self.late_responses += 1
+            if self.network is not None:
+                self.network.stats.record_recovery("late-response")
+            return
+        pending.add_response(payload, src=envelope.src)
 
     # .. summary-informed routing ............................................
 

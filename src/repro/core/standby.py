@@ -60,6 +60,9 @@ class StandbyRegistry(RegistryNode):
         self.active = False
         self.promotions = 0
         self.demotions = 0
+        #: Simulation time of the most recent promotion (E15 staleness
+        #: windows measure from here).
+        self.last_promoted_at: float | None = None
         self._beacon_seen: dict[str, float] = {}
         self._promotion_pending = False
 
@@ -80,6 +83,7 @@ class StandbyRegistry(RegistryNode):
         self.store.clear()
         self.repository.clear()
         self.federation.reset()
+        self.antientropy.reset()
         self.start()
 
     def _watch_interval(self) -> float:
@@ -134,12 +138,35 @@ class StandbyRegistry(RegistryNode):
         """Take on the registry role."""
         self.active = True
         self.promotions += 1
+        self.last_promoted_at = self.sim.now
         self.cancel_tasks()
         super().start()
         self.every(self._watch_interval(), self._evaluate_active)
+        self._warm_sync()
         # Announce immediately so peer standbys stand down and clients
         # attach without waiting a full beacon interval.
         self._beacon()
+
+    def _warm_sync(self) -> None:
+        """Bootstrap the store from live peers instead of activating empty.
+
+        A cold-promoted registry serves misses until every service's next
+        republish cycle — the E15 staleness window. Warm promotion sends an
+        anti-entropy digest straight to the recently heard LAN registries
+        and the configured seeds, so replicated advertisements stream in
+        within one round-trip instead of one lease period.
+        """
+        if not (self.config.standby_warm_sync and self.antientropy.enabled()):
+            return
+        peers = sorted(set(self._live_lan_registries()) | set(self.seeds))
+        synced = 0
+        for peer in peers:
+            if peer == self.node_id:
+                continue
+            self.antientropy.sync_with(peer)
+            synced += 1
+        if synced and self.network is not None:
+            self.network.stats.record_recovery("standby-warm-sync")
 
     # -- active behaviour ----------------------------------------------------------
 
@@ -169,6 +196,7 @@ class StandbyRegistry(RegistryNode):
         self.federation.leave()
         self.cancel_tasks()
         self.store.clear()
+        self.antientropy.reset()
         self._pending.clear()
         self._walks.clear()
         self._subscriptions.clear()

@@ -135,9 +135,15 @@ class DiscoverySystem:
         node_id: str | None = None,
         model_ids: tuple[str, ...] = ALL_MODEL_IDS,
         lan_target: int = 1,
+        seeds: tuple[str, ...] = (),
     ):
         """Add a dormant standby registry implementing the LAN quota policy
-        ("try to maintain N registries on each LAN" — §4.9)."""
+        ("try to maintain N registries on each LAN" — §4.9).
+
+        ``seeds`` are WAN federation peers the standby joins *if* it is
+        ever promoted — and, with warm sync enabled, the peers it
+        anti-entropy-pulls its initial store from.
+        """
         from repro.core.standby import StandbyRegistry
 
         node_id = node_id or f"standby-{next(self._counters['registry']):02d}"
@@ -146,6 +152,7 @@ class DiscoverySystem:
             self.config,
             make_models(self.ontology, model_ids),
             lan_target=lan_target,
+            seeds=seeds,
         )
         self.network.add_node(standby, lan)
         self.registries.append(standby)

@@ -227,4 +227,137 @@ def run_fault_scenario(
         "completed": sum(1 for q in issued if q.call.completed),
         "queries": len(issued),
         "alive_registries": sum(1 for r in system.registries if r.alive),
+        "recoveries": dict(system.network.stats.recoveries),
+    }
+
+
+def run_convergence_scenario(
+    *,
+    lans: int = 3,
+    services_per_lan: int = 2,
+    interval: float = 5.0,
+    max_rounds: int = 6,
+    seed: int = 0,
+) -> dict:
+    """Partition a replicated cluster, diverge it, heal, and count the
+    anti-entropy rounds until every live store agrees.
+
+    The first LAN is split from the rest long enough for the federation
+    failure detector to sever the links; new services publish on *both*
+    sides mid-partition, so the replicas genuinely diverge. After the
+    heal, the system is advanced one anti-entropy interval at a time
+    until :func:`~repro.core.invariants.check_convergence` comes back
+    clean — the bounded-round reconvergence the reconciliation protocol
+    promises (asserted ≤ ``max_rounds``).
+    """
+    from repro.core.invariants import assert_convergence, check_convergence
+    from repro.semantics.profiles import ServiceProfile
+
+    spec = _spec("cluster-convergence", lans, services_per_lan, seed)
+    built = build_scenario(
+        spec,
+        config=DiscoveryConfig(
+            cooperation=COOPERATION_REPLICATE_ADS,
+            default_ttl=0,
+            antientropy_interval=interval,
+        ),
+    )
+    system = built.system
+    system.run(until=12.0)
+
+    lan_names = sorted(system.network.lans)
+    t0 = system.sim.now
+    plan = (
+        FaultPlan()
+        .partition(t0 + 1.0, [[lan_names[0]], lan_names[1:]])
+        .heal(t0 + 21.0)
+    )
+    applied = plan.apply(system)
+    system.run_for(5.0)
+    # Mid-partition publishes on both sides: replication floods cannot
+    # cross the split, so the stores diverge for real.
+    system.add_service(lan_names[0], ServiceProfile.build(
+        "split-a", "ncw:RadarService", outputs=["ncw:AirTrack"]))
+    system.add_service(lan_names[1], ServiceProfile.build(
+        "split-b", "ncw:SensorService", outputs=["ncw:Track"]))
+    system.run_for(17.0)  # rest of the partition + the heal
+
+    diverged = bool(check_convergence(system))
+    rounds = 0
+    while rounds < max_rounds and check_convergence(system):
+        system.run_for(interval)
+        rounds += 1
+    assert_convergence(system)
+    assert_invariants(system)
+
+    counters = {}
+    for registry in system.registries:
+        for key, value in registry.antientropy.counters().items():
+            counters[key] = counters.get(key, 0) + value
+    return {
+        "faults": applied.counts(),
+        "diverged_after_heal": diverged,
+        "rounds_to_converge": rounds,
+        "max_rounds": max_rounds,
+        "antientropy": counters,
+        "recoveries": dict(system.network.stats.recoveries),
+    }
+
+
+def run_degraded_latency(
+    *,
+    services_per_lan: int = 2,
+    n_queries: int = 8,
+    seed: int = 0,
+) -> dict:
+    """Query latency against a crashed neighbor, before and after the
+    circuit breaker opens.
+
+    Two federated LANs; the remote registry is crashed with the ping
+    interval stretched far beyond the measurement window, so the missed-
+    pong detector never drops the link — isolating the breaker's effect.
+    The first ``breaker_failure_threshold`` degraded queries each ride
+    out the full aggregation timeout; once the breaker opens, the fan-out
+    skips the dead neighbor and queries complete at healthy-path latency
+    again.
+    """
+    config = DiscoveryConfig(
+        ping_interval=120.0,
+        signalling_interval=None,
+        aggregation_timeout=0.5,
+        breaker_reset_timeout=300.0,
+    )
+    spec = _spec("degraded-latency", 2, services_per_lan, seed)
+    built = build_scenario(spec, config=config)
+    system = built.system
+    system.run(until=6.0)
+
+    from repro.semantics.profiles import ServiceRequest
+
+    client = system.clients[0]
+    anchor = built.profiles[0]
+    request = ServiceRequest.build(anchor.category, outputs=list(anchor.outputs))
+    remote = system.registries[1]
+
+    def measure(count: int) -> list[float]:
+        latencies = []
+        for _ in range(count):
+            call = system.discover(client, request, timeout=10.0)
+            latencies.append(call.latency if call.completed else 10.0)
+            system.run_for(0.5)
+        return latencies
+
+    healthy = measure(n_queries)
+    remote.crash()
+    degraded = measure(config.breaker_failure_threshold)
+    after_open = measure(n_queries)
+    assert_invariants(system)
+
+    return {
+        "healthy_mean": sum(healthy) / len(healthy),
+        "degraded_mean": sum(degraded) / len(degraded),
+        "after_open_mean": sum(after_open) / len(after_open),
+        "aggregation_timeout": config.aggregation_timeout,
+        "breaker_states": system.registries[0].federation.breaker_states(),
+        "recoveries": dict(system.network.stats.recoveries),
     }

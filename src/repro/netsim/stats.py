@@ -38,6 +38,13 @@ class TrafficStats:
     #: Injected fault events by kind ("crash", "restart", "partition",
     #: "heal", "loss-window", "latency-spike"), recorded by FaultPlan.
     faults: Counter = field(default_factory=Counter)
+    #: Self-healing events by kind, recorded by the recovery machinery:
+    #: "antientropy-round", "antientropy-pull", "antientropy-ads-sent",
+    #: "antientropy-ads-applied", "antientropy-removal",
+    #: "resurrection-blocked", "breaker-open", "breaker-half-open",
+    #: "breaker-close", "breaker-skip", "standby-warm-sync",
+    #: "late-response".
+    recoveries: Counter = field(default_factory=Counter)
 
     def record_send(self, msg_type: str, src: str, size: int, *, wan: bool, multicast: bool) -> None:
         """Account for one transmission leaving ``src``."""
@@ -71,6 +78,10 @@ class TrafficStats:
         """Account for one injected fault event of ``kind``."""
         self.faults[kind] += 1
 
+    def record_recovery(self, kind: str, n: int = 1) -> None:
+        """Account for ``n`` self-healing events of ``kind``."""
+        self.recoveries[kind] += n
+
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the scalar counters (for experiment tables)."""
         return {
@@ -84,6 +95,7 @@ class TrafficStats:
             "drops_fault": self.drops_by_reason["fault-loss"],
             "retries_total": sum(self.retries.values()),
             "faults_total": sum(self.faults.values()),
+            "recoveries_total": sum(self.recoveries.values()),
         }
 
     def fault_report(self) -> dict[str, dict[str, int]]:
@@ -92,6 +104,7 @@ class TrafficStats:
             "drops_by_reason": dict(self.drops_by_reason),
             "retries": dict(self.retries),
             "faults": dict(self.faults),
+            "recoveries": dict(self.recoveries),
         }
 
     def delta_since(self, earlier: dict[str, int]) -> dict[str, int]:
@@ -127,3 +140,4 @@ class TrafficStats:
         self.drops_by_reason.clear()
         self.retries.clear()
         self.faults.clear()
+        self.recoveries.clear()

@@ -1,0 +1,332 @@
+"""Self-healing federation tests: anti-entropy reconciliation, circuit
+breakers, warm standby promotion, and the satellite regressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import COOPERATION_REPLICATE_ADS, DiscoveryConfig
+from repro.core.forwarding import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.core.invariants import assert_invariants, check_convergence
+from repro.core.system import DiscoverySystem
+from repro.errors import ReproError
+from repro.netsim.faults import FaultPlan
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+REQUEST = ServiceRequest.build("ncw:SensorService", outputs=["ncw:Track"])
+
+
+def _radar(name):
+    return ServiceProfile.build(name, "ncw:RadarService",
+                                outputs=["ncw:AirTrack"])
+
+
+def _cluster(seed=7, *, lans=3, antientropy_interval=2.0, **overrides):
+    """A replicate-ads cluster: one registry per LAN, ring seeds."""
+    config = DiscoveryConfig(
+        cooperation=COOPERATION_REPLICATE_ADS, default_ttl=0,
+        antientropy_interval=antientropy_interval,
+        lease_duration=30.0, purge_interval=2.0,
+        **overrides,
+    )
+    system = DiscoverySystem(seed=seed, ontology=battlefield_ontology(),
+                             config=config)
+    registries = []
+    for i in range(lans):
+        system.add_lan(f"lan-{i}")
+    for i in range(lans):
+        seeds = (f"registry-{(i + 1) % lans:02d}",)
+        registries.append(
+            system.add_registry(f"lan-{i}", node_id=f"registry-{i:02d}",
+                                seeds=seeds)
+        )
+    return system, registries
+
+
+# -- circuit breaker unit behaviour ------------------------------------------
+
+
+def test_breaker_opens_after_threshold():
+    clock = [0.0]
+    breaker = CircuitBreaker(lambda: clock[0], failure_threshold=3,
+                             reset_timeout=10.0)
+    assert breaker.state == BREAKER_CLOSED
+    assert not breaker.record_failure()
+    assert not breaker.record_failure()
+    assert breaker.record_failure()  # third strike opens it
+    assert breaker.state == BREAKER_OPEN
+    assert breaker.times_opened == 1
+    assert not breaker.allows()
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    clock = [0.0]
+    breaker = CircuitBreaker(lambda: clock[0], failure_threshold=1,
+                             reset_timeout=5.0)
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    clock[0] = 4.9
+    assert not breaker.allows()
+    clock[0] = 5.0
+    assert breaker.allows()  # admitted as the probe
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert breaker.record_success()
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.allows()
+
+
+def test_breaker_reopens_on_probe_failure():
+    clock = [0.0]
+    breaker = CircuitBreaker(lambda: clock[0], failure_threshold=1,
+                             reset_timeout=5.0)
+    breaker.record_failure()
+    clock[0] = 5.0
+    assert breaker.allows()
+    assert breaker.record_failure()  # probe failed: straight back to open
+    assert breaker.state == BREAKER_OPEN
+    clock[0] = 9.0  # timer re-armed from the re-open, not the first open
+    assert not breaker.allows()
+    clock[0] = 10.0
+    assert breaker.allows()
+
+
+def test_breaker_success_resets_failure_count():
+    clock = [0.0]
+    breaker = CircuitBreaker(lambda: clock[0], failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert not breaker.record_success()  # already closed: no state change
+    assert breaker.failures == 0
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED
+
+
+# -- config validation --------------------------------------------------------
+
+
+def test_config_rejects_bad_selfhealing_knobs():
+    with pytest.raises(ReproError):
+        DiscoveryConfig(antientropy_interval=0.0)
+    with pytest.raises(ReproError):
+        DiscoveryConfig(breaker_failure_threshold=0)
+    with pytest.raises(ReproError):
+        DiscoveryConfig(breaker_reset_timeout=-1.0)
+
+
+def test_antientropy_gated_to_replication():
+    assert not DiscoveryConfig().antientropy_enabled()
+    assert DiscoveryConfig(
+        cooperation=COOPERATION_REPLICATE_ADS
+    ).antientropy_enabled()
+    assert not DiscoveryConfig(
+        cooperation=COOPERATION_REPLICATE_ADS, antientropy_interval=None
+    ).antientropy_enabled()
+
+
+# -- anti-entropy reconciliation ----------------------------------------------
+
+
+def test_partition_heal_converges_within_k_rounds():
+    """Property: after a partition heals, every replicate-ads member holds
+    the same live (ad_id, version) set — and the same per-ad epochs —
+    within K anti-entropy rounds."""
+    interval = 2.0
+    system, registries = _cluster(antientropy_interval=interval)
+    for i in range(3):
+        system.add_service(f"lan-{i}", _radar(f"radar-{i}"))
+    system.run(until=10.0)
+
+    t0 = system.sim.now
+    plan = (
+        FaultPlan()
+        .partition(t0 + 1.0, [["lan-0"], ["lan-1", "lan-2"]])
+        .heal(t0 + 20.0)
+    )
+    plan.apply(system)
+    system.run_for(5.0)
+    # Diverge for real: one new service on each side of the split.
+    system.add_service("lan-0", _radar("split-a"))
+    system.add_service("lan-1", _radar("split-b"))
+    system.run_for(16.0)  # past the heal
+
+    k_rounds = 6
+    rounds = 0
+    while rounds < k_rounds and check_convergence(system):
+        system.run_for(interval)
+        rounds += 1
+    assert check_convergence(system) == []
+    views = [
+        frozenset((ad.ad_id, ad.version) for ad in r.store.all())
+        for r in registries
+    ]
+    assert len(set(views)) == 1
+    epoch_views = [
+        {ad.ad_id: r.antientropy.epochs.get(ad.ad_id, 0)
+         for ad in r.store.all()}
+        for r in registries
+    ]
+    assert all(view == epoch_views[0] for view in epoch_views)
+    assert_invariants(system)
+
+
+def test_removed_ad_is_never_resurrected():
+    """A removal issued while a stale replica sits across a partition must
+    stick: reconciliation spreads the tombstone, never the corpse."""
+    system, (r0, r1, r2) = _cluster(seed=11)
+    service = system.add_service("lan-0", _radar("radar"))
+    system.run(until=6.0)
+    ad_ids = {ad.ad_id for ad in r0.store.by_service(service.node_id)}
+    assert ad_ids and all(ad_id in r1.store for ad_id in ad_ids)
+
+    t0 = system.sim.now
+    FaultPlan().partition(t0 + 0.5, [["lan-0"], ["lan-1", "lan-2"]]).apply(system)
+    system.run_for(1.0)
+    service.deregister()  # REMOVE reaches the home registry only
+    system.run_for(0.1)
+    service.crash()  # gone for good: no republishes after the removal
+    system.run_for(0.9)
+    assert all(ad_id not in r0.store for ad_id in ad_ids)
+    assert all(ad_id in r1.store for ad_id in ad_ids)  # stale replica
+
+    FaultPlan().heal(system.sim.now + 0.5).apply(system)
+    system.run_for(10.0)  # several anti-entropy rounds
+    for registry in (r0, r1, r2):
+        assert all(ad_id not in registry.store for ad_id in ad_ids)
+    system.run_for(10.0)  # and the removal stays removed
+    for registry in (r0, r1, r2):
+        assert all(ad_id not in registry.store for ad_id in ad_ids)
+    assert r1.antientropy.removals_applied >= 1
+    assert_invariants(system)
+
+
+def test_join_sync_uses_digest_not_full_push():
+    """A (re)joining member bootstraps via digest + delta pull, and the
+    synced advertisements are not re-flooded."""
+    system, (r0, r1, r2) = _cluster(seed=13)
+    system.add_service("lan-1", _radar("radar"))
+    system.run(until=8.0)
+    assert any(ad.service_name == "radar" for ad in r0.store.all())
+
+    r0.crash()
+    system.run_for(2.0)
+    r0.restart()
+    system.run_for(8.0)  # rejoin via seeds -> digest sync
+    assert any(ad.service_name == "radar" for ad in r0.store.all())
+    assert r0.antientropy.ads_applied >= 1
+    assert check_convergence(system) == []
+
+
+def test_sync_ships_remaining_lease_not_full_lease():
+    """Anti-entropy must not extend a replica's life beyond the home
+    lease: a synced ad expires on the recipient when the origin lease
+    would have."""
+    system, (r0, r1, r2) = _cluster(seed=17, antientropy_interval=1.0)
+    system.add_service("lan-0", _radar("radar"))
+    system.run(until=6.0)
+    ad = next(a for a in r1.store.all() if a.service_name == "radar")
+    lease = r1.leases.lease_for_ad(ad.ad_id)
+    assert lease is not None
+    # The replica's lease must not outlive the home registry's by more
+    # than one sync round's worth of skew.
+    home = r0.leases.lease_for_ad(ad.ad_id)
+    assert home is not None
+    assert lease.expires_at <= home.expires_at + 1.5
+
+
+# -- circuit breaker in the query path ----------------------------------------
+
+
+def test_breaker_avoids_aggregation_timeout_for_crashed_neighbor():
+    """Acceptance: with one neighbor crashed (and the ping detector held
+    off by a long ping interval), queries pay the aggregation timeout only
+    until the breaker opens, then complete at healthy latency."""
+    from repro.experiments.e3_robustness import run_degraded_latency
+
+    row = run_degraded_latency(n_queries=4, seed=3)
+    assert row["degraded_mean"] >= row["aggregation_timeout"]
+    assert row["after_open_mean"] < row["aggregation_timeout"]
+    assert row["recoveries"].get("breaker-open", 0) >= 1
+    assert row["recoveries"].get("breaker-skip", 0) >= 1
+    assert BREAKER_OPEN in row["breaker_states"].values()
+
+
+def test_late_response_counted_after_aggregation_timeout():
+    """A response arriving after its aggregation completed is counted as
+    late instead of being silently dropped."""
+    config = DiscoveryConfig(
+        aggregation_timeout=0.04, default_ttl=1,  # timeout < one WAN round trip
+        ping_interval=120.0, signalling_interval=None,
+    )
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=config)
+    system.add_lan("lan-0")
+    system.add_lan("lan-1")
+    r0 = system.add_registry("lan-0", node_id="registry-00",
+                             seeds=("registry-01",))
+    system.add_registry("lan-1", node_id="registry-01")
+    system.add_service("lan-1", _radar("radar"))
+    client = system.add_client("lan-0")
+    system.run(until=5.0)
+
+    system.discover(client, REQUEST, timeout=5.0)
+    system.run_for(1.0)  # let the straggler response arrive
+    assert r0.late_responses >= 1
+    assert system.network.stats.recoveries.get("late-response", 0) >= 1
+
+
+def test_leave_clears_failure_detector_and_breakers():
+    """Satellite regression: a graceful leave drops missed-pong counters
+    and breakers with the links, so a later rejoin starts clean."""
+    system, (r0, r1, r2) = _cluster(seed=19)
+    system.run(until=8.0)
+    peer = r1.node_id
+    assert peer in r0.federation.neighbors
+    # Simulate accumulated suspicion just before the leave.
+    r0.federation._missed_pongs[peer] = 2
+    r0.federation.record_neighbor_failure(peer)
+    r0.federation.leave()
+    assert r0.federation._missed_pongs == {}
+    assert r0.federation.breakers == {}
+
+    r0.federation.join(peer)
+    system.run_for(6.0)  # a full ping round after the rejoin
+    assert peer in r0.federation.neighbors
+    assert r0.federation._missed_pongs.get(peer, 0) <= 1
+
+
+# -- warm standby promotion ----------------------------------------------------
+
+
+def test_warm_standby_shrinks_staleness_window():
+    """Acceptance: warm promotion bootstraps the store via anti-entropy,
+    shrinking the post-promotion staleness window vs a cold standby."""
+    from repro.experiments.e15_standby import run_warm_standby
+
+    result = run_warm_standby(seed=2)
+    rows = {row["warm"]: row for row in result.rows}
+    assert rows["yes"]["promoted"] and rows["no"]["promoted"]
+    assert rows["yes"]["staleness"] < rows["no"]["staleness"]
+    assert rows["yes"]["standby_store"] > 0
+    assert rows["no"]["standby_store"] == 0
+    assert rows["yes"]["warm_syncs"] >= 1
+
+
+# -- convergence scenario (E3) -------------------------------------------------
+
+
+def test_convergence_scenario_bounded_rounds():
+    """Acceptance: the canonical partition/heal scenario reconverges
+    within the bounded number of anti-entropy rounds."""
+    from repro.experiments.e3_robustness import run_convergence_scenario
+
+    row = run_convergence_scenario(max_rounds=6, seed=1)
+    assert row["diverged_after_heal"]
+    assert row["rounds_to_converge"] <= row["max_rounds"]
+    assert row["antientropy"]["ads_applied"] >= 1
