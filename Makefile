@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke fault-smoke bench all
+.PHONY: test perf-smoke fault-smoke obs-smoke bench all
 
 ## Tier 1: the full unit/integration suite. Must always be green.
 test:
@@ -21,8 +21,14 @@ perf-smoke:
 fault-smoke:
 	$(PYTHON) -m pytest benchmarks/test_fault_smoke.py -q
 
+## Tier 2: observability smoke — two same-seed E7 WAN runs must export
+## byte-identical trace JSONL, the trace must cover the query path
+## end-to-end, and E1/E5/E7 tables must carry latency percentiles.
+obs-smoke:
+	$(PYTHON) -m pytest benchmarks/test_obs_smoke.py -q
+
 ## Full experiment/benchmark sweep (slow).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-all: test perf-smoke fault-smoke
+all: test perf-smoke fault-smoke obs-smoke

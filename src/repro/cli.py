@@ -5,8 +5,11 @@ Usage (installed entry point or ``python -m repro``)::
     python -m repro list                       # available experiments
     python -m repro experiment e4              # run one, print its table
     python -m repro experiment e4 --seed 3
+    python -m repro experiment e4 --json       # machine-readable dump
     python -m repro experiment all             # run everything
     python -m repro ablations                  # the knob sweeps
+    python -m repro trace e7                   # render a causal query trace
+    python -m repro metrics e7                 # render the metrics registry
     python -m repro demo                       # 30-second guided demo
 
 Experiment runners are imported lazily so ``list`` stays fast.
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 from typing import Callable
 
@@ -78,12 +82,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)} "
               f"(try 'list')", file=sys.stderr)
         return 2
+    dumps = []
     for target in targets:
         result = _runner(target)(seed=args.seed)
+        if args.json:
+            dumps.append(result.to_json())
+            continue
         print(result.table())
         if args.chart:
             _print_chart(result, args.chart)
         print()
+    if args.json:
+        payload = dumps[0] if len(dumps) == 1 else dumps
+        print(json.dumps(payload, indent=2, default=str))
     return 0
 
 
@@ -104,7 +115,54 @@ def _print_chart(result, value_column: str) -> int:
 def cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments.ablations import run
 
-    print(run(seed=args.seed).table())
+    result = run(seed=args.seed)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, default=str))
+    else:
+        print(result.table())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a canonical traced capture and render one query's span tree."""
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r} (try 'list')",
+              file=sys.stderr)
+        return 2
+    from repro.obs.capture import run_traced
+
+    run = run_traced(args.experiment, seed=args.seed)
+    if args.jsonl:
+        print(run.recorder.export_jsonl())
+        return 0
+    if args.all:
+        trace_ids = run.recorder.traces()
+    elif run.sample_trace is not None:
+        trace_ids = [run.sample_trace]
+    else:
+        trace_ids = []
+    if not trace_ids:
+        print("no completed traces recorded", file=sys.stderr)
+        return 1
+    for trace_id in trace_ids:
+        print(run.recorder.render(trace_id))
+        print()
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a canonical traced capture and render its metrics registry."""
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r} (try 'list')",
+              file=sys.stderr)
+        return 2
+    from repro.obs.capture import run_traced
+
+    run = run_traced(args.experiment, seed=args.seed)
+    if args.json:
+        print(json.dumps(run.metrics.snapshot(), indent=2, default=str))
+    else:
+        print(run.metrics.render())
     return 0
 
 
@@ -157,11 +215,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", metavar="COLUMN", default=None,
         help="also render COLUMN as an ASCII bar chart",
     )
+    experiment.add_argument(
+        "--json", action="store_true",
+        help="print the result as JSON instead of a table",
+    )
     experiment.set_defaults(func=cmd_experiment)
 
     ablations = sub.add_parser("ablations", help="run the §4 knob sweeps")
     ablations.add_argument("--seed", type=int, default=0)
+    ablations.add_argument(
+        "--json", action="store_true",
+        help="print the result as JSON instead of a table",
+    )
     ablations.set_defaults(func=cmd_ablations)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced capture of an experiment scenario and "
+             "render a query's causal span tree",
+    )
+    trace.add_argument("experiment", help="experiment id, e.g. e7")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--all", action="store_true",
+                       help="render every recorded trace, not just one")
+    trace.add_argument("--jsonl", action="store_true",
+                       help="dump the raw trace records as JSON Lines")
+    trace.set_defaults(func=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a traced capture of an experiment scenario and "
+             "render its metrics registry",
+    )
+    metrics.add_argument("experiment", help="experiment id, e.g. e7")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--json", action="store_true",
+                         help="print the metrics snapshot as JSON")
+    metrics.set_defaults(func=cmd_metrics)
 
     sub.add_parser("demo", help="a 30-second guided demo").set_defaults(
         func=cmd_demo)

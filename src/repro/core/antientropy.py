@@ -271,5 +271,14 @@ class AntiEntropy:
         }
 
     def _record(self, kind: str, n: int = 1) -> None:
-        if self.registry.network is not None:
-            self.registry.network.stats.record_recovery(kind, n)
+        if self.registry.network is None:
+            return
+        self.registry.network.stats.record_recovery(kind, n)
+        trace = self.registry.trace
+        if trace is not None:
+            trace.event(
+                kind,
+                node=self.registry.node_id,
+                ctx=self.registry._trace_ctx,
+                attrs={"n": n},
+            )

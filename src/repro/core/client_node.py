@@ -26,6 +26,7 @@ from repro.descriptions.base import DescriptionModel, ModelRegistry
 from repro.descriptions.semantic import SemanticModel
 from repro.netsim.messages import Envelope
 from repro.netsim.node import Node
+from repro.obs.tracing import Span, TraceRecorder
 from repro.registry.advertisements import new_uuid
 from repro.registry.matching import QueryEvaluator, QueryHit
 from repro.semantics.ontology import Ontology
@@ -91,7 +92,11 @@ class DiscoveryCall:
     #: Client-local call index; keys retry jitter (query ids come from a
     #: process-global counter, so they are not stable run to run).
     seq: int = 0
+    #: Recorder-local trace id of this call's root span (None when the
+    #: recorder is unavailable). All retries share it.
+    trace_id: int | None = None
     _fallback_batches: list[list[QueryHit]] = field(default_factory=list)
+    _span: Span | None = field(default=None, repr=False)
 
     @property
     def succeeded(self) -> bool:
@@ -130,6 +135,9 @@ class ClientNode(Node):
                                        on_attached=self._on_attached)
         self.calls: list[DiscoveryCall] = []
         self._by_wire_id: dict[str, DiscoveryCall] = {}
+        #: Open per-attempt spans keyed by wire id; closed on response,
+        #: timeout, or crash.
+        self._attempt_spans: dict[str, Span] = {}
         self.watches: dict[str, Watch] = {}
         self.fallback_queries = 0
         self.query_retries = 0
@@ -156,6 +164,8 @@ class ClientNode(Node):
         for; leaving the calls pending would strand wire-id entries across
         the restart and undercount failures in experiments.
         """
+        for wire_id in sorted(self._attempt_spans):
+            self._end_attempt(wire_id, status="crashed")
         for call in list(self._by_wire_id.values()):
             if not call.completed:
                 self._complete(call, [], via="crashed")
@@ -199,6 +209,16 @@ class ClientNode(Node):
             ttl=self.config.default_ttl if ttl is None else ttl,
             seq=len(self.calls),
         )
+        trace = self.trace
+        if trace is not None:
+            # The root span of the whole discovery trace; every retry,
+            # forward, and (late) response hangs off it.
+            call._span = trace.start_span(
+                "client.query",
+                node=self.node_id,
+                attrs={"query": trace.alias(call.query_id), "model": model_id},
+            )
+            call.trace_id = call._span.trace_id
         self.calls.append(call)
         self._dispatch(call)
         return call
@@ -228,17 +248,40 @@ class ClientNode(Node):
             self._by_wire_id[wire_id] = call
             call.via = f"registry:{registry}"
             call.sent_to = registry
-            self.send(registry, protocol.QUERY, payload, payload_type=call.model_id)
+            headers = None
+            trace = self.trace
+            if trace is not None and call._span is not None:
+                attempt = trace.start_span(
+                    "client.attempt",
+                    node=self.node_id,
+                    ctx=call._span.context,
+                    attrs={"attempt": call.attempts, "registry": registry},
+                )
+                self._attempt_spans[wire_id] = attempt
+                headers = {}
+                TraceRecorder.inject(headers, attempt.context)
+            self.send(registry, protocol.QUERY, payload,
+                      payload_type=call.model_id, headers=headers)
             self.after(self.config.query_timeout, lambda: self._query_timed_out(call, wire_id))
         elif self.config.fallback_enabled:
             self._fallback(call, payload)
         else:
             self._complete(call, [], via="failed")
 
+    def _end_attempt(
+        self, wire_id: str, *, status: str = "ok",
+        attrs: dict[str, object] | None = None,
+    ) -> None:
+        """Close the attempt span registered under ``wire_id``, if any."""
+        span = self._attempt_spans.pop(wire_id, None)
+        if span is not None and self.trace is not None:
+            self.trace.end_span(span, status=status, attrs=attrs)
+
     def _query_timed_out(self, call: DiscoveryCall, wire_id: str) -> None:
         if call.completed or self._by_wire_id.get(wire_id) is not call:
             return
         del self._by_wire_id[wire_id]
+        self._end_attempt(wire_id, status="timeout")
         call.attempts += 1
         if self.tracker.current == call.sent_to:
             # The registry this attempt used is still "current": blame it
@@ -260,6 +303,14 @@ class ClientNode(Node):
                 call.attempts - 1, seed=self.sim.seed,
                 key=f"{self.node_id}/{call.seq}",
             )
+            trace = self.trace
+            if trace is not None and call._span is not None:
+                trace.event(
+                    "query.retry",
+                    node=self.node_id,
+                    ctx=call._span.context,
+                    attrs={"attempt": call.attempts, "delay": delay},
+                )
             self.after(delay, lambda: self._dispatch(call))
         elif self.config.fallback_enabled:
             model = self.models.get(call.model_id)
@@ -281,7 +332,19 @@ class ClientNode(Node):
         call.via = "fallback"
         wire_id = payload.query_id
         self._by_wire_id[wire_id] = call
-        self.multicast(protocol.DECENTRAL_QUERY, payload, payload_type=call.model_id)
+        headers = None
+        trace = self.trace
+        if trace is not None and call._span is not None:
+            trace.event(
+                "client.fallback",
+                node=self.node_id,
+                ctx=call._span.context,
+                attrs={"attempt": call.attempts},
+            )
+            headers = {}
+            TraceRecorder.inject(headers, call._span.context)
+        self.multicast(protocol.DECENTRAL_QUERY, payload,
+                       payload_type=call.model_id, headers=headers)
         self.after(
             self.config.fallback_timeout,
             lambda: self._fallback_done(call, wire_id),
@@ -319,6 +382,7 @@ class ClientNode(Node):
         call = self._by_wire_id.pop(payload.query_id, None)
         if call is None or call.completed:
             return
+        self._end_attempt(payload.query_id, attrs={"hits": len(payload.hits)})
         call.responses += 1
         call.response_bytes += envelope.size_bytes
         call.responders += payload.responders
@@ -330,6 +394,15 @@ class ClientNode(Node):
         call.via = via
         call.completed = True
         call.completed_at = self.sim.now
+        if self.network is not None:
+            self.network.metrics.histogram("query.e2e_latency").observe(call.latency)
+        if call._span is not None and self.trace is not None:
+            status = via if via in ("failed", "crashed") else ("ok" if hits else "empty")
+            self.trace.end_span(
+                call._span,
+                status=status,
+                attrs={"via": via, "hits": len(hits), "attempts": call.attempts},
+            )
 
     # -- standing queries (notification extension) ----------------------------------------
 

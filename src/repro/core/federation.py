@@ -212,7 +212,7 @@ class Federation:
         if not self.config.breaker_enabled:
             return
         if self._breaker(neighbor).record_failure():
-            self._record_recovery("breaker-open")
+            self._record_recovery("breaker-open", neighbor=neighbor)
 
     def record_neighbor_success(self, neighbor: str) -> None:
         """Feed one success signal (pong, query response, join)."""
@@ -220,7 +220,7 @@ class Federation:
             return
         breaker = self.breakers.get(neighbor)
         if breaker is not None and breaker.record_success():
-            self._record_recovery("breaker-close")
+            self._record_recovery("breaker-close", neighbor=neighbor)
 
     def breaker_allows(self, neighbor: str) -> bool:
         """Whether the fan-out may wait on ``neighbor`` right now.
@@ -237,16 +237,26 @@ class Federation:
         was_open = breaker.state == BREAKER_OPEN
         allowed = breaker.allows()
         if was_open and allowed:
-            self._record_recovery("breaker-half-open")
+            self._record_recovery("breaker-half-open", neighbor=neighbor)
         return allowed
 
     def breaker_states(self) -> dict[str, str]:
         """Current breaker state per tracked neighbor (reporting)."""
         return {nid: b.state for nid, b in sorted(self.breakers.items())}
 
-    def _record_recovery(self, kind: str) -> None:
-        if self.registry.network is not None:
-            self.registry.network.stats.record_recovery(kind)
+    def _record_recovery(self, kind: str, *, neighbor: str | None = None) -> None:
+        if self.registry.network is None:
+            return
+        self.registry.network.stats.record_recovery(kind)
+        trace = self.registry.trace
+        if trace is not None:
+            attrs = {"neighbor": neighbor} if neighbor is not None else None
+            trace.event(
+                kind,
+                node=self.registry.node_id,
+                ctx=self.registry._trace_ctx,
+                attrs=attrs,
+            )
 
     # -- signalling -------------------------------------------------------------------
 

@@ -94,6 +94,7 @@ class PendingAggregation:
         max_results: int | None,
         on_complete: Callable[[list[QueryHit], int], None],
         on_target_timeout: Callable[[str], None] | None = None,
+        trace_ctx: tuple[int, int] | None = None,
     ) -> None:
         self.query_id = query_id
         self.batches: list[list[QueryHit]] = [local_hits]
@@ -103,6 +104,8 @@ class PendingAggregation:
         self.responders = 1  # ourselves
         self._on_complete = on_complete
         self._on_target_timeout = on_target_timeout
+        self._node = node
+        self.trace_ctx = trace_ctx
         self._done = False
         self._timer: "Timer" = node.after(timeout, self._timeout)
 
@@ -122,6 +125,13 @@ class PendingAggregation:
         """Some neighbor never answered (crash/partition): finish anyway."""
         if self._done:
             return
+        if self.trace_ctx is not None and self._node.trace is not None:
+            self._node.trace.event(
+                "aggregation.timeout",
+                node=self._node.node_id,
+                ctx=self.trace_ctx,
+                attrs={"silent": len(self.silent)},
+            )
         if self._on_target_timeout is not None:
             for target in sorted(self.silent):
                 self._on_target_timeout(target)

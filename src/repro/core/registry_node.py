@@ -46,8 +46,10 @@ from repro.core.repository import ArtifactRepository
 from repro.descriptions.base import DescriptionModel, ModelRegistry
 from repro.netsim.messages import Envelope
 from repro.netsim.node import Node
+from repro.obs.metrics import COUNT_BUCKETS
+from repro.obs.tracing import Span, TraceRecorder
 from repro.registry.advertisements import Advertisement, new_uuid
-from repro.registry.leases import LeaseManager
+from repro.registry.leases import Lease, LeaseManager
 from repro.registry.matching import QueryEvaluator, QueryHit
 from repro.registry.rim import RegistryDescription, RegistryInfoModel
 from repro.registry.store import AdvertisementStore
@@ -116,7 +118,9 @@ class RegistryNode(Node):
         """Arm periodic tasks, probe the LAN, and join seed registries."""
         self.rim.lan_name = self.lan_name or ""
         self.leases = LeaseManager(
-            lambda: self.sim.now, default_duration=self.config.lease_duration
+            lambda: self.sim.now,
+            default_duration=self.config.lease_duration,
+            on_event=self._lease_event,
         )
         self._seen = SeenQueries(lambda: self.sim.now)
         if self.config.beacon_interval is not None:
@@ -594,22 +598,103 @@ class RegistryNode(Node):
         if isinstance(envelope.payload, protocol.SyncAdsPayload):
             self.antientropy.handle_ads(envelope.src, envelope.payload)
 
+    # -- observability hooks ------------------------------------------------------
+
+    def _lease_event(self, kind: str, lease: Lease) -> None:
+        """Lease lifecycle callback: mirror into metrics and the trace."""
+        if self.network is None:
+            return
+        self.network.metrics.counter(f"lease.{kind}").inc()
+        trace = self.trace
+        if trace is not None:
+            trace.event(
+                f"lease.{kind}",
+                node=self.node_id,
+                ctx=self._trace_ctx,
+                attrs={
+                    "ad": trace.alias(lease.ad_id),
+                    "lease": trace.alias(lease.lease_id),
+                },
+            )
+
+    def _query_span(self, name: str, envelope: Envelope, payload: protocol.QueryPayload) -> Span | None:
+        """Open a processing span for a (non-duplicate) query envelope.
+
+        The span continues the envelope's trace (or roots a new one for
+        untraced senders) and becomes this dispatch's active context, so
+        synchronous child sends parent to it automatically. The span is
+        closed by :meth:`_respond` when the answer leaves.
+        """
+        trace = self.trace
+        if trace is None:
+            return None
+        span = trace.start_span(
+            name,
+            node=self.node_id,
+            ctx=TraceRecorder.extract(envelope.headers),
+            attrs={
+                "query": trace.alias(payload.query_id),
+                "from": envelope.src,
+                "ttl": payload.ttl,
+            },
+        )
+        self._trace_ctx = span.context
+        return span
+
     # -- querying ----------------------------------------------------------------------
 
-    def _local_hits(self, payload: protocol.QueryPayload) -> list[QueryHit]:
-        return self.evaluator.evaluate(
+    def _local_hits(
+        self, payload: protocol.QueryPayload, *, parent: Span | None = None
+    ) -> list[QueryHit]:
+        before = self.evaluator.descriptions_evaluated
+        hits = self.evaluator.evaluate(
             payload.model_id, payload.query, max_results=payload.max_results
         )
+        if self.network is not None:
+            evaluated = self.evaluator.descriptions_evaluated - before
+            self.network.metrics.histogram(
+                "matchmaker.evals_per_query", buckets=COUNT_BUCKETS
+            ).observe(evaluated)
+            ctx = parent.context if parent is not None else self._trace_ctx
+            trace = self.trace
+            if ctx is not None and trace is not None:
+                trace.event(
+                    "registry.match",
+                    node=self.node_id,
+                    ctx=ctx,
+                    attrs={"evaluated": evaluated, "hits": len(hits)},
+                )
+        return hits
 
-    def _respond(self, dst: str, query_id: str, hits: list[QueryHit], responders: int) -> None:
+    def _respond(
+        self,
+        dst: str,
+        query_id: str,
+        hits: list[QueryHit],
+        responders: int,
+        *,
+        span: Span | None = None,
+    ) -> None:
+        """Answer ``dst``; with ``span``, the response rides (and closes)
+        that span's trace — needed for completions that fire from timers,
+        where no envelope context is active."""
         self.responses_sent += 1
+        headers: dict[str, Any] | None = None
+        if span is not None:
+            headers = {}
+            TraceRecorder.inject(headers, span.context)
         self.send(
             dst,
             protocol.QUERY_RESPONSE,
             protocol.ResponsePayload(
                 query_id=query_id, hits=tuple(hits), responders=responders
             ),
+            headers=headers,
         )
+        if span is not None and self.trace is not None:
+            self.trace.end_span(
+                span, attrs={"hits": len(hits), "responders": responders}
+            )
 
     def handle_query(self, envelope: Envelope) -> None:
         """A client query: this registry is the entry point/coordinator."""
@@ -621,31 +706,35 @@ class RegistryNode(Node):
         if not self._seen.check_and_mark(payload.query_id):
             return
         client = envelope.src
+        span = self._query_span("registry.query", envelope, payload)
         if self.config.strategy == STRATEGY_EXPANDING_RING:
-            self._start_ring(client, payload)
+            self._start_ring(client, payload, span=span)
         elif self.config.strategy == STRATEGY_RANDOM_WALK:
-            self._start_walk(client, payload)
+            self._start_walk(client, payload, span=span)
         elif self.config.strategy == STRATEGY_INFORMED:
-            self._start_informed(client, payload)
+            self._start_informed(client, payload, span=span)
         else:
-            self._start_flood(client, payload)
+            self._start_flood(client, payload, span=span)
 
     # .. flooding ..........................................................
 
-    def _start_flood(self, client: str, payload: protocol.QueryPayload) -> None:
-        local = self._local_hits(payload)
+    def _start_flood(
+        self, client: str, payload: protocol.QueryPayload, *, span: Span | None = None
+    ) -> None:
+        local = self._local_hits(payload, parent=span)
         ttl = payload.ttl
         targets = self.federation.forward_targets({client}) if ttl > 0 else []
         if not targets:
-            self._respond(client, payload.query_id, local, 1)
+            self._respond(client, payload.query_id, local, 1, span=span)
             return
         self._fan_out(
             payload.with_ttl(ttl - 1),
             targets,
             local,
             on_complete=lambda hits, responders: self._respond(
-                client, payload.query_id, hits, responders
+                client, payload.query_id, hits, responders, span=span
             ),
+            parent=span,
         )
 
     def _fan_out(
@@ -655,6 +744,8 @@ class RegistryNode(Node):
         local: list[QueryHit],
         *,
         on_complete,
+        parent: Span | None = None,
+        hops: int = 1,
     ) -> None:
         """Forward to ``targets`` and aggregate their responses.
 
@@ -674,8 +765,27 @@ class RegistryNode(Node):
             )
             return
 
+        trace = self.trace
+        fanout: Span | None = None
+        if trace is not None:
+            fanout = trace.start_span(
+                "registry.fanout",
+                node=self.node_id,
+                ctx=parent.context if parent is not None else self._trace_ctx,
+                attrs={
+                    "query": trace.alias(query_id),
+                    "targets": len(allowed),
+                    "skipped": skipped,
+                    "ttl": forwarded.ttl,
+                },
+            )
+
         def complete(hits: list[QueryHit], responders: int) -> None:
             self._pending.pop(query_id, None)
+            if fanout is not None and trace is not None:
+                trace.end_span(
+                    fanout, attrs={"hits": len(hits), "responders": responders}
+                )
             on_complete(hits, responders)
 
         # The timeout must cover the *downstream* aggregation chain: a
@@ -692,9 +802,16 @@ class RegistryNode(Node):
             max_results=forwarded.max_results,
             on_complete=complete,
             on_target_timeout=self.federation.record_neighbor_failure,
+            trace_ctx=fanout.context if fanout is not None else None,
         )
+        headers: dict[str, Any] | None = None
+        if fanout is not None:
+            headers = {}
+            TraceRecorder.inject(headers, fanout.context)
         for target in allowed:
-            self.send(target, protocol.QUERY_FORWARD, forwarded)
+            self.send(
+                target, protocol.QUERY_FORWARD, forwarded, headers=headers, hops=hops
+            )
             self.rim.queries_forwarded += 1
 
     def handle_query_forward(self, envelope: Envelope) -> None:
@@ -709,18 +826,21 @@ class RegistryNode(Node):
             # outstanding counter drains without waiting for the timeout.
             self._respond(parent, payload.query_id, [], 0)
             return
-        local = self._local_hits(payload)
+        span = self._query_span("registry.forward", envelope, payload)
+        local = self._local_hits(payload, parent=span)
         targets = self.federation.forward_targets({parent}) if payload.ttl > 0 else []
         if not targets:
-            self._respond(parent, payload.query_id, local, 1)
+            self._respond(parent, payload.query_id, local, 1, span=span)
             return
         self._fan_out(
             payload.with_ttl(payload.ttl - 1),
             targets,
             local,
             on_complete=lambda hits, responders: self._respond(
-                parent, payload.query_id, hits, responders
+                parent, payload.query_id, hits, responders, span=span
             ),
+            parent=span,
+            hops=envelope.hops + 1,
         )
 
     def handle_query_response(self, envelope: Envelope) -> None:
@@ -729,6 +849,7 @@ class RegistryNode(Node):
             return
         # Any answer is proof of life, even a late one.
         self.federation.record_neighbor_success(envelope.src)
+        trace = self.trace
         pending = self._pending.get(payload.query_id)
         if pending is None:
             # The aggregation already completed (timeout or duplicate):
@@ -737,12 +858,35 @@ class RegistryNode(Node):
             self.late_responses += 1
             if self.network is not None:
                 self.network.stats.record_recovery("late-response")
+            if trace is not None and self._trace_ctx is not None:
+                # The response envelope still carries the original trace,
+                # so late work stays attributable to the query that paid
+                # for it.
+                trace.event(
+                    "late-response",
+                    node=self.node_id,
+                    ctx=self._trace_ctx,
+                    attrs={
+                        "from": envelope.src,
+                        "query": trace.alias(payload.query_id),
+                        "hits": len(payload.hits),
+                    },
+                )
             return
+        if trace is not None and self._trace_ctx is not None:
+            trace.event(
+                "aggregation.response",
+                node=self.node_id,
+                ctx=self._trace_ctx,
+                attrs={"from": envelope.src, "hits": len(payload.hits)},
+            )
         pending.add_response(payload, src=envelope.src)
 
     # .. summary-informed routing ............................................
 
-    def _start_informed(self, client: str, payload: protocol.QueryPayload) -> None:
+    def _start_informed(
+        self, client: str, payload: protocol.QueryPayload, *, span: Span | None = None
+    ) -> None:
         """Route the query directly to summary-matching registries.
 
         Content summaries learned through gossip tell us *which* known
@@ -751,7 +895,7 @@ class RegistryNode(Node):
         are never bothered — the bandwidth win over flooding; a stale or
         missing summary is the recall risk (measured in E13).
         """
-        local = self._local_hits(payload)
+        local = self._local_hits(payload, parent=span)
         terms = self._query_terms(payload)
         candidates = [
             rid
@@ -760,24 +904,29 @@ class RegistryNode(Node):
             and terms & frozenset(desc.summary_terms)
         ]
         if not candidates:
-            self._respond(client, payload.query_id, local, 1)
+            self._respond(client, payload.query_id, local, 1, span=span)
             return
         self._fan_out(
             payload.with_ttl(0),
             candidates,
             local,
             on_complete=lambda hits, responders: self._respond(
-                client, payload.query_id, hits, responders
+                client, payload.query_id, hits, responders, span=span
             ),
+            parent=span,
         )
 
     # .. expanding ring ......................................................
 
-    def _start_ring(self, client: str, payload: protocol.QueryPayload) -> None:
+    def _start_ring(
+        self, client: str, payload: protocol.QueryPayload, *, span: Span | None = None
+    ) -> None:
         ring = RingController(payload=payload, ttls=self.config.ring_ttls)
-        self._run_ring_round(client, ring)
+        self._run_ring_round(client, ring, span)
 
-    def _run_ring_round(self, client: str, ring: RingController) -> None:
+    def _run_ring_round(
+        self, client: str, ring: RingController, span: Span | None
+    ) -> None:
         ttl = ring.current_ttl()
         round_payload = protocol.QueryPayload(
             query_id=ring.round_query_id(),
@@ -786,11 +935,11 @@ class RegistryNode(Node):
             max_results=ring.payload.max_results,
             ttl=max(ttl - 1, 0),
         )
-        local = self._local_hits(ring.payload)
+        local = self._local_hits(ring.payload, parent=span)
         targets = self.federation.forward_targets({client}) if ttl > 0 else []
         if not targets:
             ring.record_round(local)
-            self._ring_round_done(client, ring)
+            self._ring_round_done(client, ring, span)
             return
         self._fan_out(
             round_payload,
@@ -798,29 +947,37 @@ class RegistryNode(Node):
             local,
             on_complete=lambda hits, _responders: (
                 ring.record_round(hits),
-                self._ring_round_done(client, ring),
+                self._ring_round_done(client, ring, span),
             ),
+            parent=span,
         )
 
-    def _ring_round_done(self, client: str, ring: RingController) -> None:
+    def _ring_round_done(
+        self, client: str, ring: RingController, span: Span | None
+    ) -> None:
         if ring.satisfied() or not ring.advance():
-            self._respond(client, ring.payload.query_id, ring.merged(), ring.rounds_run)
+            self._respond(
+                client, ring.payload.query_id, ring.merged(), ring.rounds_run,
+                span=span,
+            )
             return
-        self._run_ring_round(client, ring)
+        self._run_ring_round(client, ring, span)
 
     # .. random walk ...........................................................
 
-    def _start_walk(self, client: str, payload: protocol.QueryPayload) -> None:
-        local = self._local_hits(payload)
+    def _start_walk(
+        self, client: str, payload: protocol.QueryPayload, *, span: Span | None = None
+    ) -> None:
+        local = self._local_hits(payload, parent=span)
         target_count = payload.max_results if payload.max_results is not None else 1
         targets = self.federation.forward_targets({client})
         if len(local) >= target_count or not targets or self.config.walk_length <= 1:
-            self._respond(client, payload.query_id, local, 1)
+            self._respond(client, payload.query_id, local, 1, span=span)
             return
 
         def complete(hits: list[QueryHit], responders: int) -> None:
             self._walks.pop(payload.query_id, None)
-            self._respond(client, payload.query_id, hits, responders)
+            self._respond(client, payload.query_id, hits, responders, span=span)
 
         self._walks[payload.query_id] = WalkCoordinator(
             self,
@@ -843,6 +1000,7 @@ class RegistryNode(Node):
                 visited=(self.node_id,),
                 max_results=payload.max_results,
             ),
+            hops=1,
         )
         self.rim.queries_forwarded += 1
 
@@ -889,6 +1047,7 @@ class RegistryNode(Node):
                 visited=tuple(sorted(visited)),
                 max_results=payload.max_results,
             ),
+            hops=envelope.hops + 1,
         )
         self.rim.queries_forwarded += 1
 

@@ -139,6 +139,11 @@ class StandbyRegistry(RegistryNode):
         self.active = True
         self.promotions += 1
         self.last_promoted_at = self.sim.now
+        if self.trace is not None:
+            self.trace.event(
+                "standby-promote", node=self.node_id,
+                attrs={"promotions": self.promotions},
+            )
         self.cancel_tasks()
         super().start()
         self.every(self._watch_interval(), self._evaluate_active)
@@ -167,6 +172,11 @@ class StandbyRegistry(RegistryNode):
             synced += 1
         if synced and self.network is not None:
             self.network.stats.record_recovery("standby-warm-sync")
+            if self.trace is not None:
+                self.trace.event(
+                    "standby-warm-sync", node=self.node_id,
+                    attrs={"peers": synced},
+                )
 
     # -- active behaviour ----------------------------------------------------------
 
@@ -193,6 +203,11 @@ class StandbyRegistry(RegistryNode):
     def _demote(self) -> None:
         self.active = False
         self.demotions += 1
+        if self.trace is not None:
+            self.trace.event(
+                "standby-demote", node=self.node_id,
+                attrs={"demotions": self.demotions},
+            )
         self.federation.leave()
         self.cancel_tasks()
         self.store.clear()

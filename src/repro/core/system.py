@@ -284,6 +284,16 @@ class DiscoverySystem:
 
     # -- reporting ------------------------------------------------------------------
 
+    @property
+    def trace(self):
+        """This run's :class:`~repro.obs.tracing.TraceRecorder`."""
+        return self.sim.trace
+
+    @property
+    def metrics(self):
+        """This run's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.network.metrics
+
     def traffic(self) -> dict[str, int]:
         """Global traffic counters so far."""
         return self.network.stats.snapshot()

@@ -20,6 +20,10 @@ class ExperimentResult:
     description: str
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Named metric summaries (histogram ``summary()`` dicts, counter
+    #: maps) the experiment attaches — rendered as a block after the
+    #: table and dumped into ``benchmarks/results/`` by the benches.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def add(self, **row: Any) -> None:
         """Append one result row."""
@@ -74,10 +78,32 @@ class ExperimentResult:
             for line in rendered
         )
         parts = [f"== {self.experiment}: {self.description} ==", header, divider, body]
+        if self.metrics:
+            parts.append("")
+            parts.append("metrics:")
+            for name in sorted(self.metrics):
+                value = self.metrics[name]
+                if isinstance(value, dict):
+                    inner = "  ".join(
+                        f"{k}={_fmt(value[k])}" for k in sorted(value)
+                    )
+                    parts.append(f"  {name}: {inner}")
+                else:
+                    parts.append(f"  {name}: {_fmt(value)}")
         if self.notes:
             parts.append("")
             parts.extend(f"note: {note}" for note in self.notes)
         return "\n".join(parts)
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-serializable dump (``repro experiment --json``)."""
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "rows": self.rows,
+            "metrics": self.metrics,
+            "notes": self.notes,
+        }
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.table()

@@ -52,6 +52,8 @@ def run(
         for arch in ARCHITECTURES:
             row = _run_one(arch, n_services, n_clients, n_queries,
                            maintenance_window, seed)
+            summary = row.pop("_obs")
+            result.metrics[f"query.e2e_latency[{arch}/{n_services}]"] = summary
             result.add(**row)
     result.note(
         "decentralized pays per-query multicast + per-provider responses; "
@@ -102,6 +104,7 @@ def _run_one(
     completed = [q for q in issued if q.call.completed]
     scores = score_queries(issued)
     max_node, max_load = system.network.stats.max_node_load()
+    latency = system.metrics.histogram("query.e2e_latency").summary()
     return {
         "arch": arch,
         "services": n_services,
@@ -112,4 +115,8 @@ def _run_one(
         "upkeep_bytes_per_s": upkeep_report["bytes_per_second"],
         "max_node_load_bytes": max_load,
         "max_node": max_node,
+        "p50_ms": latency["p50"] * 1000.0,
+        "p95_ms": latency["p95"] * 1000.0,
+        "p99_ms": latency["p99"] * 1000.0,
+        "_obs": latency,
     }

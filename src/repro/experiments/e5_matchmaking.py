@@ -29,12 +29,21 @@ from repro.descriptions.template import TemplateModel
 from repro.descriptions.uri import UriModel
 from repro.experiments.common import ExperimentResult
 from repro.metrics.retrieval import RetrievalScores
+from repro.obs.metrics import Histogram
 from repro.semantics.generator import (
     OntologyGenerator,
     ProfileGenerator,
     battlefield_ontology,
 )
 from repro.semantics.ontology import Ontology
+
+
+#: Per-request evaluation times are micro- to milliseconds; the transport
+#: buckets start at 1 ms and would lump everything into one bucket.
+_EVAL_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 1e-1,
+)
 
 
 def _ontologies(seed: int) -> list[Ontology]:
@@ -75,8 +84,16 @@ def run(
             for model in models:
                 pairs = []
                 evaluations = 0
+                # Per-request wall-clock distribution: E5 is the one
+                # experiment where real reasoner time (not sim time) is
+                # the claim under test, so the histogram is local rather
+                # than part of a network's deterministic registry.
+                request_latency = Histogram(
+                    "matchmaker.request_latency", buckets=_EVAL_BUCKETS
+                )
                 started = time.perf_counter()
                 for item in labelled:
+                    request_started = time.perf_counter()
                     query = model.query_from(item.request)
                     returned = frozenset(
                         profile.service_name
@@ -85,6 +102,7 @@ def run(
                         )
                         if model.evaluate(description, query).matched
                     )
+                    request_latency.observe(time.perf_counter() - request_started)
                     evaluations += len(profiles)
                     pairs.append((returned, item.relevant))
                 elapsed = time.perf_counter() - started
@@ -97,7 +115,14 @@ def run(
                     recall=scores.recall,
                     f1=scores.f1,
                     us_per_eval=1e6 * elapsed / max(evaluations, 1),
+                    p50_us=request_latency.percentile(0.50) * 1e6,
+                    p95_us=request_latency.percentile(0.95) * 1e6,
+                    p99_us=request_latency.percentile(0.99) * 1e6,
                 )
+                if model.model_id == "semantic":
+                    result.metrics[
+                        f"request_latency[{ontology.name}/g{generalize}]"
+                    ] = request_latency.summary()
     result.note(
         "ground truth is ontology subsumption, which the semantic model "
         "recovers by construction; the table quantifies the syntactic gap "

@@ -46,13 +46,19 @@ def run(
         description="WAN federation: seeding, cooperation, gateways (Figs. 2/4)",
     )
     for shape in ("none", "chain", "ring", "mesh"):
-        result.add(**_seeding_row(shape, lans, services_per_lan, n_queries, seed))
+        row = _seeding_row(shape, lans, services_per_lan, n_queries, seed)
+        result.metrics[f"query.e2e_latency[seeding/{shape}]"] = row.pop("_obs")
+        result.add(**row)
     for cooperation in (COOPERATION_FORWARD_QUERIES, COOPERATION_REPLICATE_ADS):
-        result.add(**_cooperation_row(cooperation, lans, services_per_lan,
-                                      n_queries, seed))
+        row = _cooperation_row(cooperation, lans, services_per_lan,
+                               n_queries, seed)
+        result.metrics[f"query.e2e_latency[cooperation/{cooperation}]"] = row.pop("_obs")
+        result.add(**row)
     for election in (True, False):
-        result.add(**_gateway_row(election, lans, services_per_lan,
-                                  n_queries, seed))
+        row = _gateway_row(election, lans, services_per_lan,
+                           n_queries, seed)
+        result.metrics[f"query.e2e_latency[gateway/{row['variant']}]"] = row.pop("_obs")
+        result.add(**row)
     result.note(
         "shape=none keeps discovery LAN-local (recall ~ 1/LANs); any "
         "connected seeding restores full recall; replication trades query "
@@ -89,6 +95,7 @@ def _measure(built, n_queries: int, seed: int) -> dict:
     completed = [q for q in issued if q.call.completed]
     scores = score_queries(issued)
     wan_delta = window.stats.snapshot()["bytes_wan"] - window.baseline["bytes_wan"]
+    latency = system.metrics.histogram("query.e2e_latency").summary()
     return {
         "recall": scores.recall,
         "completed": len(completed),
@@ -96,6 +103,10 @@ def _measure(built, n_queries: int, seed: int) -> dict:
         "maintenance_bytes": window.maintenance_bytes(),
         "wan_bytes": wan_delta,
         "mean_latency": mean(q.call.latency for q in completed),
+        "p50_ms": latency["p50"] * 1000.0,
+        "p95_ms": latency["p95"] * 1000.0,
+        "p99_ms": latency["p99"] * 1000.0,
+        "_obs": latency,
     }
 
 

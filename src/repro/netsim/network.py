@@ -20,6 +20,8 @@ from repro.netsim.messages import Envelope, SizeModel
 from repro.netsim.node import Node
 from repro.netsim.simulator import Simulator
 from repro.netsim.stats import TrafficStats
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, HOP_BUCKETS, MetricsRegistry
+from repro.obs.tracing import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -161,6 +163,13 @@ class Network:
         self.wan_latency = wan_latency
         self.loss_rate = loss_rate
         self.stats = TrafficStats()
+        #: The run's metrics facade. The transport feeds per-message-type
+        #: delivery-latency and hop-count histograms; protocol agents add
+        #: their own instruments (query latency, matchmaker work) through
+        #: the same registry. TrafficStats mirrors its retry/fault/
+        #: recovery/drop counters here so event rates are queryable too.
+        self.metrics = MetricsRegistry()
+        self.stats.metrics = self.metrics
         self.nodes: dict[str, Node] = {}
         self.lans: dict[str, Lan] = {}
         #: Fault-injection state (see :mod:`repro.netsim.faults`): timed
@@ -352,9 +361,11 @@ class Network:
         self.stats.record_send(envelope.msg_type, envelope.src, size, wan=wan, multicast=False)
         if not self.reachable(envelope.src, envelope.dst):
             self.stats.record_drop("unreachable")
+            self._trace_drop(envelope, "unreachable")
             return
         if self.loss_rate and self.sim.rng.random() < self.loss_rate:
             self.stats.record_drop("loss")
+            self._trace_drop(envelope, "loss")
             return
         sender = self.nodes.get(envelope.src)
         receiver = self.nodes.get(envelope.dst)
@@ -363,6 +374,7 @@ class Network:
         fault_loss = self._fault_loss(src_lan or "", dst_lan or "")
         if fault_loss and self.sim.rng.random() < fault_loss:
             self.stats.record_drop("fault-loss")
+            self._trace_drop(envelope, "fault-loss")
             return
         latency = self.wan_latency if wan else self.lan_latency
         latency += self._extra_latency(src_lan or "", dst_lan or "")
@@ -400,9 +412,11 @@ class Network:
                 continue
             if self.loss_rate and self.sim.rng.random() < self.loss_rate:
                 self.stats.record_drop("loss")
+                self._trace_drop(envelope, "loss", dst=dst_id)
                 continue
             if fault_loss and self.sim.rng.random() < fault_loss:
                 self.stats.record_drop("fault-loss")
+                self._trace_drop(envelope, "fault-loss", dst=dst_id)
                 continue
             self.sim.schedule_at(done_at + latency, self._deliver,
                                  envelope.copy_for(dst_id), dst_id)
@@ -412,10 +426,52 @@ class Network:
         dst = self.nodes.get(dst_id)
         if dst is None or not dst.alive:
             self.stats.record_drop("dead-dst")
+            self._trace_drop(envelope, "dead-dst", dst=dst_id)
             return
         if not self.reachable(envelope.src, dst_id):
             # A partition formed while the message was in flight.
             self.stats.record_drop("partition-in-flight")
+            self._trace_drop(envelope, "partition-in-flight", dst=dst_id)
             return
         self.stats.record_delivery(dst_id, envelope.size_bytes)
+        latency = self.sim.now - envelope.sent_at
+        self.metrics.histogram(
+            f"latency.{envelope.msg_type}", buckets=DEFAULT_LATENCY_BUCKETS
+        ).observe(latency)
+        self.metrics.histogram("hops.delivered", buckets=HOP_BUCKETS).observe(
+            envelope.hops
+        )
+        if envelope.hops > 0:
+            self.metrics.histogram(
+                f"hops.{envelope.msg_type}", buckets=HOP_BUCKETS
+            ).observe(envelope.hops)
+        ctx = TraceRecorder.extract(envelope.headers)
+        if ctx is not None:
+            self.sim.trace.event(
+                "net.deliver",
+                node=dst_id,
+                ctx=ctx,
+                attrs={
+                    "msg_type": envelope.msg_type,
+                    "src": envelope.src,
+                    "hops": envelope.hops,
+                    "latency": latency,
+                },
+            )
         dst.receive(envelope)
+
+    def _trace_drop(self, envelope: Envelope, reason: str, *, dst: str | None = None) -> None:
+        """Attach a drop event to the envelope's trace, if it carries one."""
+        ctx = TraceRecorder.extract(envelope.headers)
+        if ctx is None:
+            return
+        self.sim.trace.event(
+            "net.drop",
+            node=envelope.src,
+            ctx=ctx,
+            attrs={
+                "msg_type": envelope.msg_type,
+                "dst": dst if dst is not None else (envelope.dst or ""),
+                "reason": reason,
+            },
+        )

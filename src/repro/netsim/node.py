@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import NetworkError
 from repro.netsim.messages import Envelope
+from repro.obs.tracing import TRACE_ID_HEADER, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.network import Network
@@ -82,6 +83,11 @@ class Node:
         self._periodics: list["PeriodicHandle"] = []
         self.unknown_messages = 0
         self.crash_count = 0
+        #: Causal context of the envelope currently being handled, set by
+        #: :meth:`receive` for the duration of the dispatch. Synchronous
+        #: sends made inside a handler inherit it automatically; work
+        #: completed later from timers must thread the context explicitly.
+        self._trace_ctx: tuple[int, int] | None = None
 
     # -- wiring ---------------------------------------------------------
 
@@ -91,6 +97,11 @@ class Node:
         if self.network is None:
             raise NetworkError(f"node {self.node_id!r} is not attached to a network")
         return self.network.sim
+
+    @property
+    def trace(self) -> "TraceRecorder | None":
+        """This run's trace recorder (``None`` while unattached)."""
+        return self.network.sim.trace if self.network is not None else None
 
     def attached(self, network: "Network", lan_name: str) -> None:
         """Called by :meth:`Network.add_node`; do not call directly."""
@@ -169,8 +180,15 @@ class Node:
         *,
         payload_type: str | None = None,
         headers: dict[str, Any] | None = None,
+        hops: int = 0,
     ) -> Envelope:
-        """Unicast a message to node ``dst``. Returns the envelope sent."""
+        """Unicast a message to node ``dst``. Returns the envelope sent.
+
+        ``hops`` seeds the envelope's hop counter: forwarding handlers
+        that repackage a payload into a *new* envelope (query fan-out,
+        walks) pass the incoming ``envelope.hops + 1`` so path length
+        survives re-enveloping.
+        """
         if self.network is None:
             raise NetworkError(f"node {self.node_id!r} is not attached to a network")
         envelope = Envelope(
@@ -179,7 +197,8 @@ class Node:
             dst=dst,
             payload=payload,
             payload_type=payload_type,
-            headers=dict(headers or {}),
+            headers=self._with_trace(headers),
+            hops=hops,
         )
         self.network.unicast(envelope)
         return envelope
@@ -202,10 +221,23 @@ class Node:
             dst=None,
             payload=payload,
             payload_type=payload_type,
-            headers=dict(headers or {}),
+            headers=self._with_trace(headers),
         )
         self.network.multicast(envelope)
         return envelope
+
+    def _with_trace(self, headers: dict[str, Any] | None) -> dict[str, Any]:
+        """Copy ``headers``, propagating the active causal context.
+
+        Explicit trace headers win; otherwise a send made while handling
+        a traced envelope inherits that envelope's context, so response
+        and forwarding hops stay on the originating trace without every
+        call site knowing about tracing.
+        """
+        out = dict(headers or {})
+        if self._trace_ctx is not None and TRACE_ID_HEADER not in out:
+            TraceRecorder.inject(out, self._trace_ctx)
+        return out
 
     def forward(self, envelope: Envelope, dst: str) -> Envelope:
         """Re-send ``envelope`` to ``dst`` with this node as the hop source."""
@@ -221,11 +253,15 @@ class Node:
         """Entry point called by the network on delivery."""
         if not self.alive:
             return
-        handler = getattr(self, f"handle_{envelope.msg_type.replace('-', '_')}", None)
-        if handler is not None:
-            handler(envelope)
-        else:
-            self.handle_message(envelope)
+        self._trace_ctx = TraceRecorder.extract(envelope.headers)
+        try:
+            handler = getattr(self, f"handle_{envelope.msg_type.replace('-', '_')}", None)
+            if handler is not None:
+                handler(envelope)
+            else:
+                self.handle_message(envelope)
+        finally:
+            self._trace_ctx = None
 
     def handle_message(self, envelope: Envelope) -> None:
         """Fallback handler for message types without a dedicated method."""

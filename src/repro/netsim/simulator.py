@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.tracing import TraceRecorder
 
 
 @dataclass(order=True)
@@ -102,6 +103,10 @@ class Simulator:
         self.seed = seed
         self.rng = random.Random(seed)
         self.events_processed = 0
+        #: Causal trace recorder for this run; spans/events are stamped
+        #: with ``self.now``, so trace output is a pure function of the
+        #: seed (see the determinism contract in :mod:`repro.obs.tracing`).
+        self.trace = TraceRecorder(lambda: self._now)
 
     @property
     def now(self) -> float:

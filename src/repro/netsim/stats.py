@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -45,6 +46,12 @@ class TrafficStats:
     #: "breaker-close", "breaker-skip", "standby-warm-sync",
     #: "late-response".
     recoveries: Counter = field(default_factory=Counter)
+    #: Optional :class:`~repro.obs.metrics.MetricsRegistry` mirror (set by
+    #: the owning :class:`~repro.netsim.network.Network`): retries, faults,
+    #: recoveries, and drops are echoed as ``retry.<kind>``-style counters
+    #: so the metrics facade sees event *rates* without a second wiring
+    #: pass. Duck-typed to keep this module free of obs imports.
+    metrics: Any = field(default=None, repr=False, compare=False)
 
     def record_send(self, msg_type: str, src: str, size: int, *, wan: bool, multicast: bool) -> None:
         """Account for one transmission leaving ``src``."""
@@ -69,21 +76,33 @@ class TrafficStats:
         """Account for a transmission that never arrived (loss/partition/crash)."""
         self.messages_dropped += 1
         self.drops_by_reason[reason] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"drop.{reason}").inc()
 
     def record_retry(self, kind: str) -> None:
         """Account for one protocol-level retransmission of ``kind``."""
         self.retries[kind] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"retry.{kind}").inc()
 
     def record_fault(self, kind: str) -> None:
         """Account for one injected fault event of ``kind``."""
         self.faults[kind] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"fault.{kind}").inc()
 
     def record_recovery(self, kind: str, n: int = 1) -> None:
         """Account for ``n`` self-healing events of ``kind``."""
         self.recoveries[kind] += n
+        if self.metrics is not None:
+            self.metrics.counter(f"recovery.{kind}").inc(n)
 
-    def snapshot(self) -> dict[str, int]:
-        """A plain-dict copy of the scalar counters (for experiment tables)."""
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict copy of the counters (for experiment tables).
+
+        Scalars plus a nested ``by_type`` section with per-message-type
+        count/bytes breakdowns.
+        """
         return {
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
@@ -96,6 +115,13 @@ class TrafficStats:
             "retries_total": sum(self.retries.values()),
             "faults_total": sum(self.faults.values()),
             "recoveries_total": sum(self.recoveries.values()),
+            "by_type": {
+                msg_type: {
+                    "count": self.by_type_count[msg_type],
+                    "bytes": self.by_type_bytes[msg_type],
+                }
+                for msg_type in sorted(self.by_type_count)
+            },
         }
 
     def fault_report(self) -> dict[str, dict[str, int]]:
@@ -107,10 +133,31 @@ class TrafficStats:
             "recoveries": dict(self.recoveries),
         }
 
-    def delta_since(self, earlier: dict[str, int]) -> dict[str, int]:
-        """Scalar counters accumulated since an earlier :meth:`snapshot`."""
+    def delta_since(self, earlier: dict[str, Any]) -> dict[str, Any]:
+        """Counters accumulated since an earlier :meth:`snapshot`.
+
+        The nested ``by_type`` section is differenced per message type;
+        types with a zero delta are omitted so windows stay compact.
+        """
         current = self.snapshot()
-        return {key: current[key] - earlier.get(key, 0) for key in current}
+        delta: dict[str, Any] = {}
+        for key, value in current.items():
+            if key == "by_type":
+                earlier_types = earlier.get("by_type", {})
+                types: dict[str, dict[str, int]] = {}
+                for msg_type in sorted(set(value) | set(earlier_types)):
+                    now_entry = value.get(msg_type, {"count": 0, "bytes": 0})
+                    was_entry = earlier_types.get(msg_type, {"count": 0, "bytes": 0})
+                    entry = {
+                        "count": now_entry["count"] - was_entry["count"],
+                        "bytes": now_entry["bytes"] - was_entry["bytes"],
+                    }
+                    if entry["count"] or entry["bytes"]:
+                        types[msg_type] = entry
+                delta[key] = types
+            else:
+                delta[key] = value - earlier.get(key, 0)
+        return delta
 
     def max_node_load(self) -> tuple[str | None, int]:
         """The node that received the most bytes, and how many.

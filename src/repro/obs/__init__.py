@@ -1,0 +1,40 @@
+"""Observability: deterministic tracing and a metrics facade.
+
+Only the dependency-free pillars are exported here. The canonical traced
+scenarios live in :mod:`repro.obs.capture` and must be imported from
+there explicitly — pulling them in at package level would close an import
+cycle (``netsim.simulator`` → ``repro.obs`` → ``core.system`` →
+``netsim``).
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    HOP_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    Span,
+    TraceEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "HOP_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SPAN_ID_HEADER",
+    "TRACE_ID_HEADER",
+    "Span",
+    "TraceEvent",
+    "TraceRecorder",
+]

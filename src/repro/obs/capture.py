@@ -1,0 +1,84 @@
+"""Canonical traced scenario runs backing ``repro trace``/``repro metrics``.
+
+:func:`run_traced` builds a small, deterministic deployment shaped after
+an experiment family, plays a short anchored query workload through it,
+and returns the run's trace recorder and metrics registry. Two calls
+with the same ``(experiment, seed)`` produce byte-identical
+:meth:`~repro.obs.tracing.TraceRecorder.export_jsonl` output — the
+determinism contract ``make obs-smoke`` enforces.
+
+This module imports the full system stack, which is why it is *not*
+re-exported from :mod:`repro.obs` (see that package's docstring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.client_node import DiscoveryCall
+from repro.core.system import DiscoverySystem
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceRecorder
+from repro.semantics.generator import battlefield_ontology
+from repro.workloads.queries import QueryDriver, QueryWorkload
+from repro.workloads.scenarios import ScenarioSpec, build_scenario
+
+#: Experiment families whose canonical capture is a federated multi-LAN
+#: (WAN) deployment; everything else is captured on a single LAN.
+MULTI_LAN_EXPERIMENTS = frozenset(
+    {"e2", "e6", "e7", "e8", "e9", "e10", "e11", "e13", "e14", "e15", "e16"}
+)
+
+
+@dataclass
+class TracedRun:
+    """One finished capture: the system plus its observability artifacts."""
+
+    experiment: str
+    system: DiscoverySystem
+    recorder: TraceRecorder
+    metrics: MetricsRegistry
+    calls: list[DiscoveryCall]
+    #: Trace id of the first completed discovery call — the default trace
+    #: the CLI renders (None when nothing completed).
+    sample_trace: int | None
+
+
+def run_traced(experiment: str = "e7", seed: int = 0) -> TracedRun:
+    """Run the canonical traced capture for ``experiment``.
+
+    The deployment is intentionally small (a few LANs, a handful of
+    services, four queries) — the point is a readable trace and a
+    representative metrics block, not experiment-scale numbers.
+    """
+    lans = 3 if experiment in MULTI_LAN_EXPERIMENTS else 1
+    spec = ScenarioSpec(
+        name=f"capture-{experiment}",
+        lan_names=tuple(f"lan-{chr(ord('a') + i)}" for i in range(lans)),
+        ontology_factory=battlefield_ontology,
+        registries_per_lan=1,
+        services_per_lan=2,
+        clients_per_lan=1,
+        federation="ring" if lans > 1 else "none",
+        seed=seed,
+    )
+    built = build_scenario(spec)
+    system = built.system
+    # Let bootstrap finish (probes, publishes, first federation round)
+    # before the workload starts, so traces show steady-state behavior.
+    system.run(until=12.0)
+    workload = QueryWorkload.anchored(built.generator, built.profiles, 4, generalize=1)
+    driver = QueryDriver(system, workload, model_id="semantic", interval=0.5, seed=seed)
+    issued = driver.play(settle=0.0, drain=10.0)
+    calls = [q.call for q in issued]
+    sample = next(
+        (c.trace_id for c in calls if c.completed and c.trace_id is not None), None
+    )
+    return TracedRun(
+        experiment=experiment,
+        system=system,
+        recorder=system.trace,
+        metrics=system.metrics,
+        calls=calls,
+        sample_trace=sample,
+    )

@@ -1,0 +1,241 @@
+"""Metrics facade: named counters, gauges, and fixed-bucket histograms.
+
+The discovery fabric already accounts every byte in
+:class:`~repro.netsim.stats.TrafficStats`, but those are aggregate scalar
+counters — they cannot answer "what is the p95 end-to-end query latency"
+or "how many descriptions does the matchmaker evaluate per query". This
+module adds the missing distribution layer:
+
+* :class:`Counter` / :class:`Gauge` — the trivial named instruments;
+* :class:`Histogram` — fixed upper-bound buckets with percentile
+  estimation by linear interpolation inside the covering bucket, the
+  classic Prometheus-style scheme. Fixed buckets keep observation O(log
+  buckets) and — crucially for this repo — fully deterministic: the same
+  observation stream always yields the same summary;
+* :class:`MetricsRegistry` — a name-keyed collection owned by the
+  :class:`~repro.netsim.network.Network`, so every instrument recorded
+  anywhere in a run is reachable from one place for experiment tables
+  and the ``repro metrics`` CLI.
+
+Nothing here reads the wall clock or the simulator; values are whatever
+the instrumented code observes (sim-time latencies, counts, bytes).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+
+#: Default histogram bounds for sim-time latencies (seconds). Geometric
+#: 1-2.5-5 ladder from 1 ms to 60 s; one-way LAN latency is 1 ms and the
+#: aggregation timeout tops out in tens of seconds, so real observations
+#: land mid-ladder where interpolation is tight.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 60.0,
+)
+
+#: Bounds for small integer distributions (hop counts, fan-out widths).
+HOP_BUCKETS: tuple[float, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16)
+
+#: Bounds for per-query work counts (descriptions evaluated, responders).
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease (n={n})")
+        self.value += n
+
+
+class Gauge:
+    """A named value that can move both ways (e.g. live lease count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit overflow bucket catches everything beyond the last bound.
+    Percentiles are estimated by walking the cumulative counts to the
+    covering bucket and interpolating linearly inside it, then clamped to
+    the observed ``[vmin, vmax]`` so estimates never leave the data range.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "total",
+                 "vmin", "vmax")
+
+    def __init__(self, name: str, *, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ReproError(
+                f"histogram {name!r} needs strictly increasing bucket bounds, got {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        if index < len(self.bounds):
+            self.counts[index] += 1
+        else:
+            self.overflow += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-quantile (``p`` in (0, 1]) from the buckets."""
+        if not 0.0 < p <= 1.0:
+            raise ReproError(f"percentile must be in (0, 1], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            cumulative += bucket_count
+            if cumulative >= rank:
+                hi = self.bounds[index]
+                lo = self.bounds[index - 1] if index > 0 else min(self.vmin, hi)
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lo + (hi - lo) * fraction
+                return max(self.vmin, min(estimate, self.vmax))
+        # The rank lands in the overflow bucket: all we know is "beyond
+        # the last bound", so report the observed maximum.
+        return self.vmax
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/min/max/mean plus the p50/p95/p99 estimates."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed counters, gauges, and histograms for one run.
+
+    Accessors create the instrument on first use (with the given buckets
+    for histograms) and return the existing one afterwards, so call sites
+    never need to coordinate registration.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  *, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name, buckets=buckets)
+        return instrument
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict dump of every instrument, names sorted."""
+        return {
+            "counters": {name: self.counters[name].value
+                         for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name].value
+                       for name in sorted(self.gauges)},
+            "histograms": {name: self.histograms[name].summary()
+                           for name in sorted(self.histograms)},
+        }
+
+    def render(self) -> str:
+        """Aligned plain-text tables (the ``repro metrics`` output)."""
+        lines: list[str] = []
+        if self.counters:
+            width = max(len(name) for name in self.counters)
+            lines.append("counters:")
+            lines.extend(
+                f"  {name.ljust(width)}  {self.counters[name].value}"
+                for name in sorted(self.counters)
+            )
+        if self.gauges:
+            width = max(len(name) for name in self.gauges)
+            lines.append("gauges:")
+            lines.extend(
+                f"  {name.ljust(width)}  {self.gauges[name].value:g}"
+                for name in sorted(self.gauges)
+            )
+        if self.histograms:
+            lines.append("histograms:")
+            header = ["name", "count", "mean", "p50", "p95", "p99", "max"]
+            rows = [header]
+            for name in sorted(self.histograms):
+                s = self.histograms[name].summary()
+                rows.append([
+                    name, str(s["count"]),
+                    *(f"{s[key]:.6g}" for key in ("mean", "p50", "p95", "p99", "max")),
+                ])
+            widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+            for row in rows:
+                lines.append("  " + "  ".join(cell.ljust(widths[i])
+                                              for i, cell in enumerate(row)))
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -50,6 +50,10 @@ class LeaseManager:
         Zero-argument callable returning the current time (``sim.now``).
     default_duration:
         Lease length granted when the publisher does not ask for one.
+    on_event:
+        Optional observer called with ``(kind, lease)`` on every lease
+        lifecycle transition: ``"grant"``, ``"renew"``, ``"expire"``,
+        ``"cancel"``. The registry wires this to its metrics/trace hooks.
     """
 
     def __init__(
@@ -57,14 +61,20 @@ class LeaseManager:
         clock: Callable[[], float],
         *,
         default_duration: float = DEFAULT_LEASE_DURATION,
+        on_event: Callable[[str, Lease], None] | None = None,
     ) -> None:
         if default_duration <= 0:
             raise LeaseError(f"lease duration must be positive, got {default_duration}")
         self.clock = clock
         self.default_duration = default_duration
+        self.on_event = on_event
         self._by_lease: dict[str, Lease] = {}
         self._by_ad: dict[str, str] = {}
         self.expired_total = 0
+
+    def _notify(self, kind: str, lease: Lease) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, lease)
 
     def __len__(self) -> int:
         return len(self._by_lease)
@@ -92,6 +102,7 @@ class LeaseManager:
         )
         self._by_lease[lease.lease_id] = lease
         self._by_ad[ad_id] = lease.lease_id
+        self._notify("grant", lease)
         return lease
 
     def renew(self, lease_id: str) -> Lease:
@@ -111,6 +122,7 @@ class LeaseManager:
             raise LeaseError(f"lease {lease_id!r} has expired")
         lease.expires_at = self.clock() + lease.duration
         lease.renewals += 1
+        self._notify("renew", lease)
         return lease
 
     def cancel_for_ad(self, ad_id: str) -> None:
@@ -120,6 +132,7 @@ class LeaseManager:
             lease = self._by_lease.get(lease_id)
             if lease is not None:
                 self._drop(lease)
+                self._notify("cancel", lease)
 
     def lease_for_ad(self, ad_id: str) -> Lease | None:
         """The live lease backing an advertisement, if any."""
@@ -136,6 +149,7 @@ class LeaseManager:
         lapsed = [lease for lease in self._by_lease.values() if lease.expired(now)]
         for lease in lapsed:
             self._drop(lease)
+            self._notify("expire", lease)
         self.expired_total += len(lapsed)
         return sorted(lease.ad_id for lease in lapsed)
 

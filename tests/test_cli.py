@@ -62,3 +62,47 @@ def test_experiment_chart_unknown_column(capsys):
     assert main(["experiment", "e12", "--chart", "nonexistent"]) == 0
     err = capsys.readouterr().err
     assert "no column" in err
+
+
+def test_experiment_json_output_parses(capsys):
+    import json
+
+    assert main(["experiment", "e12", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment"] == "E12"
+    assert isinstance(payload["rows"], list) and payload["rows"]
+    assert "metrics" in payload
+
+
+def test_trace_renders_a_span_tree(capsys):
+    assert main(["trace", "e1"]) == 0
+    out = capsys.readouterr().out
+    assert "client.query" in out
+    assert "registry.query" in out
+
+
+def test_trace_jsonl_dump_parses(capsys):
+    import json
+
+    assert main(["trace", "e1", "--jsonl"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert any(r["kind"] == "span" for r in records)
+    assert any(r["kind"] == "event" for r in records)
+
+
+def test_trace_unknown_experiment(capsys):
+    assert main(["trace", "e99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_metrics_renders_registry(capsys):
+    assert main(["metrics", "e1"]) == 0
+    out = capsys.readouterr().out
+    assert "histograms:" in out
+    assert "latency.query" in out
+
+
+def test_metrics_unknown_experiment(capsys):
+    assert main(["metrics", "e99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
