@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke fault-smoke obs-smoke bench all
+.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke bench all
 
 ## Tier 1: the full unit/integration suite. Must always be green.
 test:
@@ -27,8 +27,16 @@ fault-smoke:
 obs-smoke:
 	$(PYTHON) -m pytest benchmarks/test_obs_smoke.py -q
 
+## Tier 2: overload smoke — replays the E17 query flood at a fixed seed
+## and asserts the shape of overload protection: lease renewals outlive
+## queries under saturation, BUSY retry-after hints are monotone in
+## queue depth, goodput plateaus instead of cliffing, and the flood is
+## deterministic.
+overload-smoke:
+	$(PYTHON) -m pytest benchmarks/test_e17_overload.py -q
+
 ## Full experiment/benchmark sweep (slow).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-all: test perf-smoke fault-smoke obs-smoke
+all: test perf-smoke fault-smoke obs-smoke overload-smoke

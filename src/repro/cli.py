@@ -58,6 +58,9 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
             "§4.9 — registry-role negotiation (standby promotion)"),
     "e16": ("repro.experiments.e16_mobility",
             "§1 — roaming services across LANs"),
+    "e17": ("repro.experiments.e17_overload",
+            "§3.1 — overload protection: admission control, priority "
+            "shedding, BUSY back-off"),
 }
 
 

@@ -89,6 +89,11 @@ class DiscoveryCall:
     completions: int = 0
     #: Set by the synchronous driver when its deadline elapsed first.
     timed_out: bool = False
+    #: BUSY rejections received across this call's attempts.
+    busy_responses: int = 0
+    #: True when the answering registry was overloaded and skipped WAN
+    #: fan-out — hits are valid but coverage was best-effort.
+    degraded: bool = False
     #: Client-local call index; keys retry jitter (query ids come from a
     #: process-global counter, so they are not stable run to run).
     seq: int = 0
@@ -141,6 +146,7 @@ class ClientNode(Node):
         self.watches: dict[str, Watch] = {}
         self.fallback_queries = 0
         self.query_retries = 0
+        self.busy_rejections = 0
         self.artifacts_fetched: dict[str, object] = {}
 
     # -- lifecycle ------------------------------------------------------------
@@ -386,7 +392,70 @@ class ClientNode(Node):
         call.responses += 1
         call.response_bytes += envelope.size_bytes
         call.responders += payload.responders
+        call.degraded = payload.degraded
         self._complete(call, list(payload.hits), via=call.via)
+
+    def handle_busy(self, envelope: Envelope) -> None:
+        """The registry shed this query attempt: back off on its schedule.
+
+        The BUSY's ``retry_after`` hint replaces our own exponential
+        backoff for this attempt (the server knows its backlog better
+        than we can guess). Repeated BUSYs from the same registry mean it
+        is *saturated*, not dead — after the second one we fail over to a
+        sibling registry; with the attempt budget spent, the decentralized
+        LAN fallback answers from the services directly.
+        """
+        payload = envelope.payload
+        if not isinstance(payload, protocol.BusyPayload):
+            return
+        call = self._by_wire_id.get(payload.request_id)
+        if call is None or call.completed:
+            return
+        if call.via == "fallback":
+            # A saturated registry also sheds DECENTRAL_QUERY multicasts,
+            # but the fallback completes on its own timer from whatever
+            # the service nodes answered — nothing to retry.
+            return
+        wire_id = payload.request_id
+        del self._by_wire_id[wire_id]
+        self._end_attempt(wire_id, status="busy")
+        self.busy_rejections += 1
+        call.busy_responses += 1
+        call.attempts += 1
+        policy = self.config.query_retry
+        if call.attempts <= policy.max_attempts:
+            if call.busy_responses >= 2 and self.tracker.current == call.sent_to:
+                # Two rejections from the same attachment: it is staying
+                # saturated, move to a sibling registry if one exists.
+                self.tracker.registry_failed()
+            self.query_retries += 1
+            if self.network is not None:
+                self.network.stats.record_retry("query-busy")
+            delay = policy.delay(
+                call.attempts - 1, seed=self.sim.seed,
+                key=f"{self.node_id}/{call.seq}",
+                retry_after=payload.retry_after,
+            )
+            trace = self.trace
+            if trace is not None and call._span is not None:
+                trace.event(
+                    "query.busy",
+                    node=self.node_id,
+                    ctx=call._span.context,
+                    attrs={"attempt": call.attempts, "retry_after": delay},
+                )
+            self.after(delay, lambda: self._dispatch(call))
+        elif self.config.fallback_enabled:
+            model = self.models.get(call.model_id)
+            fallback_payload = protocol.QueryPayload(
+                query_id=self._wire_id(call),
+                model_id=call.model_id,
+                query=model.query_from(call.request),
+                max_results=call.request.max_results,
+            )
+            self._fallback(call, fallback_payload)
+        else:
+            self._complete(call, [], via="failed")
 
     def _complete(self, call: DiscoveryCall, hits: list[QueryHit], *, via: str) -> None:
         call.completions += 1

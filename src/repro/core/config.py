@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.core.admission import AdmissionPolicy
 from repro.core.retry import RetryPolicy
 
 #: Query forwarding strategies (§4.9: "increasing the reach of a query
@@ -135,6 +136,13 @@ class DiscoveryConfig:
             self.antientropy_interval is not None
             and self.cooperation == COOPERATION_REPLICATE_ADS
         )
+
+    # -- overload protection ----------------------------------------------
+    #: Per-registry admission control: service-time costs per message
+    #: class, bounded priority queue, BUSY shedding. The default policy
+    #: has every cost at 0.0, so admission control is inert unless a
+    #: deployment opts in (behavior-preserving for existing scenarios).
+    admission: AdmissionPolicy = AdmissionPolicy()
 
     # -- recovery / retries ------------------------------------------------
     #: Backoff between client query attempts (failover retries). The

@@ -22,6 +22,7 @@ The registry node wires these to the protocol handlers.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -37,19 +38,40 @@ class SeenQueries:
 
     Entries are pruned after ``retention`` seconds so long runs do not
     accumulate unbounded state — old ids cannot loop any more once every
-    TTL has elapsed.
+    TTL has elapsed. ``max_entries`` additionally hard-bounds the table
+    so a query *flood* cannot grow loop-avoidance state without limit
+    within one retention window: when full, the oldest entries are
+    evicted (and counted in :attr:`evictions`). An evicted id could in
+    principle loop back and be treated as new, but by then its TTL has
+    almost surely expired — the table holds the most recent
+    ``max_entries`` ids, and loops are short.
     """
 
-    def __init__(self, clock: Callable[[], float], retention: float = 120.0) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        retention: float = 120.0,
+        *,
+        max_entries: int | None = 4096,
+    ) -> None:
         self._clock = clock
         self._retention = retention
+        self._max_entries = max_entries
         self._seen: dict[str, float] = {}
+        self.evictions = 0
 
     def check_and_mark(self, query_id: str) -> bool:
         """True if the id is new (and marks it); False for a duplicate."""
         self._prune()
         if query_id in self._seen:
             return False
+        if self._max_entries is not None and len(self._seen) >= self._max_entries:
+            # Evict oldest first: dict preserves insertion order, and
+            # entries are only ever appended with the current clock.
+            excess = len(self._seen) - self._max_entries + 1
+            for old_id in list(itertools.islice(self._seen, excess)):
+                del self._seen[old_id]
+            self.evictions += excess
         self._seen[query_id] = self._clock()
         return True
 

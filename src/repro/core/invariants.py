@@ -11,7 +11,11 @@ bookkeeping rot the recovery paths can leave behind:
 * **wire-id drain** — no client keeps a wire-id entry for a completed
   call (after every call has resolved, the maps are empty);
 * **lease/store agreement** — no lease outlives its advertisement, and
-  the lease manager's two maps mirror each other exactly.
+  the lease manager's two maps mirror each other exactly;
+* **queue drain** — every message a registry's admission controller
+  intercepted was either dispatched, explicitly shed with exactly one
+  BUSY, lost to a crash, or is still pending — and no message was both
+  shed and dispatched.
 
 Run it after every fault scenario (the experiment helpers in
 :mod:`repro.experiments` do); :func:`assert_invariants` raises
@@ -82,6 +86,15 @@ def check_invariants(system: "DiscoverySystem") -> list[str]:
                     f"{registry.node_id}: advertisement {ad_id} maps to "
                     f"dropped lease {lease_id}"
                 )
+
+    for registry in system.registries:
+        admission = getattr(registry, "admission", None)
+        if admission is None:
+            continue
+        violations.extend(
+            f"{registry.node_id}: {violation}"
+            for violation in admission.audit()
+        )
 
     return violations
 

@@ -78,6 +78,10 @@ NOTIFY = "notify"
 QUERY = "query"
 QUERY_FORWARD = "query-forward"
 QUERY_RESPONSE = "query-response"
+#: Overload protection: a saturated registry *answers* shed work instead
+#: of silently dropping it. The payload carries a back-off hint so the
+#: sender retries on the server's schedule, not its own guess.
+BUSY = "busy"
 #: Random-walk variants: hits stream back to the coordinator directly.
 WALK = "walk"
 WALK_HITS = "walk-hits"
@@ -200,14 +204,39 @@ class QueryPayload:
 
 @dataclass(frozen=True)
 class ResponsePayload:
-    """Aggregated query hits flowing back toward the querying client."""
+    """Aggregated query hits flowing back toward the querying client.
+
+    ``degraded`` marks a response served by an overloaded registry that
+    skipped WAN fan-out and answered from its local store only — the
+    hits are valid but coverage is best-effort.
+    """
 
     query_id: str
     hits: tuple[QueryHit, ...]
     responders: int = 1
+    degraded: bool = False
 
     def size_bytes(self) -> int:
         return len(self.query_id) + 16 + sum(hit.size_bytes() for hit in self.hits)
+
+
+@dataclass(frozen=True)
+class BusyPayload:
+    """An admission controller's rejection of one message.
+
+    ``request_id`` echoes the correlation id of the shed request (query
+    id, lease id, or advertisement id) so the sender can find its own
+    bookkeeping; ``retry_after`` is the server's back-off hint, monotone
+    in ``queue_depth`` at shed time.
+    """
+
+    request_id: str
+    msg_type: str
+    retry_after: float
+    queue_depth: int
+
+    def size_bytes(self) -> int:
+        return len(self.request_id) + len(self.msg_type) + 16
 
 
 @dataclass(frozen=True)

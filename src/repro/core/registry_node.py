@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core import protocol
+from repro.core.admission import AdmissionController
 from repro.core.antientropy import AntiEntropy
 from repro.core.config import (
     COOPERATION_REPLICATE_ADS,
@@ -100,6 +101,8 @@ class RegistryNode(Node):
         )
         self.federation = Federation(self, config, describe=self.describe)
         self.antientropy = AntiEntropy(self, config)
+        #: Overload protection: bounded service queue + BUSY shedding.
+        self.admission = AdmissionController(self, config.admission)
         self.leases: LeaseManager | None = None
         self._seen: SeenQueries | None = None
         self._pending: dict[str, PendingAggregation] = {}
@@ -135,6 +138,14 @@ class RegistryNode(Node):
         self.multicast(protocol.REGISTRY_PROBE)
         for seed in self.seeds:
             self.federation.join(seed)
+
+    def admission_intercept(self, envelope: Envelope) -> bool:
+        """Route deliveries through the admission controller."""
+        return self.admission.intercept(envelope)
+
+    def on_crash(self) -> None:
+        """Queued-but-unserved work dies with the registry."""
+        self.admission.on_crash()
 
     def on_restart(self) -> None:
         """Come back with empty soft state and re-bootstrap."""
@@ -674,6 +685,7 @@ class RegistryNode(Node):
         responders: int,
         *,
         span: Span | None = None,
+        degraded: bool = False,
     ) -> None:
         """Answer ``dst``; with ``span``, the response rides (and closes)
         that span's trace — needed for completions that fire from timers,
@@ -687,7 +699,8 @@ class RegistryNode(Node):
             dst,
             protocol.QUERY_RESPONSE,
             protocol.ResponsePayload(
-                query_id=query_id, hits=tuple(hits), responders=responders
+                query_id=query_id, hits=tuple(hits), responders=responders,
+                degraded=degraded,
             ),
             headers=headers,
         )
@@ -695,6 +708,66 @@ class RegistryNode(Node):
             self.trace.end_span(
                 span, attrs={"hits": len(hits), "responders": responders}
             )
+
+    def _overload_shortcut(
+        self,
+        requester: str,
+        payload: protocol.QueryPayload,
+        span: Span | None,
+    ) -> bool:
+        """Degraded mode: past the threshold, skip WAN fan-out entirely.
+
+        A saturated registry stops multiplying its own load through the
+        federation — it serves whatever its local store holds and marks
+        the answer ``degraded=True`` so the client knows coverage was
+        sacrificed for latency. Returns True when the query was answered
+        here.
+        """
+        if not self.admission.overloaded:
+            return False
+        local = self._local_hits(payload, parent=span)
+        if self.network is not None:
+            self.network.metrics.counter("admission.degraded").inc()
+        trace = self.trace
+        if trace is not None:
+            trace.event(
+                "admission.degraded",
+                node=self.node_id,
+                ctx=span.context if span is not None else self._trace_ctx,
+                attrs={"query": trace.alias(payload.query_id),
+                       "depth": self.admission.depth},
+            )
+        self._respond(requester, payload.query_id, local, 1, span=span,
+                      degraded=True)
+        return True
+
+    def handle_busy(self, envelope: Envelope) -> None:
+        """A peer registry shed our forwarded work.
+
+        Persistent BUSY is treated like suspicion: it feeds the same
+        circuit breaker as missed pongs and aggregation timeouts, so a
+        chronically saturated neighbor drops out of the fan-out until it
+        recovers. The pending aggregation drains immediately with an
+        empty answer instead of riding out the timeout.
+        """
+        payload = envelope.payload
+        if not isinstance(payload, protocol.BusyPayload):
+            return
+        self.federation.record_neighbor_failure(envelope.src)
+        if self.network is not None:
+            self.network.metrics.counter("admission.busy_received").inc()
+        pending = self._pending.get(payload.request_id)
+        if pending is not None:
+            pending.add_response(
+                protocol.ResponsePayload(
+                    query_id=payload.request_id, hits=(), responders=0
+                ),
+                src=envelope.src,
+            )
+            return
+        walk = self._walks.get(payload.request_id)
+        if walk is not None:
+            walk.walk_ended()
 
     def handle_query(self, envelope: Envelope) -> None:
         """A client query: this registry is the entry point/coordinator."""
@@ -707,6 +780,8 @@ class RegistryNode(Node):
             return
         client = envelope.src
         span = self._query_span("registry.query", envelope, payload)
+        if self._overload_shortcut(client, payload, span):
+            return
         if self.config.strategy == STRATEGY_EXPANDING_RING:
             self._start_ring(client, payload, span=span)
         elif self.config.strategy == STRATEGY_RANDOM_WALK:
@@ -827,6 +902,8 @@ class RegistryNode(Node):
             self._respond(parent, payload.query_id, [], 0)
             return
         span = self._query_span("registry.forward", envelope, payload)
+        if self._overload_shortcut(parent, payload, span):
+            return
         local = self._local_hits(payload, parent=span)
         targets = self.federation.forward_targets({parent}) if payload.ttl > 0 else []
         if not targets:

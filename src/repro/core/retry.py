@@ -58,17 +58,34 @@ class RetryPolicy:
         if not 0.0 <= self.jitter < 1.0:
             raise ReproError(f"jitter must be in [0, 1), got {self.jitter}")
 
-    def delay(self, attempt: int, *, seed: int = 0, key: str = "") -> float:
+    def delay(
+        self,
+        attempt: int,
+        *,
+        seed: int = 0,
+        key: str = "",
+        retry_after: float | None = None,
+    ) -> float:
         """Backoff before retry number ``attempt`` (1-based).
 
         ``seed`` and ``key`` select the jitter deterministically — the same
         (seed, key, attempt) triple always yields the same delay, and
         distinct keys (e.g. per call or per node) de-synchronize retries
         so a crashed registry is not hammered by a thundering herd.
+
+        ``retry_after`` is an optional server hint (a BUSY rejection's
+        back-off): it replaces the computed exponential delay for this
+        attempt — uncapped, because the server knows its own backlog —
+        while jitter and the attempt budget stay in force.
         """
         if attempt < 1:
             raise ReproError(f"retry attempt must be >= 1, got {attempt}")
-        raw = min(self.cap, self.base * self.factor ** (attempt - 1))
+        if retry_after is not None:
+            if retry_after < 0:
+                raise ReproError(f"retry_after hint must be >= 0, got {retry_after}")
+            raw = retry_after
+        else:
+            raw = min(self.cap, self.base * self.factor ** (attempt - 1))
         if self.jitter == 0.0:
             return raw
         unit = zlib.crc32(f"{seed}:{key}:{attempt}".encode("utf-8")) / 0xFFFFFFFF

@@ -77,6 +77,8 @@ class ServiceNode(Node):
         self.republish_events = 0
         self.publish_retries = 0
         self.renew_retries = 0
+        #: BUSY rejections honored by deferring on the server's hint.
+        self.busy_deferrals = 0
 
     def _describe_all(self) -> dict[str, object]:
         return {
@@ -305,6 +307,71 @@ class ServiceNode(Node):
             return
         self.tracker.excluded.add(envelope.src)
         self.tracker.registry_failed()
+
+    def handle_busy(self, envelope: Envelope) -> None:
+        """The registry shed our publish or renew: resend on its schedule.
+
+        Crucially, a BUSY is *not* a death signal — the registry answered,
+        it is just saturated. Deferring by ``retry_after`` (instead of
+        letting ``stale_renew`` trip the failover heuristic) keeps the
+        herd attached and the lease alive through the overload window;
+        priority admission makes the deferred RENEW all but certain to be
+        served next time.
+        """
+        payload = envelope.payload
+        if not isinstance(payload, protocol.BusyPayload):
+            return
+        if self.tracker.current != envelope.src:
+            return
+        if payload.msg_type == protocol.RENEW:
+            for record in self._published.values():
+                if record.lease_id == payload.request_id:
+                    self._defer_renew(record, envelope.src, payload)
+                    return
+        elif payload.msg_type == protocol.PUBLISH:
+            for record in self._published.values():
+                if record.ad_id == payload.request_id:
+                    self._defer_publish(record, envelope.src, payload)
+                    return
+
+    def _defer_renew(self, record: PublishedAd, registry_id: str,
+                     payload: protocol.BusyPayload) -> None:
+        if not record.renew_outstanding:
+            return
+        self.busy_deferrals += 1
+        lease_id = record.lease_id
+
+        def resend() -> None:
+            if not record.renew_outstanding:
+                return
+            if record.lease_id != lease_id or record.registry != registry_id:
+                return
+            if self.tracker.current != registry_id:
+                return
+            self.renew_retries += 1
+            if self.network is not None:
+                self.network.stats.record_retry("renew")
+            self._send_renew(registry_id, record)
+
+        self.after(payload.retry_after, resend)
+
+    def _defer_publish(self, record: PublishedAd, registry_id: str,
+                       payload: protocol.BusyPayload) -> None:
+        if record.acked:
+            return
+        self.busy_deferrals += 1
+
+        def resend() -> None:
+            if record.acked or record.registry != registry_id:
+                return
+            if self.tracker.current != registry_id:
+                return
+            self.publish_retries += 1
+            if self.network is not None:
+                self.network.stats.record_retry("publish")
+            self._send_publish(registry_id, record)
+
+        self.after(payload.retry_after, resend)
 
     def handle_renew_nack(self, envelope: Envelope) -> None:
         """Lease lapsed at the registry (e.g. it restarted): republish."""

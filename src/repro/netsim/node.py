@@ -253,6 +253,21 @@ class Node:
         """Entry point called by the network on delivery."""
         if not self.alive:
             return
+        if self.admission_intercept(envelope):
+            return
+        self.dispatch(envelope)
+
+    def admission_intercept(self, envelope: Envelope) -> bool:
+        """Hook called before dispatch; return True to take ownership.
+
+        Nodes with a bounded service model (registries under admission
+        control) override this to queue, delay, or shed the message.
+        The default admits everything synchronously.
+        """
+        return False
+
+    def dispatch(self, envelope: Envelope) -> None:
+        """Route ``envelope`` to its handler (possibly after queueing)."""
         self._trace_ctx = TraceRecorder.extract(envelope.headers)
         try:
             handler = getattr(self, f"handle_{envelope.msg_type.replace('-', '_')}", None)

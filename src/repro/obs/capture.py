@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.admission import AdmissionPolicy
 from repro.core.client_node import DiscoveryCall
+from repro.core.config import DiscoveryConfig
 from repro.core.system import DiscoverySystem
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import TraceRecorder
@@ -52,6 +54,19 @@ def run_traced(experiment: str = "e7", seed: int = 0) -> TracedRun:
     representative metrics block, not experiment-scale numbers.
     """
     lans = 3 if experiment in MULTI_LAN_EXPERIMENTS else 1
+    config = None
+    interval = 0.5
+    if experiment == "e17":
+        # The overload capture: a deliberately tiny admission queue so a
+        # four-query burst saturates the registry — the trace then shows
+        # admission.shed events and query.busy retries, and the metrics
+        # block carries the admission.* counters and the
+        # registry.queue_depth gauge.
+        config = DiscoveryConfig(
+            admission=AdmissionPolicy(query_cost=0.4, queue_limit=1,
+                                      degrade_at=1.0, retry_after_base=0.1),
+        )
+        interval = 0.05
     spec = ScenarioSpec(
         name=f"capture-{experiment}",
         lan_names=tuple(f"lan-{chr(ord('a') + i)}" for i in range(lans)),
@@ -62,13 +77,14 @@ def run_traced(experiment: str = "e7", seed: int = 0) -> TracedRun:
         federation="ring" if lans > 1 else "none",
         seed=seed,
     )
-    built = build_scenario(spec)
+    built = build_scenario(spec, config=config)
     system = built.system
     # Let bootstrap finish (probes, publishes, first federation round)
     # before the workload starts, so traces show steady-state behavior.
     system.run(until=12.0)
     workload = QueryWorkload.anchored(built.generator, built.profiles, 4, generalize=1)
-    driver = QueryDriver(system, workload, model_id="semantic", interval=0.5, seed=seed)
+    driver = QueryDriver(system, workload, model_id="semantic",
+                         interval=interval, seed=seed)
     issued = driver.play(settle=0.0, drain=10.0)
     calls = [q.call for q in issued]
     sample = next(

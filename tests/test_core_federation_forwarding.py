@@ -277,3 +277,101 @@ def test_forward_targets_exclude_sender():
     system.run(until=1.0)
     assert ra.federation.forward_targets({rb.node_id}) == []
     assert ra.federation.forward_targets(set()) == [rb.node_id]
+
+
+# -- SeenQueries hard bound ----------------------------------------------------
+
+def test_seen_queries_bounded_by_max_entries():
+    clock = [0.0]
+    seen = SeenQueries(lambda: clock[0], retention=1000.0, max_entries=10)
+    for i in range(25):
+        assert seen.check_and_mark(f"q{i}")
+    assert len(seen) == 10
+    assert seen.evictions == 15
+    # The survivors are the most recent ids; the evicted oldest ones
+    # would be treated as new again.
+    assert "q24" in seen and "q14" not in seen
+    assert not seen.check_and_mark("q24")
+
+
+def test_seen_queries_unbounded_when_disabled():
+    clock = [0.0]
+    seen = SeenQueries(lambda: clock[0], retention=1000.0, max_entries=None)
+    for i in range(2000):
+        seen.check_and_mark(f"q{i}")
+    assert len(seen) == 2000
+    assert seen.evictions == 0
+
+
+# -- CircuitBreaker flapping ---------------------------------------------------
+
+def test_breaker_flapping_reopens_on_each_failed_probe():
+    from repro.core.forwarding import (
+        BREAKER_CLOSED,
+        BREAKER_HALF_OPEN,
+        BREAKER_OPEN,
+        CircuitBreaker,
+    )
+
+    clock = [0.0]
+    breaker = CircuitBreaker(lambda: clock[0], failure_threshold=2,
+                             reset_timeout=5.0)
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is True  # threshold trips it open
+    assert breaker.state == BREAKER_OPEN
+    for round_ in range(1, 4):
+        # Before the reset timeout nothing gets through.
+        clock[0] += 4.9
+        assert not breaker.allows()
+        # At the timeout one probe is admitted (half-open) ...
+        clock[0] += 0.2
+        assert breaker.allows()
+        assert breaker.state == BREAKER_HALF_OPEN
+        # ... and its failure slams the breaker shut again, re-arming
+        # the timer from *now* — a flapping neighbor never half-opens
+        # its way back to closed.
+        assert breaker.record_failure() is True
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opened_at == clock[0]
+        assert breaker.times_opened == 1 + round_
+    # A successful probe finally closes it and clears the count.
+    clock[0] += 5.1
+    assert breaker.allows()
+    assert breaker.record_success() is True
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.failures == 0
+
+
+# -- Federation leave / re-join ------------------------------------------------
+
+def test_leave_and_rejoin_resets_failure_detector_state():
+    config = DiscoveryConfig(ping_interval=1.0, ping_failure_threshold=3,
+                             breaker_failure_threshold=2)
+    system, ra, rb = _two_registries(config)
+    system.federate(ra, rb)
+    system.run(until=1.0)
+    # Accumulate suspicion against rb just short of removal.
+    ra.federation._missed_pongs[rb.node_id] = 2
+    ra.federation.record_neighbor_failure(rb.node_id)
+    assert rb.node_id in ra.federation.breakers
+    ra.federation.leave()
+    system.run_for(1.0)
+    # The links AND the per-neighbor detector state are gone on both
+    # sides: nothing stale survives the departure.
+    assert not ra.federation.neighbors
+    assert rb.node_id not in ra.federation._missed_pongs
+    assert not ra.federation.breakers
+    assert ra.node_id not in rb.federation.neighbors
+    assert ra.node_id not in rb.federation._missed_pongs
+    assert ra.node_id not in rb.federation.breakers
+    # Re-joining starts from a clean slate ...
+    ra.federation.join(rb.node_id)
+    system.run_for(1.0)
+    assert rb.node_id in ra.federation.neighbors
+    assert ra.node_id in rb.federation.neighbors
+    # (at most one in-flight ping may be pending at this instant)
+    assert ra.federation._missed_pongs.get(rb.node_id, 0) <= 1
+    # ... and the link survives pings it would have failed with the
+    # stale pre-leave counter still in place.
+    system.run_for(3.0)
+    assert rb.node_id in ra.federation.neighbors
