@@ -8,9 +8,12 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 ## Tier 2: perf smoke for the registry query path. Fails if the indexed
-## path ever evaluates more profiles than the linear scan, or if the
-## evaluation reduction at 10k advertisements drops below 5x. Rewrites
-## BENCH_matchmaking.json at the repo root.
+## path ever evaluates more profiles than the linear scan, if the
+## evaluation reduction at 10k advertisements drops below 5x, or if the
+## 100k scaling sweep breaks its count-based sub-linear gates (fitted
+## evaluations-per-query growth exponent < 1.0, absolute cap at 100k).
+## Rewrites BENCH_matchmaking.json and BENCH_query_100k.json at the repo
+## root.
 perf-smoke:
 	$(PYTHON) -m pytest benchmarks/test_perf_matchmaking.py -q
 

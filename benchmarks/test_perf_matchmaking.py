@@ -7,6 +7,14 @@ enforces the regression floor: the indexed path must never evaluate more
 descriptions than the linear path, and at 10k advertisements selective
 requests must see at least a 5x evaluation reduction.
 
+A second, indexed-only sweep scales the store to 100k advertisements and
+writes ``BENCH_query_100k.json`` (build seconds, queries/sec, and
+evaluations-per-query per size). Its CI gates are **count-based only** —
+deterministic across machines: the fitted log-log growth exponent of
+evaluations-per-query vs. store size must stay below 1.0 (sub-linear),
+and the absolute evaluations-per-query at 100k must stay under a hard
+cap. Wall-clock numbers are recorded for the trajectory but never gated.
+
 Run directly (no pytest-benchmark dependency)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_perf_matchmaking.py -q
@@ -15,6 +23,7 @@ Run directly (no pytest-benchmark dependency)::
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import time
 
@@ -28,6 +37,7 @@ from repro.registry.store import AdvertisementStore
 from repro.semantics.generator import OntologyGenerator, ProfileGenerator
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_matchmaking.json"
+BENCH_100K_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_query_100k.json"
 
 STORE_SIZES = (100, 1_000, 10_000)
 QUERIES_PER_SIZE = 25
@@ -35,6 +45,17 @@ MAX_RESULTS = 5
 SEED = 42
 #: Required evaluations-per-query reduction at the largest store size.
 MIN_REDUCTION_AT_10K = 5.0
+
+#: Indexed-only scaling sweep: the linear baseline is hopeless at 100k
+#: (tens of seconds per measurement), and correctness equivalence is
+#: already pinned at <=10k above and in the property suite.
+SCALING_SIZES = (1_000, 10_000, 100_000)
+#: Sub-linear gate: fitted slope of log(evaluations/query) over
+#: log(store size) across the scaling sweep.
+MAX_EVALUATIONS_GROWTH_EXPONENT = 1.0
+#: Absolute ceiling on evaluations-per-query at 100k advertisements
+#: (a linear scan would be 100_000).
+MAX_EVALUATIONS_PER_QUERY_AT_100K = 5_000.0
 
 
 def _advertise(profile, index: int) -> Advertisement:
@@ -148,6 +169,90 @@ def test_perf_trajectory_written(bench_results, results_dir):
     (results_dir / "perf_matchmaking.txt").write_text(table + "\n")
     print()
     print(table)
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    """Indexed-path-only sweep to 100k advertisements."""
+    ontology = OntologyGenerator(SEED).random_ontology()
+    generator = ProfileGenerator(ontology, seed=SEED)
+    rows = []
+    profiles: list = []
+    for size in SCALING_SIZES:
+        # Grow the profile set incrementally so the 100k row reuses the
+        # 10k row's profiles (same generator stream as a fresh call).
+        profiles.extend(
+            generator.random_profile(i) for i in range(len(profiles), size)
+        )
+        requests = [
+            generator.request_for(
+                profiles[(i * 37) % size], generalize=1, max_results=MAX_RESULTS
+            )
+            for i in range(QUERIES_PER_SIZE)
+        ]
+        indexed = _measure(ontology, profiles, requests, use_indexes=True)
+        indexed.pop("_hits_digest")
+        rows.append({"store_size": size, "queries": QUERIES_PER_SIZE, **indexed})
+    return rows
+
+
+def _fitted_exponent(rows) -> float:
+    """Least-squares slope of log(evaluations/query) vs. log(store size)."""
+    points = [
+        (math.log(row["store_size"]), math.log(max(row["evaluations_per_query"], 1e-9)))
+        for row in rows
+    ]
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    return sum((x - mean_x) * (y - mean_y) for x, y in points) / sum(
+        (x - mean_x) ** 2 for x, _ in points
+    )
+
+
+def test_query_100k_trajectory_written(scaling_results, results_dir):
+    exponent = _fitted_exponent(scaling_results)
+    payload = {
+        "benchmark": "indexed semantic query path, scaling to 100k ads",
+        "config": {
+            "seed": SEED,
+            "queries_per_size": QUERIES_PER_SIZE,
+            "max_results": MAX_RESULTS,
+            "ontology": "OntologyGenerator(42).random_ontology()  # 40+60 classes",
+            "requests": "anchored, generalize=1 (selective)",
+            "gates": "count-based only: growth exponent + absolute cap",
+        },
+        "sizes": scaling_results,
+        "fitted_evaluations_exponent": round(exponent, 4),
+        "max_allowed_exponent": MAX_EVALUATIONS_GROWTH_EXPONENT,
+    }
+    BENCH_100K_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    lines = [
+        f"{'store':>7} {'build s':>9} {'idx q/s':>10} {'idx ev/q':>9} "
+        f"{'scored/q':>9}"
+    ]
+    for row in scaling_results:
+        lines.append(
+            f"{row['store_size']:>7} {row['build_seconds']:>9.3f} "
+            f"{row['queries_per_sec']:>10} {row['evaluations_per_query']:>9.1f} "
+            f"{row['descriptions_scored_per_query']:>9.1f}"
+        )
+    lines.append(f"fitted evaluations-growth exponent: {exponent:.3f} "
+                 f"(gate: < {MAX_EVALUATIONS_GROWTH_EXPONENT})")
+    table = "\n".join(lines)
+    (results_dir / "perf_query_100k.txt").write_text(table + "\n")
+    print()
+    print(table)
+
+
+def test_scaling_is_sublinear_through_100k(scaling_results):
+    """ISSUE gate: evaluations/query must grow sub-linearly in store size."""
+    largest = scaling_results[-1]
+    assert largest["store_size"] == 100_000
+    exponent = _fitted_exponent(scaling_results)
+    assert exponent < MAX_EVALUATIONS_GROWTH_EXPONENT, scaling_results
+    assert largest["evaluations_per_query"] \
+        <= MAX_EVALUATIONS_PER_QUERY_AT_100K, largest
 
 
 def test_indexed_never_scores_more_than_linear(bench_results):

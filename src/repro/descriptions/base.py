@@ -57,6 +57,16 @@ class DescriptionModel(abc.ABC):
     def evaluate(self, description: Any, query: Any) -> ModelMatch:
         """Match one stored description against one query payload."""
 
+    def prefilter(self, description: Any, query: Any) -> bool:
+        """Cheap reject before :meth:`evaluate` is paid for.
+
+        Must only return ``False`` when :meth:`evaluate` is guaranteed to
+        report no match (e.g. a hard QoS constraint the description cannot
+        satisfy), so skipping the rejected description never changes the
+        query's hit list. The default accepts everything.
+        """
+        return True
+
     def can_evaluate(self) -> bool:
         """Whether this node currently has what it needs to evaluate
         queries (e.g. the shared ontology for semantic models)."""

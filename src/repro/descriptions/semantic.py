@@ -73,6 +73,23 @@ class SemanticModel(DescriptionModel):
     def query_from(self, request: ServiceRequest) -> ServiceRequest:
         return request
 
+    def prefilter(self, description: ServiceProfile, query: ServiceRequest) -> bool:
+        """QoS pre-filter: reject constraint-failing profiles unscored.
+
+        A profile violating any hard QoS constraint evaluates to FAIL
+        (``Matchmaker.match`` checks constraints before anything else), so
+        rejecting it here skips the semantic scoring without changing the
+        hit list. Non-profile payloads pass through untouched.
+        """
+        if not isinstance(query, ServiceRequest) or not query.qos_constraints:
+            return True
+        if not isinstance(description, ServiceProfile):
+            return True
+        for constraint in query.qos_constraints:
+            if not constraint.satisfied_by(description.qos_value(constraint.attribute)):
+                return False
+        return True
+
     def evaluate(self, description: ServiceProfile, query: ServiceRequest) -> ModelMatch:
         if self._matchmaker is None:
             self.missing_ontology_failures += 1

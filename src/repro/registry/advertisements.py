@@ -26,7 +26,7 @@ def new_uuid(kind: str = "ad") -> str:
     return f"{kind}-{next(_uuid_counter):06d}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Advertisement:
     """One published service description as stored in a registry.
 

@@ -9,11 +9,12 @@ desired concepts map straight to the plugin/subsumes-compatible candidate
 set before any degree-of-match scoring runs.
 
 Correctness contract (verified property-style in
-``tests/test_registry_index.py``): the candidate set is a **superset** of
-the advertisements the linear scan would accept. Two concepts are related
-(degree > FAIL) only if one is an ancestor-or-self of the other; indexing
-each advertised concept under its ancestor-or-self closure and looking up
-the requested concept's ancestor-or-self closure covers both directions:
+``tests/test_registry_index.py`` and ``tests/test_query_path_properties.py``):
+the candidate set is a **superset** of the advertisements the linear scan
+would accept. Two concepts are related (degree > FAIL) only if one is an
+ancestor-or-self of the other; indexing each advertised concept under its
+ancestor-or-self closure and looking up the requested concept's
+ancestor-or-self closure covers both directions:
 
 * advertised at-or-below requested (EXACT/SUBSUMES) — the *closure* table
   keys every advertisement under its concepts' ancestor-or-self closure,
@@ -32,6 +33,18 @@ ancestor), so closure keys exclude it; an advertisement literally
 advertising THING still carries THING as its exact key, and a request for
 THING matches every indexed profile by construction.
 
+Representation: each advertisement occupies a dense integer *slot*, and
+posting lists are intersected as int **bitsets** over the slot space —
+the per-field candidate pulls AND together (smallest posting first, with
+early exit on empty), so selectivity multiplies across the requested
+category and *every* desired output instead of being bounded by one
+field. The same per-field table membership classifies every candidate
+with its exact per-field degree, which :meth:`candidate_buckets` exposes
+as descending **degree upper bounds** (the overall degree can only be
+lowered further by input/QoS checks, never raised). The query evaluator
+uses those bounds for bounded top-k early termination: buckets whose
+upper bound can no longer crack the top k are never even enumerated.
+
 The candidate set is concept-exact per field; residual false positives
 (e.g. QoS-violating or input-incompatible profiles) are harmless because
 the matchmaker still scores every candidate, so indexed and linear query
@@ -42,13 +55,17 @@ scan transparently.
 The index is maintained incrementally on ``put``/``remove`` and rebuilt
 lazily when the ontology's version counter moves or the ontology object is
 swapped (mirroring ``Reasoner.sync``), so mid-run ontology growth — the
-repository experiments do this — never yields stale candidates.
+repository experiments do this — never yields stale candidates. Bulk
+loads stay cheap because ancestor-closure keys are memoized per *concept*
+(expanded once from the reasoner's closure bitsets), not recomputed per
+advertisement, and the per-concept posting bitsets are materialized
+lazily at query time and invalidated per key on mutation.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, TYPE_CHECKING
+from typing import Any, Iterable, Iterator, TYPE_CHECKING
 
 from repro.semantics.ontology import THING
 from repro.semantics.profiles import ServiceProfile, ServiceRequest
@@ -87,6 +104,22 @@ class ConceptIndexer(abc.ABC):
     def candidate_ids(self, query: Any) -> set[str] | None:
         """Superset of matching ad ids, or ``None`` to force a linear scan."""
 
+    def candidate_buckets(self, query: Any) -> Iterator[tuple[int, list[str]]] | None:
+        """Candidates grouped by descending match-degree upper bound.
+
+        Yields ``(upper_bound, ad_ids)`` pairs with strictly descending
+        bounds; the union of all groups must obey the same superset
+        contract as :meth:`candidate_ids`, and no advertisement outside a
+        group may ever match above that group's bound. ``None`` (the
+        default) means the indexer cannot rank this query and the
+        evaluator should fall back to unranked candidates.
+        """
+        return None
+
+
+#: Table order used throughout: closure tables first, exact tables second.
+_CATEGORY_CLOSURE, _OUTPUT_CLOSURE, _CATEGORY_EXACT, _OUTPUT_EXACT = range(4)
+
 
 class SemanticConceptIndex(ConceptIndexer):
     """Inverted ancestor-closure index over semantic advertisements.
@@ -95,6 +128,12 @@ class SemanticConceptIndex(ConceptIndexer):
     fixed ontology: the model may receive its ontology later (repository
     fetch, experiment E12) or swap it, and the index follows along by
     rebuilding on the next lookup.
+
+    Indexable advertisements occupy dense integer slots; posting lists
+    are ``set[int]`` of slots with lazily cached int-bitset form, so the
+    per-query field combination is a handful of big-int AND/OR operations
+    regardless of posting-list length. Freed slots are recycled, and every
+    mutation invalidates exactly the posting bitsets it touched.
     """
 
     model_id = "semantic"
@@ -107,16 +146,23 @@ class SemanticConceptIndex(ConceptIndexer):
         #: in the candidate set so indexed evaluation sees exactly what a
         #: linear scan would.
         self._unindexable: set[str] = set()
-        #: Closure tables: concept -> ad ids advertising it *or a
-        #: descendant* in that field (the EXACT/SUBSUMES direction).
-        self._category_closure: dict[str, set[str]] = {}
-        self._output_closure: dict[str, set[str]] = {}
-        #: Exact tables: concept -> ad ids advertising precisely it
-        #: (looked up via requested-concept ancestors: the PLUGIN direction).
-        self._category_exact: dict[str, set[str]] = {}
-        self._output_exact: dict[str, set[str]] = {}
-        #: ad_id -> keys per table, for exact removal.
-        self._keys: dict[str, tuple[frozenset[str], ...]] = {}
+        #: Dense slot space for indexable records.
+        self._slot_of: dict[str, int] = {}
+        self._ad_at: list[str | None] = []
+        self._free_slots: list[int] = []
+        #: Posting tables (see module doc), all mapping concept -> slots.
+        self._tables: tuple[dict[str, set[int]], ...] = tuple({} for _ in range(4))
+        #: ad_id -> per-table concept keys, for exact removal.
+        self._keys: dict[str, tuple[tuple[str, ...], ...]] = {}
+        #: concept -> ancestor-closure keys, shared across all ads using
+        #: the concept (the bulk-put fix: closures expand once per concept
+        #: per ontology version, not once per advertisement).
+        self._closure_key_cache: dict[str, frozenset[str]] = {}
+        #: (table, concept) -> posting bitset, built on first use and
+        #: dropped whenever that posting list mutates.
+        self._mask_cache: dict[tuple[int, str], int] = {}
+        #: Bitset of every occupied slot; ``None`` marks it dirty.
+        self._profiles_mask: int | None = 0
         self._indexed_ontology: Any = None
         self._indexed_version: int | None = None
         self.rebuilds = 0
@@ -127,36 +173,57 @@ class SemanticConceptIndex(ConceptIndexer):
 
     def add(self, ad: "Advertisement") -> None:
         description = ad.description
-        self._drop_keys(ad.ad_id)
+        self._forget(ad.ad_id)
         if not isinstance(description, ServiceProfile):
-            self._profiles.pop(ad.ad_id, None)
             self._unindexable.add(ad.ad_id)
             return
-        self._unindexable.discard(ad.ad_id)
         self._profiles[ad.ad_id] = description
+        slot = self._allocate_slot(ad.ad_id)
         if self._in_sync():
-            self._insert_keys(ad.ad_id, description)
+            self._insert_keys(ad.ad_id, slot, description)
 
     def discard(self, ad: "Advertisement") -> None:
-        self._profiles.pop(ad.ad_id, None)
-        self._unindexable.discard(ad.ad_id)
-        self._drop_keys(ad.ad_id)
+        self._forget(ad.ad_id)
 
     def reset(self) -> None:
         self._profiles.clear()
         self._unindexable.clear()
+        self._slot_of.clear()
+        self._ad_at.clear()
+        self._free_slots.clear()
         self._clear_tables()
+        self._profiles_mask = 0
         self._indexed_ontology = None
         self._indexed_version = None
 
-    def _tables(self) -> tuple[dict[str, set[str]], ...]:
-        return (self._category_closure, self._output_closure,
-                self._category_exact, self._output_exact)
+    def _forget(self, ad_id: str) -> None:
+        """Drop every trace of one record (replacement or removal)."""
+        self._unindexable.discard(ad_id)
+        if self._profiles.pop(ad_id, None) is None:
+            return
+        self._drop_keys(ad_id)
+        slot = self._slot_of.pop(ad_id)
+        self._ad_at[slot] = None
+        self._free_slots.append(slot)
+        self._profiles_mask = None
+
+    def _allocate_slot(self, ad_id: str) -> int:
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._ad_at[slot] = ad_id
+        else:
+            slot = len(self._ad_at)
+            self._ad_at.append(ad_id)
+        self._slot_of[ad_id] = slot
+        self._profiles_mask = None
+        return slot
 
     def _clear_tables(self) -> None:
-        for table in self._tables():
+        for table in self._tables:
             table.clear()
         self._keys.clear()
+        self._closure_key_cache.clear()
+        self._mask_cache.clear()
 
     # -- candidate lookup ------------------------------------------------
 
@@ -169,6 +236,47 @@ class SemanticConceptIndex(ConceptIndexer):
         output — exactly the conditions under which the matchmaker can
         return a degree above FAIL.
         """
+        masks = self._query_masks(query)
+        if masks is None:
+            return None
+        found = set(self._ids_from_mask(masks[0] | masks[1] | masks[2]))
+        if self._unindexable:
+            found |= self._unindexable
+        return found
+
+    def candidate_buckets(self, query: Any) -> Iterator[tuple[int, list[str]]] | None:
+        """Candidates in descending degree-upper-bound groups.
+
+        The bound per group is the exact per-field degree implied by the
+        posting tables (EXACT for the concept itself or a direct parent,
+        PLUGIN for a farther ancestor, SUBSUMES for a descendant),
+        minimized across the requested fields — a true upper bound on the
+        overall degree, since input and QoS checks can only lower it.
+        Unindexable records ride in the strongest group so they are always
+        scored. Groups are enumerated lazily: a consumer that stops early
+        never pays for expanding the weaker posting bitsets. Consume the
+        iterator before the next store mutation.
+        """
+        masks = self._query_masks(query)
+        if masks is None:
+            return None
+
+        def _groups() -> Iterator[tuple[int, list[str]]]:
+            exact, plugin, subsumes = masks
+            strongest = self._ids_from_mask(exact)
+            if self._unindexable:
+                strongest.extend(sorted(self._unindexable))
+            if strongest:
+                yield 3, strongest
+            if plugin:
+                yield 2, self._ids_from_mask(plugin)
+            if subsumes:
+                yield 1, self._ids_from_mask(subsumes)
+
+        return _groups()
+
+    def _query_masks(self, query: Any) -> tuple[int, int, int] | None:
+        """Disjoint candidate bitsets by degree upper bound (3, 2, 1)."""
         if self._model.ontology is None or not isinstance(query, ServiceRequest):
             self.fallbacks += 1
             return None
@@ -181,45 +289,95 @@ class SemanticConceptIndex(ConceptIndexer):
         assert reasoner is not None
         reasoner.sync()
         self.lookups += 1
-        pruned: set[str] | None = None
+        fields = []
         if query.category is not None:
-            pruned = self._lookup(
-                self._category_closure, self._category_exact, query.category
+            fields.append(
+                self._field_masks(_CATEGORY_CLOSURE, _CATEGORY_EXACT, query.category)
             )
         for requested in query.desired_outputs:
-            if pruned is not None and not pruned:
+            fields.append(
+                self._field_masks(_OUTPUT_CLOSURE, _OUTPUT_EXACT, requested)
+            )
+        # Cumulative per-field masks: degree >= 3 / >= 2 / >= 1, combined
+        # smallest posting first so the intersection narrows fastest.
+        cumulative = [(m3, m3 | m2, m3 | m2 | m1) for m3, m2, m1 in fields]
+        cumulative.sort(key=lambda field: field[2].bit_count())
+        at_least_3, at_least_2, at_least_1 = cumulative[0]
+        for c3, c2, c1 in cumulative[1:]:
+            if not at_least_1:
                 break
-            found = self._lookup(self._output_closure, self._output_exact, requested)
-            pruned = found if pruned is None else pruned & found
-        assert pruned is not None
-        if self._unindexable:
-            pruned = pruned | self._unindexable
-        return pruned
+            at_least_3 &= c3
+            at_least_2 &= c2
+            at_least_1 &= c1
+        return (
+            at_least_3,
+            at_least_2 & ~at_least_3,
+            at_least_1 & ~at_least_2,
+        )
 
-    def _lookup(
-        self,
-        closure_table: dict[str, set[str]],
-        exact_table: dict[str, set[str]],
-        concept: str,
-    ) -> set[str]:
-        """Ids of ads advertising a concept related to ``concept``.
+    def _field_masks(
+        self, closure_table: int, exact_table: int, concept: str
+    ) -> tuple[int, int, int]:
+        """One field's posting bitsets, split by that field's exact degree.
 
-        Ads advertising ``concept`` or a descendant come from one closure
-        lookup; ads advertising a strict ancestor come from exact lookups
-        along the requested concept's ancestor chain.
+        * EXACT (3): ads advertising ``concept`` itself or one of its
+          *direct* parents (the matchmaker's direct-parent rule);
+        * PLUGIN (2): ads advertising a farther strict ancestor;
+        * SUBSUMES (1): ads advertising ``concept`` or a descendant (the
+          closure posting; overlap with the stronger masks is removed by
+          the caller's cumulative combination).
+
+        Out-of-ontology concepts get empty postings — the matchmaker can
+        never match them, so they must never make an ad a candidate.
         """
         reasoner = self._model.reasoner
         ontology = reasoner.ontology
         if concept not in ontology:
-            return set()
+            return (0, 0, 0)
         if concept == THING:
-            # THING subsumes every advertised concept: all profiles relate.
-            return set(self._profiles)
-        found = set(closure_table.get(concept, ()))
+            # Only a literal THING advertisement is EXACT for a THING
+            # request; every other indexed profile relates at SUBSUMES.
+            return (self._mask(exact_table, THING), 0, self._all_profiles_mask())
+        parents = ontology.parents(concept)
+        exact = self._mask(exact_table, concept)
+        for parent in parents:
+            exact |= self._mask(exact_table, parent)
+        plugin = 0
         for ancestor in reasoner.ancestors_of(concept):
-            bucket = exact_table.get(ancestor)
-            if bucket:
-                found |= bucket
+            if ancestor not in parents:
+                plugin |= self._mask(exact_table, ancestor)
+        return (exact, plugin, self._mask(closure_table, concept))
+
+    def _mask(self, table: int, concept: str) -> int:
+        """Posting bitset for one (table, concept) key, lazily cached."""
+        key = (table, concept)
+        cached = self._mask_cache.get(key)
+        if cached is None:
+            cached = self._bits_of(self._tables[table].get(concept, ()))
+            self._mask_cache[key] = cached
+        return cached
+
+    def _all_profiles_mask(self) -> int:
+        """Bitset of every occupied slot, rebuilt only when dirtied."""
+        if self._profiles_mask is None:
+            self._profiles_mask = self._bits_of(self._slot_of.values())
+        return self._profiles_mask
+
+    def _bits_of(self, slots: Iterable[int]) -> int:
+        """Build a bitset from slot numbers in O(slots + space/8)."""
+        buf = bytearray(len(self._ad_at) // 8 + 1)
+        for slot in slots:
+            buf[slot >> 3] |= 1 << (slot & 7)
+        return int.from_bytes(buf, "little")
+
+    def _ids_from_mask(self, bits: int) -> list[str]:
+        """Expand a slot bitset to ad ids (ascending slot order)."""
+        ad_at = self._ad_at
+        found = []
+        while bits:
+            low = bits & -bits
+            found.append(ad_at[low.bit_length() - 1])
+            bits ^= low
         return found
 
     # -- maintenance -----------------------------------------------------
@@ -241,48 +399,68 @@ class SemanticConceptIndex(ConceptIndexer):
         self._indexed_ontology = ontology
         self._indexed_version = ontology.version
         self.rebuilds += 1
+        slot_of = self._slot_of
         for ad_id, profile in self._profiles.items():
-            self._insert_keys(ad_id, profile)
+            self._insert_keys(ad_id, slot_of[ad_id], profile)
 
-    def _insert_keys(self, ad_id: str, profile: ServiceProfile) -> None:
+    def _insert_keys(self, ad_id: str, slot: int, profile: ServiceProfile) -> None:
         ontology = self._model.ontology
-        category_closure = self._closure_keys(profile.category)
-        category_exact = frozenset(
-            {profile.category} if profile.category in ontology else ()
+        per_table = (
+            tuple(self._closure_keys(profile.category)),
+            tuple(
+                key
+                for output in profile.outputs
+                for key in self._closure_keys(output)
+            ),
+            (profile.category,) if profile.category in ontology else (),
+            tuple(o for o in profile.outputs if o in ontology),
         )
-        output_closure: set[str] = set()
-        for output in profile.outputs:
-            output_closure |= self._closure_keys(output)
-        output_exact = frozenset(o for o in profile.outputs if o in ontology)
-        per_table = (category_closure, frozenset(output_closure),
-                     category_exact, output_exact)
         self._keys[ad_id] = per_table
-        for table, keys in zip(self._tables(), per_table):
+        mask_cache = self._mask_cache
+        for table_id, keys in enumerate(per_table):
+            table = self._tables[table_id]
             for key in keys:
-                table.setdefault(key, set()).add(ad_id)
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = bucket = set()
+                bucket.add(slot)
+                mask_cache.pop((table_id, key), None)
 
     def _closure_keys(self, concept: str) -> frozenset[str]:
-        """Ancestor-or-self keys for one advertised concept.
+        """Ancestor-or-self keys for one advertised concept, memoized.
 
-        Out-of-ontology concepts get no keys — the matchmaker can never
-        match them, so they must never make an ad a candidate. THING is
-        kept only when it *is* the advertised concept (see module doc).
+        Expanded from the reasoner's closure bitset. Out-of-ontology
+        concepts get no keys. THING is kept only when it *is* the
+        advertised concept (see module doc).
         """
-        reasoner = self._model.reasoner
-        if concept not in reasoner.ontology:
-            return frozenset()
-        return frozenset(
-            {concept, *(a for a in reasoner.ancestors_of(concept) if a != THING)}
-        )
+        cached = self._closure_key_cache.get(concept)
+        if cached is None:
+            reasoner = self._model.reasoner
+            ontology = reasoner.ontology
+            if concept not in ontology:
+                cached = frozenset()
+            elif concept == THING:
+                cached = frozenset((THING,))
+            else:
+                # THING holds concept id 0 in every ontology; drop its bit
+                # so it never becomes a closure key.
+                bits = reasoner.closure_bits(concept) & ~1
+                cached = frozenset(ontology.uris_from_bits(bits))
+            self._closure_key_cache[concept] = cached
+        return cached
 
     def _drop_keys(self, ad_id: str) -> None:
         per_table = self._keys.pop(ad_id, None)
         if per_table is None:
             return
-        for table, keys in zip(self._tables(), per_table):
+        slot = self._slot_of[ad_id]
+        mask_cache = self._mask_cache
+        for table_id, keys in enumerate(per_table):
+            table = self._tables[table_id]
             for key in keys:
                 bucket = table.get(key)
                 if bucket is not None:
-                    bucket.discard(ad_id)
+                    bucket.discard(slot)
                     if not bucket:
                         del table[key]
+                mask_cache.pop((table_id, key), None)

@@ -5,20 +5,36 @@ support in registries … to relieve constrained clients" lives: it
 dispatches a query payload to its description model, scores every stored
 advertisement of that model, and returns the best hits — capped when the
 query carries a ``max_results`` header (query response control, §3).
+
+Two optimizations keep the scored set far below the candidate set while
+returning bit-identical results:
+
+* **QoS pre-filter** — before any semantic scoring, each candidate is
+  offered to the model's cheap :meth:`~repro.descriptions.base.DescriptionModel.prefilter`;
+  an advertisement that cannot satisfy the request's hard QoS constraints
+  would evaluate to FAIL anyway, so rejecting it early never changes the
+  hit list.
+* **Bounded top-k early termination** — when the query carries
+  ``max_results`` and the store can rank candidates by degree upper bound
+  (:meth:`~repro.registry.store.AdvertisementStore.ranked_candidates`),
+  candidates are scored strongest-group first and scoring stops as soon
+  as the k-th best hit's degree strictly exceeds the next group's bound:
+  no unscored advertisement can then displace any of the top k, so the
+  capped ranking equals the exhaustive one bit for bit.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
-from repro.descriptions.base import ModelRegistry
+from repro.descriptions.base import DescriptionModel, ModelRegistry
 from repro.registry.advertisements import Advertisement
 from repro.registry.store import AdvertisementStore
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryHit:
     """One matching advertisement with its rank information."""
 
@@ -60,6 +76,11 @@ class QueryEvaluator:
         #: Stored descriptions actually scored, across all queries — the
         #: number a concept index exists to shrink.
         self.descriptions_evaluated = 0
+        #: Candidates rejected by the model's QoS pre-filter before any
+        #: semantic scoring (they would have evaluated to FAIL).
+        self.prefiltered = 0
+        #: Queries whose top-k settled before every candidate was scored.
+        self.early_terminations = 0
         if use_indexes:
             for model_id in models.model_ids():
                 indexer = models.get(model_id).make_index()
@@ -85,9 +106,16 @@ class QueryEvaluator:
             self.queries_discarded += 1
             return []
         self.queries_evaluated += 1
+        if max_results is not None:
+            ranked = self.store.ranked_candidates(model.model_id, query)
+            if ranked is not None:
+                return self._evaluate_top_k(model, query, ranked, max_results)
         hits = []
         for ad in self.store.candidates(model.model_id, query):
             self.descriptions_evaluated += 1
+            if not model.prefilter(ad.description, query):
+                self.prefiltered += 1
+                continue
             verdict = model.evaluate(ad.description, query)
             if verdict.matched:
                 hits.append(QueryHit(advertisement=ad, degree=verdict.degree,
@@ -98,6 +126,40 @@ class QueryEvaluator:
             return heapq.nsmallest(max_results, hits, key=QueryHit.sort_key)
         hits.sort(key=QueryHit.sort_key)
         return hits
+
+    def _evaluate_top_k(
+        self,
+        model: DescriptionModel,
+        query: Any,
+        ranked: Iterator[tuple[int, list[Advertisement]]],
+        max_results: int,
+    ) -> list[QueryHit]:
+        """Score ranked candidate groups until the top-k cannot change.
+
+        Groups arrive in strictly descending degree-upper-bound order, so
+        once ``max_results`` hits hold a degree strictly above the next
+        group's bound, every unscored candidate ranks below all of them
+        (the sort key compares degree first) and scoring stops. Hits are
+        deterministic per (advertisement, query), so the capped ranking is
+        bit-identical to exhaustively scoring every candidate.
+        """
+        hits: list[QueryHit] = []
+        for upper_bound, ads in ranked:
+            if len(hits) >= max_results and sum(
+                1 for hit in hits if hit.degree > upper_bound
+            ) >= max_results:
+                self.early_terminations += 1
+                break
+            for ad in ads:
+                self.descriptions_evaluated += 1
+                if not model.prefilter(ad.description, query):
+                    self.prefiltered += 1
+                    continue
+                verdict = model.evaluate(ad.description, query)
+                if verdict.matched:
+                    hits.append(QueryHit(advertisement=ad, degree=verdict.degree,
+                                         score=verdict.score))
+        return heapq.nsmallest(max_results, hits, key=QueryHit.sort_key)
 
     @staticmethod
     def merge(

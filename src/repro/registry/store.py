@@ -12,7 +12,7 @@ store size.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, TYPE_CHECKING
+from typing import Any, Iterator, TYPE_CHECKING
 
 from repro.errors import AdvertisementNotFoundError
 from repro.registry.advertisements import Advertisement
@@ -138,6 +138,37 @@ class AdvertisementStore:
             if ids is not None:
                 return [self._by_id[aid] for aid in sorted(ids) if aid in self._by_id]
         return self.of_model(model_id)
+
+    def ranked_candidates(
+        self, model_id: str, query: Any
+    ) -> Iterator[tuple[int, list[Advertisement]]] | None:
+        """Candidates grouped by descending match-degree upper bound.
+
+        Thin resolution layer over the model indexer's
+        :meth:`~repro.registry.index.ConceptIndexer.candidate_buckets`:
+        yields ``(upper_bound, advertisements)`` groups, strongest first,
+        for the evaluator's bounded top-k early termination. ``None``
+        when no indexer is attached or the query cannot be ranked (the
+        evaluator then uses :meth:`candidates`). Groups are resolved
+        lazily — a consumer that stops early never materializes the
+        weaker groups — so consume the iterator before mutating the
+        store.
+        """
+        indexer = self._indexes.get(model_id)
+        if indexer is None:
+            return None
+        buckets = indexer.candidate_buckets(query)
+        if buckets is None:
+            return None
+        by_id = self._by_id
+
+        def _resolve() -> Iterator[tuple[int, list[Advertisement]]]:
+            for upper_bound, ad_ids in buckets:
+                ads = [by_id[aid] for aid in ad_ids if aid in by_id]
+                if ads:
+                    yield upper_bound, ads
+
+        return _resolve()
 
     def service_nodes(self) -> list[str]:
         """Service nodes with at least one stored advertisement."""

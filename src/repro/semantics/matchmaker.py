@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.semantics.profiles import ServiceProfile, ServiceRequest
 from repro.semantics.reasoner import Reasoner
@@ -46,7 +46,7 @@ class DegreeOfMatch(enum.IntEnum):
     EXACT = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MatchResult:
     """Outcome of matching one profile against one request.
 
@@ -91,6 +91,11 @@ class Matchmaker:
         #: Memoized (requested, advertised) -> degree, valid for one
         #: ontology version (mirrors ``Reasoner.sync``).
         self._degree_cache: dict[tuple[str, str], DegreeOfMatch] = {}
+        #: Memoized (requested, advertised) -> Wu-Palmer similarity; same
+        #: lifetime as the degree cache. Similarity dominates per-candidate
+        #: scoring cost (LCA + depth computations), and stores draw their
+        #: concepts from a small vocabulary, so the pair space is tiny.
+        self._similarity_cache: dict[tuple[str, str], float] = {}
         self._cached_version = reasoner.ontology.version
 
     def _sync(self) -> None:
@@ -99,6 +104,7 @@ class Matchmaker:
         version = self.reasoner.ontology.version
         if version != self._cached_version:
             self._degree_cache.clear()
+            self._similarity_cache.clear()
             self._cached_version = version
         self.reasoner.sync()
 
@@ -177,11 +183,13 @@ class Matchmaker:
         self.evaluations += 1
         self._sync()
 
-        failed = tuple(
-            constraint.attribute
-            for constraint in request.qos_constraints
-            if not constraint.satisfied_by(profile.qos_value(constraint.attribute))
-        )
+        failed = ()
+        if request.qos_constraints:
+            failed = tuple(
+                constraint.attribute
+                for constraint in request.qos_constraints
+                if not constraint.satisfied_by(profile.qos_value(constraint.attribute))
+            )
         if failed:
             return MatchResult(
                 profile=profile,
@@ -247,6 +255,15 @@ class Matchmaker:
 
     # -- scoring ----------------------------------------------------------
 
+    def _similarity(self, requested: str, advertised: str) -> float:
+        """Memoized Wu-Palmer similarity; ``_sync`` must already have run."""
+        key = (requested, advertised)
+        cached = self._similarity_cache.get(key)
+        if cached is None:
+            cached = self.reasoner.similarity(requested, advertised)
+            self._similarity_cache[key] = cached
+        return cached
+
     def _score(
         self,
         profile: ServiceProfile,
@@ -264,14 +281,16 @@ class Matchmaker:
         ontology = self.reasoner.ontology
         if request.category is not None and profile.category in ontology \
                 and request.category in ontology:
-            parts.append(self.reasoner.similarity(request.category, profile.category))
+            parts.append(self._similarity(request.category, profile.category))
         for requested in request.desired_outputs:
             if requested not in ontology:
                 continue
             best = 0.0
             for advertised in profile.outputs:
                 if advertised in ontology:
-                    best = max(best, self.reasoner.similarity(requested, advertised))
+                    sim = self._similarity(requested, advertised)
+                    if sim > best:
+                        best = sim
             parts.append(best)
         if request.qos_constraints:
             parts.append(qos_ratio)

@@ -7,6 +7,15 @@ is always a partial order.
 
 The ontology carries a monotonically increasing ``version`` so reasoners
 can cache transitive closures and invalidate them on change.
+
+Every class additionally receives a dense integer *concept id* (THING is
+0, later classes count up). The id space lets reasoners represent a
+class's ancestor-or-self closure as an immutable int bitset — bit ``i``
+set iff the class with concept id ``i`` is in the closure — turning
+subsumption tests and closure expansion into O(1) bit operations on the
+matchmaking hot path. Ids are append-only (classes cannot be removed), so
+they stay valid across monotone ontology growth; consumers key their
+caches on ``version`` exactly as they do for the closure caches.
 """
 
 from __future__ import annotations
@@ -52,6 +61,9 @@ class Ontology:
         self._parents: dict[str, set[str]] = {THING: set()}
         self._children: dict[str, set[str]] = {THING: set()}
         self._properties: dict[str, ObjectProperty] = {}
+        #: Dense concept-id space: uri -> id and the inverse, append-only.
+        self._ids: dict[str, int] = {THING: 0}
+        self._uri_by_id: list[str] = [THING]
 
     # -- construction ---------------------------------------------------
 
@@ -71,6 +83,8 @@ class Ontology:
         if uri not in self._parents:
             self._parents[uri] = set()
             self._children[uri] = set()
+            self._ids[uri] = len(self._uri_by_id)
+            self._uri_by_id.append(uri)
         for parent in parent_list:
             if parent == uri or self._reaches(uri, parent):
                 raise CycleError(f"subclass axiom {uri!r} -> {parent!r} would create a cycle")
@@ -119,6 +133,35 @@ class Ontology:
     def properties(self) -> list[ObjectProperty]:
         """All object properties, sorted by name."""
         return [self._properties[name] for name in sorted(self._properties)]
+
+    def concept_id(self, uri: str) -> int:
+        """The dense integer id of ``uri`` (THING is 0, append-only)."""
+        self._require(uri)
+        return self._ids[uri]
+
+    def concept_count(self) -> int:
+        """Size of the dense id space (== number of classes)."""
+        return len(self._uri_by_id)
+
+    def concept_uri(self, concept_id: int) -> str:
+        """The class URI holding ``concept_id``."""
+        return self._uri_by_id[concept_id]
+
+    def uris_from_bits(self, bits: int) -> list[str]:
+        """Expand a concept-id bitset into its class URIs.
+
+        The inverse of building a closure bitset: bit ``i`` set means the
+        class with concept id ``i`` is a member. Iterates set bits only,
+        so expansion is proportional to the closure size, not the
+        ontology size.
+        """
+        uris = []
+        by_id = self._uri_by_id
+        while bits:
+            low = bits & -bits
+            uris.append(by_id[low.bit_length() - 1])
+            bits ^= low
+        return uris
 
     def parents(self, uri: str) -> frozenset[str]:
         """Direct superclasses of ``uri``."""

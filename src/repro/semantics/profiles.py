@@ -15,7 +15,8 @@ exactly that.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import sys
+from dataclasses import dataclass
 
 from repro.errors import DescriptionError
 
@@ -33,7 +34,7 @@ _QOS_BYTES = 96
 _REQUEST_BASE_BYTES = 1024
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QoSConstraint:
     """A numeric constraint on one QoS attribute.
 
@@ -55,7 +56,7 @@ class QoSConstraint:
         return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceProfile:
     """A semantic advertisement of one service's capability.
 
@@ -101,12 +102,18 @@ class ServiceProfile:
         provider: str = "",
         text: str = "",
     ) -> "ServiceProfile":
-        """Ergonomic constructor accepting lists and dicts."""
+        """Ergonomic constructor accepting lists and dicts.
+
+        Concept URIs are ``sys.intern``-ed: stores hold many profiles
+        drawn from a small concept vocabulary, so interning collapses the
+        duplicated strings and makes the matchmaker's per-pair cache keys
+        hash/compare on pointer-identical objects.
+        """
         return ServiceProfile(
             service_name=service_name,
-            category=category,
-            inputs=tuple(inputs),
-            outputs=tuple(outputs),
+            category=sys.intern(category),
+            inputs=tuple(sys.intern(c) for c in inputs),
+            outputs=tuple(sys.intern(c) for c in outputs),
             qos=tuple(sorted((qos or {}).items())),
             provider=provider,
             text=text,
@@ -142,7 +149,7 @@ class ServiceProfile:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceRequest:
     """A client's partial template: what it needs and what it can provide.
 
@@ -197,9 +204,9 @@ class ServiceRequest:
             for name, (low, high) in sorted((qos or {}).items())
         )
         return ServiceRequest(
-            category=category,
-            desired_outputs=tuple(outputs),
-            provided_inputs=tuple(inputs),
+            category=sys.intern(category) if category is not None else None,
+            desired_outputs=tuple(sys.intern(c) for c in outputs),
+            provided_inputs=tuple(sys.intern(c) for c in inputs),
             qos_constraints=constraints,
             keywords=tuple(keywords),
             max_results=max_results,

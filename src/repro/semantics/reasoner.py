@@ -9,9 +9,15 @@ a kind of Sensor") needs three primitives, all provided here:
 * :meth:`Reasoner.distance` — edge-count semantic distance through an LCA,
   used to break ties when ranking candidate services.
 
-Ancestor sets are cached per class and invalidated when the ontology's
-version counter changes, so repeated matchmaking over a stable ontology is
-O(1) per subsumption test after warm-up.
+Subsumption is backed by precomputed **ancestor-or-self closure bitsets**:
+every class gets an immutable int whose bit ``i`` is set iff the class
+with dense concept id ``i`` (see :meth:`Ontology.concept_id`) is the class
+itself or one of its transitive superclasses. ``subsumes(g, s)`` is then a
+single shift-and-mask on ``closure_bits(s)``, and closure *expansion* (the
+concept index's bulk operation) walks only the set bits. Bitsets are
+memoized per class and rebuilt lazily after an ontology version bump, so
+repeated matchmaking over a stable ontology is O(1) per subsumption test
+after warm-up and mid-run ontology growth never serves stale closures.
 
 The version check happens once per public entry point (:meth:`Reasoner.sync`),
 not once per internal cache lookup: callers composing many lookups (the
@@ -29,6 +35,7 @@ class Reasoner:
 
     def __init__(self, ontology: Ontology) -> None:
         self.ontology = ontology
+        self._closure_bits: dict[str, int] = {}
         self._ancestor_cache: dict[str, frozenset[str]] = {}
         self._depth_cache: dict[str, int] = {}
         self._updist_cache: dict[str, dict[str, int]] = {}
@@ -39,14 +46,44 @@ class Reasoner:
         """Drop all caches if the ontology's version counter advanced.
 
         Every public method calls this once on entry; the unchecked
-        ``_ancestors``/``_depth``/``_up_distances`` internals assume it
-        already ran for the current call.
+        ``_closure``/``_ancestors``/``_depth``/``_up_distances`` internals
+        assume it already ran for the current call.
         """
         if self._cached_version != self.ontology.version:
+            self._closure_bits.clear()
             self._ancestor_cache.clear()
             self._depth_cache.clear()
             self._updist_cache.clear()
             self._cached_version = self.ontology.version
+
+    def _closure(self, uri: str) -> int:
+        """Ancestor-or-self bitset of ``uri``, memoized.
+
+        Computed bottom-up over the parent DAG (a class's closure is its
+        own bit OR-ed with its parents' closures), iteratively so deep
+        hierarchies cannot overflow the recursion limit.
+        """
+        bits = self._closure_bits
+        cached = bits.get(uri)
+        if cached is not None:
+            return cached
+        ontology = self.ontology
+        stack = [uri]
+        while stack:
+            current = stack[-1]
+            if current in bits:
+                stack.pop()
+                continue
+            pending = [p for p in ontology.parents(current) if p not in bits]
+            if pending:
+                stack.extend(pending)
+                continue
+            closure = 1 << ontology.concept_id(current)
+            for parent in ontology.parents(current):
+                closure |= bits[parent]
+            bits[current] = closure
+            stack.pop()
+        return bits[uri]
 
     def _up_distances(self, uri: str) -> dict[str, int]:
         """Minimum superclass-edge counts from ``uri`` to each ancestor
@@ -68,10 +105,16 @@ class Reasoner:
         return distances
 
     def _ancestors(self, uri: str) -> frozenset[str]:
-        """Strict ancestors, cached, without the version check."""
+        """Strict ancestors, cached, without the version check.
+
+        Expanded from the closure bitset (set-bit walk), not by
+        re-traversing the DAG.
+        """
         cached = self._ancestor_cache.get(uri)
         if cached is None:
-            cached = self.ontology.ancestors(uri)
+            ontology = self.ontology
+            strict = self._closure(uri) & ~(1 << ontology.concept_id(uri))
+            cached = frozenset(ontology.uris_from_bits(strict))
             self._ancestor_cache[uri] = cached
         return cached
 
@@ -88,6 +131,17 @@ class Reasoner:
         self.sync()
         return self._ancestors(uri)
 
+    def closure_bits(self, uri: str) -> int:
+        """Ancestor-or-self closure of ``uri`` as a concept-id bitset.
+
+        Bit ``i`` is set iff ``ontology.concept_uri(i)`` is ``uri`` itself
+        or a transitive superclass. The int is immutable and safe to hold
+        across calls for the current ontology version; it is rebuilt after
+        a version bump.
+        """
+        self.sync()
+        return self._closure(uri)
+
     def depth_of(self, uri: str) -> int:
         """Shortest-chain depth of ``uri`` below THING, cached."""
         self.sync()
@@ -102,7 +156,10 @@ class Reasoner:
         if general == specific:
             return True
         self.sync()
-        return general in self._ancestors(specific)
+        ontology = self.ontology
+        if general not in ontology:
+            return False
+        return bool(self._closure(specific) >> ontology.concept_id(general) & 1)
 
     def related(self, a: str, b: str) -> bool:
         """True iff the classes are comparable (either subsumes the other)."""

@@ -1,0 +1,247 @@
+"""Property-style correctness battery for the sub-linear query path.
+
+The optimized pipeline — posting-list intersection over closure bitsets,
+QoS pre-filtering, and bounded top-k early termination — carries one hard
+contract: **bit-identical results to the exhaustive linear scan**. These
+tests drive both paths over many seeded random ontologies and stores and
+assert, for every request shape the registries serve:
+
+* the intersected candidate set is a superset of the advertisements the
+  linear scan accepts (no false negatives, ever);
+* capped (top-k early-terminated) rankings equal the exhaustive ranking's
+  prefix bit for bit — including QoS-constrained requests, keyword-only
+  fallback requests, and requests issued across mid-run ontology growth.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.descriptions.base import ModelRegistry
+from repro.descriptions.semantic import SemanticModel
+from repro.registry.advertisements import Advertisement
+from repro.registry.matching import QueryEvaluator
+from repro.registry.store import AdvertisementStore
+from repro.semantics.generator import OntologyGenerator, ProfileGenerator
+from repro.semantics.ontology import THING
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+N_SEEDS = 6
+STORE_SIZE = 80
+
+
+def _ad(index: int, profile: ServiceProfile, version: int = 1) -> Advertisement:
+    return Advertisement(
+        ad_id=f"ad-{index:06d}",
+        service_node=f"svc-node-{index}",
+        service_name=profile.service_name,
+        endpoint=f"svc://{profile.service_name}",
+        model_id="semantic",
+        description=profile,
+        version=version,
+    )
+
+
+def _request_corpus(gen: ProfileGenerator, profiles, rng: random.Random):
+    """Request shapes covering every pipeline branch."""
+    anchor = rng.choice(profiles)
+    yield gen.request_for(anchor, generalize=0, max_results=3)
+    yield gen.request_for(anchor, generalize=1, max_results=5)
+    yield gen.request_for(rng.choice(profiles), generalize=2, max_results=1)
+    yield gen.random_request(max_results=4)
+    # QoS-constrained: some profiles carry the attribute, some do not.
+    yield ServiceRequest.build(
+        rng.choice(gen.category_pool),
+        outputs=[rng.choice(gen.data_pool)],
+        qos={"latency_ms": (None, 200.0)},
+        max_results=3,
+    )
+    yield ServiceRequest.build(
+        rng.choice(gen.category_pool),
+        qos={"confidence": (0.8, None), "coverage_km": (None, 50.0)},
+        max_results=5,
+    )
+    # Keyword-only: the index cannot prune, linear fallback must engage.
+    yield ServiceRequest.build(keywords=["service"], max_results=3)
+    # Degenerate concept shapes.
+    yield ServiceRequest.build(THING, max_results=5)
+    yield ServiceRequest.build("gen:NoSuchConcept", outputs=["gen:AlsoMissing"],
+                               max_results=2)
+    yield ServiceRequest.build(outputs=[rng.choice(gen.data_pool),
+                                        rng.choice(gen.data_pool)], max_results=5)
+
+
+def _rows(hits):
+    return [(h.advertisement.ad_id, h.advertisement.version, h.degree, h.score)
+            for h in hits]
+
+
+class _TwinPaths:
+    """Indexed and linear evaluators over identical store content."""
+
+    def __init__(self, ontology) -> None:
+        self.indexed_store = AdvertisementStore()
+        self.linear_store = AdvertisementStore()
+        self.indexed_model = SemanticModel(ontology)
+        self.linear_model = SemanticModel(ontology)
+        self.indexed = QueryEvaluator(
+            self.indexed_store, ModelRegistry([self.indexed_model])
+        )
+        self.linear = QueryEvaluator(
+            self.linear_store, ModelRegistry([self.linear_model]), use_indexes=False
+        )
+
+    def put(self, ad: Advertisement) -> None:
+        self.indexed_store.put(ad)
+        self.linear_store.put(ad)
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_candidate_superset_and_topk_bit_identical(seed):
+    ontology = OntologyGenerator(seed).random_ontology()
+    gen = ProfileGenerator(ontology, seed=seed)
+    rng = random.Random(1000 + seed)
+    paths = _TwinPaths(ontology)
+    profiles = gen.profiles(STORE_SIZE)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    index = paths.indexed_store.index_for("semantic")
+
+    for request in _request_corpus(gen, profiles, rng):
+        # Superset contract: candidates cover every linear acceptance.
+        accepted = {
+            f"ad-{i:06d}"
+            for i, p in enumerate(profiles)
+            if paths.linear_model.matchmaker.match(p, request).matched
+        }
+        candidates = index.candidate_ids(request)
+        if candidates is not None:
+            assert accepted <= candidates, (seed, request)
+        # Ranked groups agree with the flat candidate set and carry
+        # strictly descending upper bounds.
+        buckets = index.candidate_buckets(request)
+        if candidates is None:
+            assert buckets is None
+        else:
+            seen: list[int] = []
+            grouped: set[str] = set()
+            for upper_bound, ad_ids in buckets:
+                seen.append(upper_bound)
+                grouped |= set(ad_ids)
+            assert seen == sorted(seen, reverse=True)
+            assert grouped == candidates
+        # Bit-identical capped ranking, early termination included.
+        capped = paths.indexed.evaluate("semantic", request,
+                                        max_results=request.max_results)
+        exhaustive = paths.linear.evaluate("semantic", request, max_results=None)
+        assert _rows(capped) == _rows(exhaustive)[: request.max_results], \
+            (seed, request)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_topk_identical_under_churn(seed):
+    """Removals and version-bump republishes between queries."""
+    ontology = OntologyGenerator(30 + seed).random_ontology()
+    gen = ProfileGenerator(ontology, seed=30 + seed)
+    rng = random.Random(2000 + seed)
+    paths = _TwinPaths(ontology)
+    profiles = gen.profiles(STORE_SIZE)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    for round_no in range(4):
+        for i in rng.sample(range(STORE_SIZE), 10):
+            paths.indexed_store.discard(f"ad-{i:06d}")
+            paths.linear_store.discard(f"ad-{i:06d}")
+        for i in rng.sample(range(STORE_SIZE), 8):
+            replacement = gen.random_profile(10_000 * (round_no + 1) + i)
+            paths.put(_ad(i, replacement, version=round_no + 2))
+        for request in _request_corpus(gen, profiles, rng):
+            capped = paths.indexed.evaluate("semantic", request,
+                                            max_results=request.max_results)
+            exhaustive = paths.linear.evaluate("semantic", request,
+                                               max_results=None)
+            assert _rows(capped) == _rows(exhaustive)[: request.max_results]
+
+
+def test_topk_identical_across_mid_run_ontology_growth():
+    """Growing the ontology between queries must refresh every cache."""
+    ontology = OntologyGenerator(77).random_ontology()
+    gen = ProfileGenerator(ontology, seed=77)
+    rng = random.Random(77)
+    paths = _TwinPaths(ontology)
+    profiles = gen.profiles(STORE_SIZE)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    for request in _request_corpus(gen, profiles, rng):
+        paths.indexed.evaluate("semantic", request, max_results=request.max_results)
+    # Grow: fresh classes under an advertised output and category, then
+    # publish ads phrased in the new vocabulary.
+    parent_out = profiles[0].outputs[0]
+    ontology.add_class("gen:DataGrown", parents=[parent_out])
+    ontology.add_class("gen:ServiceGrown", parents=[profiles[0].category])
+    grown = ServiceProfile.build("svc-grown", "gen:ServiceGrown",
+                                 outputs=["gen:DataGrown"])
+    paths.put(_ad(5000, grown))
+    probe = ServiceRequest.build(profiles[0].category, outputs=[parent_out],
+                                 max_results=10)
+    index = paths.indexed_store.index_for("semantic")
+    candidates = index.candidate_ids(probe)
+    assert candidates is not None and "ad-005000" in candidates
+    full_indexed = paths.indexed.evaluate("semantic", probe, max_results=None)
+    exhaustive = paths.linear.evaluate("semantic", probe, max_results=None)
+    assert _rows(full_indexed) == _rows(exhaustive)
+    assert any(h.advertisement.ad_id == "ad-005000" for h in full_indexed)
+    capped = paths.indexed.evaluate("semantic", probe, max_results=10)
+    assert _rows(capped) == _rows(exhaustive)[:10]
+    for request in _request_corpus(gen, profiles, rng):
+        capped = paths.indexed.evaluate("semantic", request,
+                                        max_results=request.max_results)
+        exhaustive = paths.linear.evaluate("semantic", request, max_results=None)
+        assert _rows(capped) == _rows(exhaustive)[: request.max_results]
+
+
+def test_qos_prefilter_rejects_before_scoring():
+    """Constraint-failing ads are never semantically scored, hits unchanged."""
+    ontology = OntologyGenerator(4).random_ontology()
+    gen = ProfileGenerator(ontology, seed=4)
+    paths = _TwinPaths(ontology)
+    profiles = gen.profiles(40)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    # A constraint no generated profile can satisfy (latency floor above
+    # the generator's range) plus one many satisfy.
+    impossible = ServiceRequest.build(
+        gen.category_pool[0], qos={"latency_ms": (10_000.0, None)}, max_results=5
+    )
+    evals_before = paths.indexed_model.matchmaker.evaluations
+    hits = paths.indexed.evaluate("semantic", impossible, max_results=5)
+    assert hits == []
+    assert paths.indexed.prefiltered > 0
+    assert paths.indexed_model.matchmaker.evaluations == evals_before
+    linear_hits = paths.linear.evaluate("semantic", impossible, max_results=5)
+    assert linear_hits == []
+
+
+def test_early_termination_counter_fires():
+    """Selective anchored requests must settle before scoring everything."""
+    ontology = OntologyGenerator(12).random_ontology()
+    gen = ProfileGenerator(ontology, seed=12)
+    paths = _TwinPaths(ontology)
+    profiles = gen.profiles(400)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    terminated = 0
+    for i in range(20):
+        request = gen.request_for(profiles[(i * 17) % 400], generalize=1,
+                                  max_results=3)
+        before = paths.indexed.early_terminations
+        capped = paths.indexed.evaluate("semantic", request, max_results=3)
+        exhaustive = paths.linear.evaluate("semantic", request, max_results=None)
+        assert _rows(capped) == _rows(exhaustive)[:3]
+        terminated += paths.indexed.early_terminations - before
+    assert terminated > 0
+    # Termination must actually save work relative to the linear scan.
+    assert paths.indexed.descriptions_evaluated \
+        < paths.linear.descriptions_evaluated

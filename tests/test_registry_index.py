@@ -236,3 +236,79 @@ def test_store_clear_resets_index():
     request = gen.random_request()
     assert paths.assert_equivalent(request) == []
     assert paths.indexed_store.candidates("semantic", request) == []
+
+
+def test_mid_run_growth_refreshes_every_cache_layer():
+    """Ontology growth must flush bitset closures, the degree memo, and
+    the index's concept/posting caches — no stale-version answers."""
+    from repro.semantics.matchmaker import DegreeOfMatch
+
+    ontology = OntologyGenerator(13).random_ontology()
+    gen = ProfileGenerator(ontology, seed=13)
+    paths = _Paths(ontology)
+    profiles = gen.profiles(30)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    reasoner = paths.indexed_model.reasoner
+    matchmaker = paths.indexed_model.matchmaker
+    index = paths.indexed_store.index_for("semantic")
+    parent = profiles[0].outputs[0]
+    request = ServiceRequest.build(outputs=[parent])
+    # Warm every layer: closure bitsets, degree memo, posting bitsets.
+    paths.assert_equivalent(request)
+    assert matchmaker._degree_cache and index._mask_cache
+    parent_bits_before = reasoner.closure_bits(parent)
+
+    ontology.add_class("gen:DataLate", parents=[parent])
+    # (1) closure bitsets: the new class gets an id, its closure embeds
+    # the parent's closure, and subsumption sees the new edge.
+    late_bits = reasoner.closure_bits("gen:DataLate")
+    assert late_bits & parent_bits_before == reasoner.closure_bits(parent)
+    assert late_bits != reasoner.closure_bits(parent)
+    assert reasoner.subsumes(parent, "gen:DataLate")
+    # (2) concept-degree memo: dropped wholesale on the version bump, and
+    # degrees over the new vocabulary come out right.
+    assert matchmaker.concept_degree(parent, "gen:DataLate") \
+        == DegreeOfMatch.SUBSUMES
+    assert matchmaker.concept_degree("gen:DataLate", parent) \
+        == DegreeOfMatch.EXACT  # direct parent rule
+    # (3) candidate sets: an ad in the new vocabulary is found through the
+    # requested parent concept (the index rebuilt its posting tables).
+    rebuilds_before = index.rebuilds
+    paths.put(_ad(777, ServiceProfile.build(
+        "svc-late", profiles[0].category, outputs=["gen:DataLate"])))
+    candidates = index.candidate_ids(request)
+    assert candidates is not None and "ad-000777" in candidates
+    assert index.rebuilds == rebuilds_before + 1
+    hits = paths.assert_equivalent(request)
+    assert any(h.advertisement.ad_id == "ad-000777" for h in hits)
+
+
+def test_ontology_swap_rebuilds_index_even_at_same_version():
+    """``attach_ontology`` replaces the reasoner object; the index must
+    key its sync on ontology identity, not just the version counter."""
+    ontology_a = OntologyGenerator(21).random_ontology()
+    # Same generator seed -> structurally identical ontology, *different*
+    # object with an independent (equal) version counter.
+    ontology_b = OntologyGenerator(21).random_ontology()
+    assert ontology_a.version == ontology_b.version
+    gen = ProfileGenerator(ontology_a, seed=21)
+    paths = _Paths(ontology_a)
+    profiles = gen.profiles(25)
+    for i, profile in enumerate(profiles):
+        paths.put(_ad(i, profile))
+    request = gen.request_for(profiles[0], generalize=1, max_results=5)
+    paths.assert_equivalent(request, max_results=5)
+    index = paths.indexed_store.index_for("semantic")
+    rebuilds_before = index.rebuilds
+    paths.indexed_model.attach_ontology(ontology_b)
+    paths.linear_model.attach_ontology(ontology_b)
+    paths.assert_equivalent(request, max_results=5)
+    assert index.rebuilds == rebuilds_before + 1
+    # The swapped-in ontology can still grow and be picked up.
+    ontology_b.add_class("gen:DataSwap", parents=[profiles[0].outputs[0]])
+    paths.put(_ad(888, ServiceProfile.build(
+        "svc-swap", profiles[0].category, outputs=["gen:DataSwap"])))
+    hits = paths.assert_equivalent(
+        ServiceRequest.build(outputs=[profiles[0].outputs[0]]))
+    assert any(h.advertisement.ad_id == "ad-000888" for h in hits)

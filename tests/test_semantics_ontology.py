@@ -147,3 +147,44 @@ def test_multiple_inheritance_ancestors():
     o.add_class("B")
     o.add_class("AB", parents=["A", "B"])
     assert o.ancestors("AB") >= {"A", "B"}
+
+
+# -- dense concept ids --------------------------------------------------------
+
+def test_concept_ids_are_dense_and_stable():
+    o = Ontology("ids")
+    assert o.concept_id(THING) == 0
+    o.add_class("A")
+    o.add_class("B", parents=["A"])
+    ids = {uri: o.concept_id(uri) for uri in o.classes()}
+    assert sorted(ids.values()) == list(range(o.concept_count()))
+    # Growth appends; existing ids never move.
+    o.add_class("C", parents=["B"])
+    for uri, cid in ids.items():
+        assert o.concept_id(uri) == cid
+    assert o.concept_id("C") == o.concept_count() - 1
+    assert o.concept_uri(o.concept_id("B")) == "B"
+
+
+def test_re_adding_class_keeps_its_id():
+    o = Ontology("ids")
+    o.add_class("A")
+    o.add_class("B")
+    cid = o.concept_id("B")
+    o.add_class("B", parents=["A"])  # monotone extension, same class
+    assert o.concept_id("B") == cid
+
+
+def test_uris_from_bits_roundtrip():
+    o = Ontology("bits")
+    for name in ("A", "B", "C"):
+        o.add_class(name)
+    bits = (1 << o.concept_id("A")) | (1 << o.concept_id("C"))
+    assert sorted(o.uris_from_bits(bits)) == ["A", "C"]
+    assert o.uris_from_bits(0) == []
+
+
+def test_unknown_concept_id_raises():
+    o = Ontology("ids")
+    with pytest.raises(UnknownClassError):
+        o.concept_id("missing")

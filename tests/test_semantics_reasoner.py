@@ -161,3 +161,59 @@ def test_degree_cache_invalidated_by_version_bump(ont, r):
     ont.add_class("Hovercraft", parents=["LandVehicle", "WaterVehicle"])
     mm.match(profile, request)  # must re-reason against the new version
     assert r.subsumption_checks > warm_checks
+
+
+# -- closure bitsets ----------------------------------------------------------
+#
+# Subsumption is backed by precomputed ancestor-or-self bitsets over the
+# ontology's dense concept-id space. The bitsets must agree with the
+# set-based closure exactly, and must be rebuilt (not served stale) after
+# the ontology's version counter advances.
+
+def test_closure_bits_match_ancestor_sets(ont, r):
+    for uri in ont.classes():
+        expected = set(ont.ancestors(uri)) | {uri}
+        expanded = set(ont.uris_from_bits(r.closure_bits(uri)))
+        assert expanded == expected, uri
+
+
+def test_closure_bits_are_ancestor_or_self(r, ont):
+    bits = r.closure_bits("Sedan")
+    assert bits >> ont.concept_id("Sedan") & 1
+    assert bits >> ont.concept_id("Car") & 1
+    assert bits >> ont.concept_id("Vehicle") & 1
+    assert bits >> ont.concept_id(THING) & 1
+    assert not bits >> ont.concept_id("Boat") & 1
+
+
+def test_subsumes_unknown_general_is_false_not_error(r):
+    assert not r.subsumes("NotAClass", "Car")
+
+
+def test_subsumes_unknown_specific_raises(r):
+    from repro.errors import UnknownClassError
+
+    with pytest.raises(UnknownClassError):
+        r.subsumes("Car", "NotAClass")
+
+
+def test_closure_bits_refresh_on_version_bump(ont, r):
+    before = r.closure_bits("Car")
+    ont.add_class("RaceCar", parents=["Car"])
+    after = r.closure_bits("RaceCar")
+    assert before == r.closure_bits("Car")  # old class closure unchanged
+    assert set(ont.uris_from_bits(after)) == {"RaceCar", "Car", "LandVehicle",
+                                              "Vehicle", THING}
+    # Multi-parent growth reaches existing classes too: a new edge must
+    # invalidate the memo, not extend a stale bitset.
+    ont.add_class("Amphibian", parents=["Car", "Boat"])
+    bits = r.closure_bits("Amphibian")
+    assert set(ont.uris_from_bits(bits)) >= {"Car", "Boat", "Amphibian"}
+    assert r.subsumes("WaterVehicle", "Amphibian")
+
+
+def test_closure_bits_multiple_inheritance_unions_parents(ont, r):
+    ont.add_class("Hybrid", parents=["Car", "Boat"])
+    bits = r.closure_bits("Hybrid")
+    expected = set(ont.ancestors("Hybrid")) | {"Hybrid"}
+    assert set(ont.uris_from_bits(bits)) == expected
