@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke bench all
+.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke bench all
 
 ## Tier 1: the full unit/integration suite. Must always be green.
 test:
@@ -38,8 +38,17 @@ obs-smoke:
 overload-smoke:
 	$(PYTHON) -m pytest benchmarks/test_e17_overload.py -q
 
+## Tier 2: routing smoke — replays the E18 skewed flood at a fixed seed
+## and asserts that least-loaded routing beats static order on p99
+## discovery latency AND in-window goodput at 4x single-registry
+## capacity, that adaptive routing is same-seed deterministic, and that
+## the default (static) configuration stays byte-identical to the
+## pre-routing behavior regardless of routing tunables.
+routing-smoke:
+	$(PYTHON) -m pytest benchmarks/test_e18_routing.py -q
+
 ## Full experiment/benchmark sweep (slow).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-all: test perf-smoke fault-smoke obs-smoke overload-smoke
+all: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke

@@ -61,6 +61,9 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "e17": ("repro.experiments.e17_overload",
             "§3.1 — overload protection: admission control, priority "
             "shedding, BUSY back-off"),
+    "e18": ("repro.experiments.e18_routing",
+            "§3.1 — adaptive load-aware routing under skewed registry "
+            "load"),
 }
 
 

@@ -42,6 +42,11 @@ class RegistryTracker:
     on_detached:
         Called when the current registry is lost and no alternative was
         immediately available.
+    router:
+        Optional :class:`~repro.core.routing.Router`: when set, candidate
+        selection and alternative ordering consult it. Under the default
+        ``static`` strategy the router defers to this tracker's own
+        hash-spread choice, so behavior is unchanged.
     """
 
     def __init__(
@@ -51,9 +56,11 @@ class RegistryTracker:
         *,
         on_attached: Callable[[str], None] | None = None,
         on_detached: Callable[[], None] | None = None,
+        router=None,
     ) -> None:
         self.node = node
         self.config = config
+        self.router = router
         self.current: str | None = None
         self.known: dict[str, RegistryDescription] = {}
         #: Registries this node must not attach to (e.g. they NACKed a
@@ -195,8 +202,16 @@ class RegistryTracker:
         )
         if local:
             index = zlib.crc32(self.node.node_id.encode("utf-8")) % len(local)
-            return local[index]
-        return sorted(candidates)[0]
+            default = local[index]
+            if self.router is not None:
+                # Adaptive strategies may override the hash-spread choice
+                # on observed health; static returns the default as-is.
+                return self.router.select(local, default=default)
+            return default
+        remote = sorted(candidates)
+        if self.router is not None:
+            return self.router.select(remote, default=remote[0])
+        return remote[0]
 
     def _attach(self, registry_id: str) -> None:
         self.current = registry_id
@@ -208,11 +223,18 @@ class RegistryTracker:
             self.on_attached(registry_id)
 
     def alternatives(self) -> list[str]:
-        """Known registries other than the current one, preferred order."""
+        """Known registries other than the current one, preferred order.
+
+        Locals before remotes; within each group sorted by id, then
+        reordered best-first by the router when one is attached (the
+        static strategy's ordering is the identity).
+        """
         others = [rid for rid in self.known if rid != self.current]
         local = sorted(
             rid for rid in others
             if self.known[rid].lan_name == self.node.lan_name
         )
         remote = sorted(rid for rid in others if rid not in local)
+        if self.router is not None:
+            return self.router.order(local) + self.router.order(remote)
         return local + remote

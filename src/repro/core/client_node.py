@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.core import protocol
 from repro.core.bootstrap import RegistryTracker
 from repro.core.config import DiscoveryConfig
+from repro.core.routing import Router
 from repro.descriptions.base import DescriptionModel, ModelRegistry
 from repro.descriptions.semantic import SemanticModel
 from repro.netsim.messages import Envelope
@@ -97,6 +98,10 @@ class DiscoveryCall:
     #: Client-local call index; keys retry jitter (query ids come from a
     #: process-global counter, so they are not stable run to run).
     seq: int = 0
+    #: Absolute sim-time budget for registry attempts: a server-suggested
+    #: retry delay is never scheduled past this point (satellite fix for
+    #: the "retry dies in the timeout instead of failing over" bug).
+    deadline: float = float("inf")
     #: Recorder-local trace id of this call's root span (None when the
     #: recorder is unavailable). All retries share it.
     trace_id: int | None = None
@@ -136,10 +141,16 @@ class ClientNode(Node):
         super().__init__(node_id)
         self.config = config
         self.models = ModelRegistry(models)
+        self.router = Router(config.routing, self)
         self.tracker = RegistryTracker(self, config,
-                                       on_attached=self._on_attached)
+                                       on_attached=self._on_attached,
+                                       router=self.router)
         self.calls: list[DiscoveryCall] = []
         self._by_wire_id: dict[str, DiscoveryCall] = {}
+        #: Routing bookkeeping per in-flight registry attempt: wire id →
+        #: (target registry, send time). Drained in lock-step with
+        #: ``_by_wire_id`` — the invariant checker asserts the subset.
+        self._route_meta: dict[str, tuple[str, float]] = {}
         #: Open per-attempt spans keyed by wire id; closed on response,
         #: timeout, or crash.
         self._attempt_spans: dict[str, Span] = {}
@@ -176,6 +187,7 @@ class ClientNode(Node):
             if not call.completed:
                 self._complete(call, [], via="crashed")
         self._by_wire_id.clear()
+        self._route_meta.clear()
 
     def on_restart(self) -> None:
         self.tracker.current = None
@@ -214,6 +226,10 @@ class ClientNode(Node):
             issued_at=self.sim.now,
             ttl=self.config.default_ttl if ttl is None else ttl,
             seq=len(self.calls),
+            # Worst-case registry-phase budget: every attempt running its
+            # full timeout. Server retry hints are clamped to what is left.
+            deadline=self.sim.now
+            + self.config.query_retry.max_attempts * self.config.query_timeout,
         )
         trace = self.trace
         if trace is not None:
@@ -248,10 +264,25 @@ class ClientNode(Node):
             ttl=call.ttl,
         )
         registry = self.tracker.current
+        if registry is not None and self.router.adaptive:
+            # Load-aware per-query selection: the attachment stays where
+            # it is (publishing, subscriptions), but each query may go to
+            # whichever same-LAN sibling looks healthiest right now. The
+            # attachment remains the tie-break default, so cold-start
+            # behavior keeps the tracker's even hash-spread.
+            local = sorted(
+                rid for rid, desc in self.tracker.known.items()
+                if desc.lan_name == self.lan_name
+                and rid not in self.tracker.excluded
+            )
+            if local:
+                default = registry if registry in local else local[0]
+                registry = self.router.select(local, default=default)
         if registry is not None:
             # Register the wire id only on paths that await a response —
             # an immediate failure must not strand a map entry.
             self._by_wire_id[wire_id] = call
+            self._route_meta[wire_id] = (registry, self.sim.now)
             call.via = f"registry:{registry}"
             call.sent_to = registry
             headers = None
@@ -287,6 +318,9 @@ class ClientNode(Node):
         if call.completed or self._by_wire_id.get(wire_id) is not call:
             return
         del self._by_wire_id[wire_id]
+        meta = self._route_meta.pop(wire_id, None)
+        if meta is not None:
+            self.router.on_timeout(meta[0])
         self._end_attempt(wire_id, status="timeout")
         call.attempts += 1
         if self.tracker.current == call.sent_to:
@@ -386,6 +420,15 @@ class ClientNode(Node):
         if not isinstance(payload, protocol.ResponsePayload):
             return
         call = self._by_wire_id.pop(payload.query_id, None)
+        meta = self._route_meta.pop(payload.query_id, None)
+        if meta is not None:
+            # Passive health: the answered attempt's round-trip plus the
+            # registry's piggybacked queue depth feed target selection.
+            self.router.on_response(
+                envelope.src,
+                rtt=self.sim.now - meta[1],
+                queue_depth=payload.queue_depth,
+            )
         if call is None or call.completed:
             return
         self._end_attempt(payload.query_id, attrs={"hits": len(payload.hits)})
@@ -408,23 +451,45 @@ class ClientNode(Node):
         payload = envelope.payload
         if not isinstance(payload, protocol.BusyPayload):
             return
+        # A BUSY is a health signal about its sender whatever happens to
+        # the call below (no-op under the static strategy).
+        self.router.on_busy(
+            envelope.src,
+            retry_after=payload.retry_after,
+            queue_depth=payload.queue_depth,
+        )
         call = self._by_wire_id.get(payload.request_id)
         if call is None or call.completed:
+            # Late BUSY: the attempt already timed out, completed, or was
+            # re-keyed by a retry — nothing to account or resurrect.
             return
         if call.via == "fallback":
             # A saturated registry also sheds DECENTRAL_QUERY multicasts,
             # but the fallback completes on its own timer from whatever
-            # the service nodes answered — nothing to retry.
+            # the service nodes answered — nothing to retry, and the
+            # shared busy_rejections counter must not double-count a call
+            # that already paid for its registry-path rejections.
             return
         wire_id = payload.request_id
         del self._by_wire_id[wire_id]
+        self._route_meta.pop(wire_id, None)
         self._end_attempt(wire_id, status="busy")
         self.busy_rejections += 1
         call.busy_responses += 1
         call.attempts += 1
         policy = self.config.query_retry
-        if call.attempts <= policy.max_attempts:
-            if call.busy_responses >= 2 and self.tracker.current == call.sent_to:
+        remaining = call.deadline - self.sim.now
+        if call.attempts <= policy.max_attempts and remaining > 0:
+            retry_after: float | None = payload.retry_after
+            if retry_after > remaining:
+                # The server's back-off hint cannot fit in the remaining
+                # deadline: waiting it out would just die in the query
+                # timeout. Fail over immediately and retry on our own
+                # (budget-clamped) schedule instead.
+                if self.tracker.current == call.sent_to:
+                    self.tracker.registry_failed()
+                retry_after = None
+            elif call.busy_responses >= 2 and self.tracker.current == call.sent_to:
                 # Two rejections from the same attachment: it is staying
                 # saturated, move to a sibling registry if one exists.
                 self.tracker.registry_failed()
@@ -434,7 +499,8 @@ class ClientNode(Node):
             delay = policy.delay(
                 call.attempts - 1, seed=self.sim.seed,
                 key=f"{self.node_id}/{call.seq}",
-                retry_after=payload.retry_after,
+                retry_after=retry_after,
+                budget=remaining,
             )
             trace = self.trace
             if trace is not None and call._span is not None:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 from repro.core.admission import AdmissionPolicy
 from repro.core.retry import RetryPolicy
+from repro.core.routing import RoutingConfig
 
 #: Query forwarding strategies (§4.9: "increasing the reach of a query
 #: gradually in several rounds, random walks, or broadcasting in the
@@ -143,6 +144,14 @@ class DiscoveryConfig:
     #: has every cost at 0.0, so admission control is inert unless a
     #: deployment opts in (behavior-preserving for existing scenarios).
     admission: AdmissionPolicy = AdmissionPolicy()
+
+    # -- routing -----------------------------------------------------------
+    #: Adaptive target selection (sibling failover, WAN fan-out ordering,
+    #: walk next hops) driven by passive health signals. The default
+    #: ``static`` strategy is a pure pass-through: selection defers to the
+    #: caller's historical choice and the observation hooks are no-ops, so
+    #: existing deployments are bit-identical.
+    routing: RoutingConfig = RoutingConfig()
 
     # -- recovery / retries ------------------------------------------------
     #: Backoff between client query attempts (failover retries). The

@@ -22,7 +22,6 @@ The registry node wires these to the protocol handlers.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -45,6 +44,14 @@ class SeenQueries:
     principle loop back and be treated as new, but by then its TTL has
     almost surely expired — the table holds the most recent
     ``max_entries`` ids, and loops are short.
+
+    ``protected`` exempts ids from eviction (and pruning): the registry
+    passes a predicate over its *live* aggregation/walk state, so a
+    flood filling the table can never evict the id of a query still in
+    flight — an evicted live id would let a late duplicate re-enter the
+    fan-out and double-count hits in the pending aggregation. The table
+    may transiently exceed ``max_entries`` by the number of in-flight
+    queries, which is itself bounded by admission control.
     """
 
     def __init__(
@@ -53,10 +60,12 @@ class SeenQueries:
         retention: float = 120.0,
         *,
         max_entries: int | None = 4096,
+        protected: Callable[[str], bool] | None = None,
     ) -> None:
         self._clock = clock
         self._retention = retention
         self._max_entries = max_entries
+        self._protected = protected
         self._seen: dict[str, float] = {}
         self.evictions = 0
 
@@ -69,9 +78,15 @@ class SeenQueries:
             # Evict oldest first: dict preserves insertion order, and
             # entries are only ever appended with the current clock.
             excess = len(self._seen) - self._max_entries + 1
-            for old_id in list(itertools.islice(self._seen, excess)):
+            evicted = 0
+            for old_id in list(self._seen):
+                if evicted >= excess:
+                    break
+                if self._protected is not None and self._protected(old_id):
+                    continue
                 del self._seen[old_id]
-            self.evictions += excess
+                evicted += 1
+            self.evictions += evicted
         self._seen[query_id] = self._clock()
         return True
 
@@ -84,7 +99,11 @@ class SeenQueries:
     def _prune(self) -> None:
         horizon = self._clock() - self._retention
         if len(self._seen) > 1024:
-            self._seen = {qid: t for qid, t in self._seen.items() if t >= horizon}
+            self._seen = {
+                qid: t for qid, t in self._seen.items()
+                if t >= horizon
+                or (self._protected is not None and self._protected(qid))
+            }
 
     def clear(self) -> None:
         """Drop all state (registry crash)."""
@@ -129,6 +148,9 @@ class PendingAggregation:
         self._node = node
         self.trace_ctx = trace_ctx
         self._done = False
+        #: Fan-out start time: responses arriving before completion yield
+        #: a per-target round-trip sample for the routing health tracker.
+        self.started_at = node.sim.now
         self._timer: "Timer" = node.after(timeout, self._timeout)
 
     def add_response(self, payload: protocol.ResponsePayload, *, src: str | None = None) -> None:
@@ -281,9 +303,15 @@ class CircuitBreaker:
     *opens*: the fan-out skips the neighbor (not counted as outstanding),
     so degraded-mode queries complete without eating the aggregation
     timeout for a peer that is already suspected dead. After
-    ``reset_timeout`` seconds the breaker turns *half-open* and lets one
-    probe through (in practice the next ping/gossip round or a single
-    forwarded query); a success closes it, a failure re-opens it.
+    ``reset_timeout`` seconds the breaker turns *half-open* and lets
+    exactly **one** probe through (in practice the next ping/gossip round
+    or a single forwarded query); a success closes it, a failure re-opens
+    it. While that probe is in flight every other caller is refused —
+    without the :attr:`probing` latch, several sends queued in the same
+    tick would all read the elapsed reset timeout, all pass as "the one
+    probe", and a still-down neighbor would re-trip the breaker with
+    inflated failure counts (and eat one aggregation timeout per extra
+    probe).
     """
 
     def __init__(
@@ -300,6 +328,8 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at = 0.0
         self.times_opened = 0
+        #: True while the single half-open probe is unresolved.
+        self.probing = False
 
     def record_failure(self) -> bool:
         """One failure signal; returns True when this trip *opened* it."""
@@ -308,6 +338,7 @@ class CircuitBreaker:
             self.state = BREAKER_OPEN
             self.opened_at = self._clock()
             self.times_opened += 1
+            self.probing = False
             return True
         self.failures += 1
         if self.state == BREAKER_CLOSED and self.failures >= self.failure_threshold:
@@ -322,17 +353,27 @@ class CircuitBreaker:
         was = self.state
         self.state = BREAKER_CLOSED
         self.failures = 0
+        self.probing = False
         return was != BREAKER_CLOSED
 
     def allows(self) -> bool:
         """Whether traffic may flow to the neighbor right now.
 
         An open breaker whose reset timeout has elapsed flips to
-        half-open as a side effect and admits the caller as the probe.
+        half-open as a side effect and admits the caller as the single
+        probe; until that probe resolves (success or failure), every
+        further caller — including others queued in the same simulation
+        tick — is refused.
         """
         if self.state == BREAKER_OPEN:
             if self._clock() - self.opened_at >= self.reset_timeout:
                 self.state = BREAKER_HALF_OPEN
+                self.probing = True
                 return True
             return False
+        if self.state == BREAKER_HALF_OPEN:
+            if self.probing:
+                return False
+            self.probing = True
+            return True
         return True

@@ -209,12 +209,20 @@ class ResponsePayload:
     ``degraded`` marks a response served by an overloaded registry that
     skipped WAN fan-out and answered from its local store only — the
     hits are valid but coverage is best-effort.
+
+    ``queue_depth`` piggybacks the responder's admission-queue depth at
+    response time (0 when admission control is inert), feeding the
+    receiver's passive health tracker for load-aware routing. It rides
+    inside the fixed 16-byte header overhead — ``size_bytes()`` is
+    deliberately unchanged so delivery latency (a function of payload
+    size) stays bit-identical for existing scenarios.
     """
 
     query_id: str
     hits: tuple[QueryHit, ...]
     responders: int = 1
     degraded: bool = False
+    queue_depth: int = 0
 
     def size_bytes(self) -> int:
         return len(self.query_id) + 16 + sum(hit.size_bytes() for hit in self.hits)

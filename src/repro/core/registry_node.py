@@ -44,6 +44,7 @@ from repro.core.forwarding import (
     WalkCoordinator,
 )
 from repro.core.repository import ArtifactRepository
+from repro.core.routing import Router
 from repro.descriptions.base import DescriptionModel, ModelRegistry
 from repro.netsim.messages import Envelope
 from repro.netsim.node import Node
@@ -103,6 +104,9 @@ class RegistryNode(Node):
         self.antientropy = AntiEntropy(self, config)
         #: Overload protection: bounded service queue + BUSY shedding.
         self.admission = AdmissionController(self, config.admission)
+        #: Adaptive target selection for fan-out and walk next hops, fed
+        #: passively by forwarded-query round-trips and peer BUSYs.
+        self.router = Router(config.routing, self)
         self.leases: LeaseManager | None = None
         self._seen: SeenQueries | None = None
         self._pending: dict[str, PendingAggregation] = {}
@@ -125,7 +129,8 @@ class RegistryNode(Node):
             default_duration=self.config.lease_duration,
             on_event=self._lease_event,
         )
-        self._seen = SeenQueries(lambda: self.sim.now)
+        self._seen = SeenQueries(lambda: self.sim.now,
+                                 protected=self._query_in_flight)
         if self.config.beacon_interval is not None:
             self.every(self.config.beacon_interval, self._beacon,
                        initial_delay=self.config.beacon_interval)
@@ -654,6 +659,16 @@ class RegistryNode(Node):
 
     # -- querying ----------------------------------------------------------------------
 
+    def _query_in_flight(self, query_id: str) -> bool:
+        """Whether a query id still has live aggregation/walk state.
+
+        Used as the :class:`SeenQueries` eviction guard: a flood filling
+        the loop-avoidance table must not evict an in-flight id, or a
+        late duplicate would re-enter the fan-out and double-count hits
+        in the pending aggregation.
+        """
+        return query_id in self._pending or query_id in self._walks
+
     def _local_hits(
         self, payload: protocol.QueryPayload, *, parent: Span | None = None
     ) -> list[QueryHit]:
@@ -701,6 +716,11 @@ class RegistryNode(Node):
             protocol.ResponsePayload(
                 query_id=query_id, hits=tuple(hits), responders=responders,
                 degraded=degraded,
+                # Piggyback our admission-queue depth: free load signal
+                # for the receiver's router (rides in the fixed payload
+                # overhead, so wire size — and delivery time — is
+                # unchanged).
+                queue_depth=self.admission.depth,
             ),
             headers=headers,
         )
@@ -754,6 +774,11 @@ class RegistryNode(Node):
         if not isinstance(payload, protocol.BusyPayload):
             return
         self.federation.record_neighbor_failure(envelope.src)
+        self.router.on_busy(
+            envelope.src,
+            retry_after=payload.retry_after,
+            queue_depth=payload.queue_depth,
+        )
         if self.network is not None:
             self.network.metrics.counter("admission.busy_received").inc()
         pending = self._pending.get(payload.request_id)
@@ -776,6 +801,10 @@ class RegistryNode(Node):
             return
         assert self._seen is not None
         self.rim.queries_served += 1
+        if self._query_in_flight(payload.query_id):
+            # Belt and braces against loop-table eviction: a duplicate of
+            # a query we are still aggregating must never restart it.
+            return
         if not self._seen.check_and_mark(payload.query_id):
             return
         client = envelope.src
@@ -834,6 +863,13 @@ class RegistryNode(Node):
         skipped = len(targets) - len(allowed)
         if skipped and self.network is not None:
             self.network.stats.record_recovery("breaker-skip", skipped)
+        if allowed and self.router.adaptive:
+            # Best-first ordering; cooldown-failover may additionally skip
+            # targets still cooling off after a BUSY/timeout (never all —
+            # coverage beats caution when everyone looks sick).
+            allowed, cooled = self.router.usable(allowed)
+            if cooled and self.network is not None:
+                self.network.stats.record_recovery("routing-cooldown-skip", cooled)
         if not allowed:
             on_complete(
                 QueryEvaluator.merge([local], max_results=forwarded.max_results), 1
@@ -876,7 +912,7 @@ class RegistryNode(Node):
             timeout=timeout,
             max_results=forwarded.max_results,
             on_complete=complete,
-            on_target_timeout=self.federation.record_neighbor_failure,
+            on_target_timeout=self._forward_target_timeout,
             trace_ctx=fanout.context if fanout is not None else None,
         )
         headers: dict[str, Any] | None = None
@@ -889,6 +925,11 @@ class RegistryNode(Node):
             )
             self.rim.queries_forwarded += 1
 
+    def _forward_target_timeout(self, target: str) -> None:
+        """A fan-out target stayed silent: suspicion for breaker + router."""
+        self.federation.record_neighbor_failure(target)
+        self.router.on_timeout(target)
+
     def handle_query_forward(self, envelope: Envelope) -> None:
         """A peer registry forwarded a query to us."""
         payload = envelope.payload
@@ -896,6 +937,12 @@ class RegistryNode(Node):
             return
         assert self._seen is not None
         parent = envelope.src
+        if self._query_in_flight(payload.query_id):
+            # Belt and braces against loop-table eviction: we are still
+            # aggregating this id — answer empty (draining the parent's
+            # outstanding counter) instead of re-entering the fan-out.
+            self._respond(parent, payload.query_id, [], 0)
+            return
         if not self._seen.check_and_mark(payload.query_id):
             # Duplicate via another path: answer empty so the parent's
             # outstanding counter drains without waiting for the timeout.
@@ -928,6 +975,15 @@ class RegistryNode(Node):
         self.federation.record_neighbor_success(envelope.src)
         trace = self.trace
         pending = self._pending.get(payload.query_id)
+        if pending is not None:
+            self.router.on_response(
+                envelope.src,
+                rtt=self.sim.now - pending.started_at,
+                queue_depth=payload.queue_depth,
+            )
+        else:
+            # No round-trip to attribute, but the depth is still fresh.
+            self.router.on_response(envelope.src, queue_depth=payload.queue_depth)
         if pending is None:
             # The aggregation already completed (timeout or duplicate):
             # the response's work is wasted — count it so experiments can
@@ -1064,7 +1120,7 @@ class RegistryNode(Node):
             max_results=payload.max_results,
             on_complete=complete,
         )
-        next_hop = self.sim.rng.choice(targets)
+        next_hop = self.router.pick_walk(targets, rng=self.sim.rng)
         self.send(
             next_hop,
             protocol.WALK,
@@ -1111,7 +1167,7 @@ class RegistryNode(Node):
                 protocol.ResponsePayload(query_id=payload.query_id, hits=(), responders=0),
             )
             return
-        next_hop = self.sim.rng.choice(candidates)
+        next_hop = self.router.pick_walk(candidates, rng=self.sim.rng)
         self.send(
             next_hop,
             protocol.WALK,

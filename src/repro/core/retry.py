@@ -65,6 +65,7 @@ class RetryPolicy:
         seed: int = 0,
         key: str = "",
         retry_after: float | None = None,
+        budget: float | None = None,
     ) -> float:
         """Backoff before retry number ``attempt`` (1-based).
 
@@ -75,21 +76,34 @@ class RetryPolicy:
 
         ``retry_after`` is an optional server hint (a BUSY rejection's
         back-off): it replaces the computed exponential delay for this
-        attempt — uncapped, because the server knows its own backlog —
-        while jitter and the attempt budget stay in force.
+        attempt — not subject to ``cap``, because the server knows its own
+        backlog — while jitter and the attempt budget stay in force.
+
+        ``budget`` is the caller's remaining deadline: the returned delay
+        (hint or computed, after jitter) never exceeds it, so a generous
+        server hint cannot schedule a retry past the point where the
+        attempt would die by timeout anyway. Callers should check the
+        hint against the budget *before* delaying and fail over when it
+        cannot fit; the clamp here is the last line of defence.
         """
         if attempt < 1:
             raise ReproError(f"retry attempt must be >= 1, got {attempt}")
+        if budget is not None and budget < 0:
+            raise ReproError(f"retry budget must be >= 0, got {budget}")
         if retry_after is not None:
             if retry_after < 0:
                 raise ReproError(f"retry_after hint must be >= 0, got {retry_after}")
             raw = retry_after
+            if budget is not None:
+                raw = min(raw, budget)
         else:
             raw = min(self.cap, self.base * self.factor ** (attempt - 1))
-        if self.jitter == 0.0:
-            return raw
-        unit = zlib.crc32(f"{seed}:{key}:{attempt}".encode("utf-8")) / 0xFFFFFFFF
-        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+        if self.jitter != 0.0:
+            unit = zlib.crc32(f"{seed}:{key}:{attempt}".encode("utf-8")) / 0xFFFFFFFF
+            raw *= 1.0 - self.jitter + 2.0 * self.jitter * unit
+        if budget is not None:
+            raw = min(raw, budget)
+        return raw
 
     def attempts_exhausted(self, attempts: int) -> bool:
         """Whether ``attempts`` tries have used up the budget."""

@@ -1,0 +1,480 @@
+"""Adaptive load-aware query routing: pluggable target-selection strategies.
+
+The paper's dynamic-environment premise is that registries appear,
+overload, and vanish mid-conversation; a fixed attachment plus circuit
+breakers reacts to *death* but not to *load*. This module adds the
+missing policy layer: a :class:`Router` facade every protocol agent can
+consult when it has several plausible targets (sibling registries at
+failover, WAN fan-out neighbors, random-walk next hops), with the
+selection policy pluggable through :class:`RoutingConfig`.
+
+The health signals are **passive** — nothing here sends a probe. The
+protocol already produces everything an informed choice needs:
+
+* query/renew response round-trips → per-target EWMA latency
+  (:class:`PassiveHealthTracker`), mirrored into the obs metrics facade
+  as the ``routing.rtt`` histogram;
+* ``BUSY`` rejections and the admission-queue depth registries piggyback
+  on ``RESPONSE``/``BUSY`` payloads → per-target queue depth;
+* BUSY and aggregation timeouts → a decaying per-target cooldown
+  (:class:`CooldownManager`), so a just-saturated target is not
+  immediately re-picked.
+
+Strategies:
+
+``static``
+    Today's behavior, the default: selection returns the caller's own
+    (hash-spread or sorted) choice, ordering is the identity, and the
+    observation hooks are inert no-ops. A deployment that never sets
+    ``DiscoveryConfig.routing`` is bit-identical to one built before
+    this module existed.
+``nearest-latency``
+    Prefer the target with the lowest EWMA response latency; targets
+    with no sample yet sort after measured ones.
+``least-loaded``
+    Prefer the target with the shallowest last-seen admission queue;
+    unseen targets count as idle (depth 0) so new capacity gets tried.
+    Depth ties break toward the caller's default (preserving the
+    hash-spread even distribution on cold start), then lowest EWMA.
+``cooldown-failover``
+    Keep the caller's order but move targets in cooldown to the back
+    (soonest-to-expire first); fan-outs may skip cooled targets
+    entirely while healthy ones remain.
+
+Every strategy is deterministic: decisions depend only on observed
+sim-time signals and stable tie-breaks, never on fresh randomness — a
+fixed seed still fully determines a run under any strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.node import Node
+
+#: Strategy names accepted by :class:`RoutingConfig`.
+ROUTING_STATIC = "static"
+ROUTING_NEAREST_LATENCY = "nearest-latency"
+ROUTING_LEAST_LOADED = "least-loaded"
+ROUTING_COOLDOWN_FAILOVER = "cooldown-failover"
+
+_ROUTING_STRATEGIES = frozenset({
+    ROUTING_STATIC, ROUTING_NEAREST_LATENCY, ROUTING_LEAST_LOADED,
+    ROUTING_COOLDOWN_FAILOVER,
+})
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Routing strategy selection plus its tunables.
+
+    Attributes
+    ----------
+    strategy:
+        One of ``static`` (default), ``nearest-latency``,
+        ``least-loaded``, ``cooldown-failover``.
+    ewma_alpha:
+        Weight of the newest latency sample in the per-target EWMA.
+    cooldown_base:
+        First cooldown after a failure signal (seconds).
+    cooldown_factor:
+        Cooldown growth per *consecutive* failure of the same target.
+    cooldown_max:
+        Upper bound on one cooldown interval (seconds).
+    """
+
+    strategy: str = ROUTING_STATIC
+    ewma_alpha: float = 0.3
+    cooldown_base: float = 0.5
+    cooldown_factor: float = 2.0
+    cooldown_max: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _ROUTING_STRATEGIES:
+            raise ReproError(
+                f"unknown routing strategy {self.strategy!r}; "
+                f"choose from {sorted(_ROUTING_STRATEGIES)}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ReproError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.cooldown_base <= 0:
+            raise ReproError(f"cooldown_base must be positive, got {self.cooldown_base}")
+        if self.cooldown_factor < 1.0:
+            raise ReproError(f"cooldown_factor must be >= 1, got {self.cooldown_factor}")
+        if self.cooldown_max < self.cooldown_base:
+            raise ReproError(
+                f"cooldown_max {self.cooldown_max} must be >= "
+                f"cooldown_base {self.cooldown_base}"
+            )
+
+
+class PassiveHealthTracker:
+    """Per-target EWMA response latency and last-seen queue depth.
+
+    Fed opportunistically from traffic the node exchanges anyway; a
+    target nobody has talked to recently simply has no entry.
+    """
+
+    def __init__(self, *, alpha: float) -> None:
+        self.alpha = alpha
+        self._ewma: dict[str, float] = {}
+        self._depth: dict[str, int] = {}
+        self.samples = 0
+
+    def observe_latency(self, target: str, rtt: float) -> None:
+        """Fold one response round-trip into the target's EWMA."""
+        if rtt < 0:
+            return
+        self.samples += 1
+        previous = self._ewma.get(target)
+        if previous is None:
+            self._ewma[target] = rtt
+        else:
+            self._ewma[target] = previous + self.alpha * (rtt - previous)
+
+    def observe_queue_depth(self, target: str, depth: int) -> None:
+        """Record the admission-queue depth a target reported."""
+        self._depth[target] = max(0, int(depth))
+
+    def latency(self, target: str) -> float | None:
+        """EWMA response latency, or None with no samples yet."""
+        return self._ewma.get(target)
+
+    def queue_depth(self, target: str) -> int | None:
+        """Last piggybacked queue depth, or None if never reported."""
+        return self._depth.get(target)
+
+    def forget(self, target: str) -> None:
+        """Drop all state about a target (it left / was excluded)."""
+        self._ewma.pop(target, None)
+        self._depth.pop(target, None)
+
+
+class CooldownManager:
+    """Decaying per-target cooldown after BUSY/timeout signals.
+
+    Each consecutive failure of the same target grows its cooldown
+    geometrically (``base * factor^(streak-1)``, capped at ``maximum``);
+    any success clears the streak. While a target is cooling, adaptive
+    strategies deprioritize (or skip) it.
+    """
+
+    def __init__(
+        self,
+        clock,
+        *,
+        base: float,
+        factor: float,
+        maximum: float,
+    ) -> None:
+        self._clock = clock
+        self.base = base
+        self.factor = factor
+        self.maximum = maximum
+        self._until: dict[str, float] = {}
+        self._streak: dict[str, int] = {}
+        self.cooldowns_started = 0
+
+    def record_failure(self, target: str) -> float:
+        """One failure signal; returns the cooldown length armed."""
+        streak = self._streak.get(target, 0) + 1
+        self._streak[target] = streak
+        length = min(self.maximum, self.base * self.factor ** (streak - 1))
+        self._until[target] = self._clock() + length
+        self.cooldowns_started += 1
+        return length
+
+    def record_success(self, target: str) -> None:
+        """Proof of health: clear the streak and any active cooldown."""
+        self._streak.pop(target, None)
+        self._until.pop(target, None)
+
+    def in_cooldown(self, target: str) -> bool:
+        until = self._until.get(target)
+        return until is not None and self._clock() < until
+
+    def remaining(self, target: str) -> float:
+        """Seconds of cooldown left (0.0 when not cooling)."""
+        until = self._until.get(target)
+        if until is None:
+            return 0.0
+        return max(0.0, until - self._clock())
+
+    def forget(self, target: str) -> None:
+        self._until.pop(target, None)
+        self._streak.pop(target, None)
+
+
+class RoutingStrategy:
+    """Base strategy: rank candidate targets given passive health state.
+
+    ``sort_key(target, index)`` returns a comparison tuple; lower sorts
+    first. The shared ranking moves targets in cooldown behind healthy
+    ones regardless of strategy, so a just-BUSY target never outranks a
+    quiet one on a stale latency/depth sample.
+    """
+
+    name = ROUTING_STATIC
+
+    def __init__(self, health: PassiveHealthTracker, cooldowns: CooldownManager) -> None:
+        self.health = health
+        self.cooldowns = cooldowns
+
+    def sort_key(self, target: str, index: int):
+        return (index,)
+
+    def order(self, candidates: Sequence[str]) -> list[str]:
+        """Candidates best-first; ties keep the caller's order."""
+        return sorted(
+            candidates,
+            key=lambda t: (
+                1 if self.cooldowns.in_cooldown(t) else 0,
+                self.cooldowns.remaining(t),
+                *self.sort_key(t, candidates.index(t)),
+            ),
+        )
+
+    def select(self, candidates: Sequence[str], default: str | None = None) -> str | None:
+        """The best candidate; ``default`` wins among top-ranked ties."""
+        if not candidates:
+            return None
+        ordered = self.order(list(candidates))
+        best = ordered[0]
+        if default is not None and default in candidates:
+            best_key = self._full_key(best, list(candidates))
+            if self._full_key(default, list(candidates))[:-1] == best_key[:-1]:
+                # The caller's (hash-spread) choice is among the tied
+                # best: keep it, preserving the even cold-start spread.
+                return default
+        return best
+
+    def _full_key(self, target: str, candidates: list[str]):
+        return (
+            1 if self.cooldowns.in_cooldown(target) else 0,
+            self.cooldowns.remaining(target),
+            *self.sort_key(target, candidates.index(target)),
+        )
+
+
+class StaticOrder(RoutingStrategy):
+    """Today's behavior: selection defers entirely to the caller."""
+
+    name = ROUTING_STATIC
+
+    def order(self, candidates: Sequence[str]) -> list[str]:
+        return list(candidates)
+
+    def select(self, candidates: Sequence[str], default: str | None = None) -> str | None:
+        if default is not None:
+            return default
+        return candidates[0] if candidates else None
+
+
+class NearestLatency(RoutingStrategy):
+    """Prefer the lowest EWMA response latency; unmeasured targets last."""
+
+    name = ROUTING_NEAREST_LATENCY
+
+    def sort_key(self, target: str, index: int):
+        ewma = self.health.latency(target)
+        if ewma is None:
+            return (1, 0.0, index)
+        return (0, ewma, index)
+
+
+class LeastLoaded(RoutingStrategy):
+    """Prefer the shallowest last-seen admission queue.
+
+    Unseen targets count as idle (depth 0), so fresh capacity gets
+    tried; depth ties break by EWMA latency (measured first), then the
+    caller's order — the tie-break chain the unit tests pin down.
+    """
+
+    name = ROUTING_LEAST_LOADED
+
+    def sort_key(self, target: str, index: int):
+        depth = self.health.queue_depth(target)
+        ewma = self.health.latency(target)
+        return (
+            depth if depth is not None else 0,
+            1 if ewma is None else 0,
+            ewma if ewma is not None else 0.0,
+            index,
+        )
+
+
+class CooldownFailover(RoutingStrategy):
+    """Keep the caller's order, but cooled targets go to the back."""
+
+    name = ROUTING_COOLDOWN_FAILOVER
+
+    # The shared cooldown-aware ranking in the base class is exactly
+    # this strategy; only fan-out *skipping* (Router.usable) differs.
+
+
+_STRATEGY_CLASSES = {
+    ROUTING_STATIC: StaticOrder,
+    ROUTING_NEAREST_LATENCY: NearestLatency,
+    ROUTING_LEAST_LOADED: LeastLoaded,
+    ROUTING_COOLDOWN_FAILOVER: CooldownFailover,
+}
+
+
+class Router:
+    """Target-selection facade for one protocol agent.
+
+    Owns the passive health state and the configured strategy; the
+    owning node reports response round-trips, BUSY rejections, piggy-
+    backed queue depths, and timeouts through the ``on_*`` hooks and
+    asks for decisions through :meth:`order`, :meth:`select`,
+    :meth:`usable`, and :meth:`pick_walk`.
+
+    With the default ``static`` strategy every hook is an inert no-op
+    and every decision returns the caller's own choice — the router is
+    pure pass-through, preserving bit-identical runs.
+    """
+
+    def __init__(self, config: RoutingConfig, node: "Node") -> None:
+        self.config = config
+        self._node = node
+        self.health = PassiveHealthTracker(alpha=config.ewma_alpha)
+        self.cooldowns = CooldownManager(
+            self._now,
+            base=config.cooldown_base,
+            factor=config.cooldown_factor,
+            maximum=config.cooldown_max,
+        )
+        self.strategy: RoutingStrategy = _STRATEGY_CLASSES[config.strategy](
+            self.health, self.cooldowns
+        )
+        #: Times an adaptive selection deviated from the caller's default.
+        self.reroutes = 0
+
+    def _now(self) -> float:
+        if self._node.network is None:
+            return 0.0
+        return self._node.sim.now
+
+    @property
+    def adaptive(self) -> bool:
+        """True for every strategy except the static pass-through."""
+        return self.config.strategy != ROUTING_STATIC
+
+    # -- decisions --------------------------------------------------------
+
+    def order(self, candidates: Sequence[str]) -> list[str]:
+        """Candidates best-first (identity order under ``static``)."""
+        if not self.adaptive:
+            return list(candidates)
+        return self.strategy.order(candidates)
+
+    def select(self, candidates: Sequence[str], default: str | None = None) -> str | None:
+        """One target from ``candidates`` (``default`` under ``static``)."""
+        if not candidates:
+            return default
+        choice = self.strategy.select(candidates, default=default)
+        if self.adaptive and default is not None and choice != default:
+            self.reroutes += 1
+            metrics = self._metrics()
+            if metrics is not None:
+                metrics.counter("routing.reroutes").inc()
+        return choice
+
+    def usable(self, targets: Sequence[str]) -> tuple[list[str], int]:
+        """Fan-out gating: ``(kept, skipped_count)``.
+
+        Only ``cooldown-failover`` skips targets (those in cooldown),
+        and never all of them — with every target cooling, the full
+        ordered list is kept so queries are not black-holed. Other
+        strategies reorder but always keep the whole set: fan-out width
+        is a coverage decision, not a load decision.
+        """
+        if not self.adaptive:
+            return list(targets), 0
+        ordered = self.strategy.order(targets)
+        if self.config.strategy != ROUTING_COOLDOWN_FAILOVER:
+            return ordered, 0
+        kept = [t for t in ordered if not self.cooldowns.in_cooldown(t)]
+        if not kept:
+            return ordered, 0
+        return kept, len(ordered) - len(kept)
+
+    def pick_walk(self, candidates: Sequence[str], rng) -> str:
+        """Random-walk next hop.
+
+        Static keeps the historical uniform ``rng.choice`` — consuming
+        the simulator RNG stream exactly as before this module existed —
+        while adaptive strategies pick deterministically by rank.
+        """
+        if not self.adaptive:
+            return rng.choice(list(candidates))
+        choice = self.strategy.select(candidates)
+        assert choice is not None
+        return choice
+
+    # -- passive observation hooks ----------------------------------------
+
+    def on_response(
+        self,
+        target: str,
+        *,
+        rtt: float | None = None,
+        queue_depth: int | None = None,
+    ) -> None:
+        """A target answered: feed latency/depth, clear its cooldown."""
+        if not self.adaptive:
+            return
+        if rtt is not None:
+            self.health.observe_latency(target, rtt)
+            metrics = self._metrics()
+            if metrics is not None:
+                metrics.histogram("routing.rtt").observe(rtt)
+        if queue_depth is not None:
+            self.health.observe_queue_depth(target, queue_depth)
+        self.cooldowns.record_success(target)
+
+    def on_busy(
+        self,
+        target: str,
+        *,
+        retry_after: float | None = None,
+        queue_depth: int | None = None,
+    ) -> None:
+        """A target shed our work: record its depth, start a cooldown.
+
+        The cooldown is at least the server's ``retry_after`` hint —
+        re-picking the target before it asked to be retried would just
+        earn another BUSY.
+        """
+        if not self.adaptive:
+            return
+        if queue_depth is not None:
+            self.health.observe_queue_depth(target, queue_depth)
+        length = self.cooldowns.record_failure(target)
+        if retry_after is not None and retry_after > length:
+            self.cooldowns._until[target] = self._now() + retry_after
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("routing.busy_observed").inc()
+
+    def on_timeout(self, target: str) -> None:
+        """A target went silent: start/extend its cooldown."""
+        if not self.adaptive:
+            return
+        self.cooldowns.record_failure(target)
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("routing.timeouts_observed").inc()
+
+    def forget(self, target: str) -> None:
+        """Drop all health state about a departed target."""
+        self.health.forget(target)
+        self.cooldowns.forget(target)
+
+    def _metrics(self):
+        network = self._node.network
+        return network.metrics if network is not None else None

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.core import protocol
 from repro.core.bootstrap import RegistryTracker
 from repro.core.config import DiscoveryConfig
+from repro.core.routing import Router
 from repro.descriptions.base import DescriptionModel, ModelRegistry
 from repro.netsim.messages import Envelope
 from repro.netsim.node import Node
@@ -65,9 +66,13 @@ class ServiceNode(Node):
         self.profile = profile
         self.models = ModelRegistry(models)
         self.endpoint = endpoint or f"svc://{node_id}"
+        self.router = Router(config.routing, self)
         self.tracker = RegistryTracker(
-            self, config, on_attached=self._on_attached
+            self, config, on_attached=self._on_attached, router=self.router
         )
+        #: Renew send times by lease id (latest send wins): the ack's
+        #: round-trip is a passive latency sample for the router.
+        self._renew_sent_at: dict[str, float] = {}
         self._published: dict[str, PublishedAd] = {
             model_id: PublishedAd(model_id=model_id) for model_id in self.models.model_ids()
         }
@@ -238,6 +243,7 @@ class ServiceNode(Node):
             and self.sim.now - self._attached_at >= 0.9 * self.config.renew_interval
         )
         if stale_renew or publish_unacked:
+            self.router.on_timeout(registry)
             self.tracker.registry_failed()
             return
         for record in sorted(self._published.values(), key=lambda r: r.model_id):
@@ -247,6 +253,7 @@ class ServiceNode(Node):
                 self._arm_renew_retry(record, registry, record.lease_id, attempt=1)
 
     def _send_renew(self, registry_id: str, record: PublishedAd) -> None:
+        self._renew_sent_at[record.lease_id] = self.sim.now
         self.send(
             registry_id,
             protocol.RENEW,
@@ -290,6 +297,10 @@ class ServiceNode(Node):
         payload = envelope.payload
         if not isinstance(payload, protocol.RenewPayload):
             return
+        sent_at = self._renew_sent_at.pop(payload.lease_id, None)
+        if sent_at is not None:
+            # Renew round-trips double as passive latency probes.
+            self.router.on_response(envelope.src, rtt=self.sim.now - sent_at)
         for record in self._published.values():
             if record.lease_id == payload.lease_id:
                 record.renew_outstanding = False
@@ -321,6 +332,11 @@ class ServiceNode(Node):
         payload = envelope.payload
         if not isinstance(payload, protocol.BusyPayload):
             return
+        self.router.on_busy(
+            envelope.src,
+            retry_after=payload.retry_after,
+            queue_depth=payload.queue_depth,
+        )
         if self.tracker.current != envelope.src:
             return
         if payload.msg_type == protocol.RENEW:

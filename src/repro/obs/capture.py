@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.core.admission import AdmissionPolicy
 from repro.core.client_node import DiscoveryCall
 from repro.core.config import DiscoveryConfig
+from repro.core.routing import ROUTING_LEAST_LOADED, RoutingConfig
 from repro.core.system import DiscoverySystem
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import TraceRecorder
@@ -67,11 +68,25 @@ def run_traced(experiment: str = "e7", seed: int = 0) -> TracedRun:
                                       degrade_at=1.0, retry_after_base=0.1),
         )
         interval = 0.05
+    registries_per_lan = 1
+    if experiment == "e18":
+        # The routing capture: the e17 tiny-queue saturation plus a
+        # sibling registry and the least-loaded strategy, so the trace
+        # shows queries rerouting off the saturated registry and the
+        # metrics block carries the routing.rtt histogram and the
+        # routing.reroutes / routing.busy_observed counters.
+        config = DiscoveryConfig(
+            admission=AdmissionPolicy(query_cost=0.4, queue_limit=1,
+                                      degrade_at=1.0, retry_after_base=0.1),
+            routing=RoutingConfig(strategy=ROUTING_LEAST_LOADED),
+        )
+        interval = 0.05
+        registries_per_lan = 2
     spec = ScenarioSpec(
         name=f"capture-{experiment}",
         lan_names=tuple(f"lan-{chr(ord('a') + i)}" for i in range(lans)),
         ontology_factory=battlefield_ontology,
-        registries_per_lan=1,
+        registries_per_lan=registries_per_lan,
         services_per_lan=2,
         clients_per_lan=1,
         federation="ring" if lans > 1 else "none",

@@ -418,3 +418,198 @@ def test_busy_from_foreign_registry_ignored_by_service(fast_config):
                                      retry_after=0.5, queue_depth=2),
     ))
     assert service.busy_deferrals == 0
+
+
+# -- RetryPolicy deadline budget ----------------------------------------------
+
+def test_budget_clamps_hint_and_computed_delay():
+    policy = RetryPolicy(base=0.5, factor=2.0, cap=8.0, max_attempts=3,
+                         jitter=0.0)
+    # A generous server hint cannot schedule the retry past the
+    # caller's remaining deadline.
+    assert policy.delay(1, retry_after=50.0, budget=1.5) == 1.5
+    # The clamp also bounds the computed exponential path.
+    assert policy.delay(3) == 2.0
+    assert policy.delay(3, budget=0.75) == 0.75
+    # A hint that already fits passes through untouched.
+    assert policy.delay(1, retry_after=0.4, budget=1.5) == 0.4
+
+
+def test_budget_clamp_applies_after_jitter():
+    policy = RetryPolicy(base=0.5, factor=2.0, cap=8.0, max_attempts=3,
+                         jitter=0.5)
+    # Whatever the jitter draw, the budget is a hard ceiling.
+    for key in ("a", "b", "c", "d"):
+        assert policy.delay(1, seed=9, key=key, retry_after=1.0,
+                            budget=1.0) <= 1.0
+
+
+def test_negative_budget_rejected():
+    policy = RetryPolicy()
+    with pytest.raises(ReproError):
+        policy.delay(1, budget=-0.1)
+    assert policy.delay(1, budget=0.0) == 0.0
+
+
+def test_client_fails_over_when_hint_exceeds_deadline(fast_config):
+    # Regression: a saturated registry's retry_after hint used to be
+    # taken at face value even when it pushed the retry past the call's
+    # deadline — the client slept through its own budget and the call
+    # died in the query timeout. Now the un-affordable hint triggers an
+    # immediate failover and a budget-clamped retry.
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=fast_config)
+    system.add_lan("lan-0")
+    saturated = system.add_registry("lan-0")
+    sibling = system.add_registry("lan-0")
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    client.tracker.seed(saturated.node_id)
+
+    call = client.discover(REQUEST, model_id="semantic")
+    assert call.sent_to == saturated.node_id
+    wire_id = next(iter(client._by_wire_id))
+    deadline_budget = call.deadline - system.sim.now
+    # A hint far beyond the whole attempt budget (3 x 2s query_timeout).
+    client.receive(Envelope(
+        msg_type=protocol.BUSY, src=saturated.node_id, dst=client.node_id,
+        payload=protocol.BusyPayload(request_id=wire_id,
+                                     msg_type=protocol.QUERY,
+                                     retry_after=deadline_budget + 30.0,
+                                     queue_depth=9),
+    ))
+    # One BUSY sufficed: the hint could not fit, so the tracker moved
+    # off the saturated registry immediately.
+    assert client.tracker.current == sibling.node_id
+    system.run_for(6.0)
+    assert call.completed and call.hits
+    assert call.sent_to == sibling.node_id
+    # The retry ran on the client's own (budget-clamped) schedule, well
+    # inside the deadline, not on the absurd server hint.
+    assert call.latency < deadline_budget
+
+
+def test_client_busy_retry_never_sleeps_past_deadline(fast_config):
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=fast_config)
+    system.add_lan("lan-0")
+    registry = system.add_registry("lan-0")
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+
+    call = client.discover(REQUEST, model_id="semantic")
+    wire_id = next(iter(client._by_wire_id))
+    # Burn most of the budget, then shed with a hint that fits the
+    # original deadline but not the remainder.
+    system.run_for(0.0)
+    remaining = call.deadline - system.sim.now
+    hint = remaining - 0.05  # fits: kept, but clamped by the budget
+    client.receive(Envelope(
+        msg_type=protocol.BUSY, src=registry.node_id, dst=client.node_id,
+        payload=protocol.BusyPayload(request_id=wire_id,
+                                     msg_type=protocol.QUERY,
+                                     retry_after=hint, queue_depth=2),
+    ))
+    system.run_for(30.0)
+    assert call.completed
+    # However the retry was scheduled, the call resolved within its
+    # attempt budget (deadline + one query timeout + fallback window).
+    assert call.latency <= (call.deadline - call.issued_at) + 2.5
+
+
+# -- BUSY accounting on the fallback path -------------------------------------
+
+def test_late_busy_on_fallback_path_not_double_counted(fast_config):
+    # Regression: a registry BUSY arriving while the call was already in
+    # decentralized fallback used to re-enter the retry path — bumping
+    # busy_rejections a second time for the same call and re-dispatching
+    # a call the fallback timer was about to complete (resurrecting a
+    # completed DiscoveryCall on slow LANs).
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=fast_config)
+    system.add_lan("lan-0")
+    registry = system.add_registry("lan-0")
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+
+    busy = lambda wid: Envelope(
+        msg_type=protocol.BUSY, src=registry.node_id, dst=client.node_id,
+        payload=protocol.BusyPayload(request_id=wid,
+                                     msg_type=protocol.QUERY,
+                                     retry_after=0.1, queue_depth=3),
+    )
+
+    # Shed every registry attempt the instant it hits the wire, until
+    # the attempt budget forces the decentralized fallback.
+    original_dispatch = client._dispatch
+
+    def dispatch_and_reject(call):
+        original_dispatch(call)
+        if call.completed or call.via == "fallback":
+            return
+        wire_id = next(
+            (w for w, c in client._by_wire_id.items() if c is call), None)
+        if wire_id is not None:
+            client.receive(busy(wire_id))
+
+    client._dispatch = dispatch_and_reject
+    call = client.discover(REQUEST, model_id="semantic")
+    # Step in sub-fallback-window increments so the sim stops while the
+    # fallback collection window is still open.
+    for _ in range(400):
+        if call.via == "fallback" or call.completed:
+            break
+        system.run_for(0.05)
+    rejections = client.busy_rejections
+    retries = client.query_retries
+    assert rejections >= 2
+    assert call.via == "fallback"
+    assert not call.completed
+    fallback_wire = next(
+        w for w, c in client._by_wire_id.items() if c is call)
+
+    # The saturated registry sheds the DECENTRAL_QUERY multicast too:
+    # this BUSY must be ignored — no counter bump, no retry, no
+    # resurrection.
+    client.receive(busy(fallback_wire))
+    assert client.busy_rejections == rejections
+    assert client.query_retries == retries
+    assert client._by_wire_id[fallback_wire] is call  # entry intact
+
+    system.run_for(2.0)
+    assert call.completed and call.completions == 1
+    assert call.via == "fallback"
+    # A straggler BUSY after completion is equally inert.
+    client.receive(busy(fallback_wire))
+    assert client.busy_rejections == rejections
+    assert call.completions == 1
+    from repro.core.invariants import check_invariants
+    assert check_invariants(system) == []
+
+
+def test_busy_for_unknown_wire_id_is_ignored(fast_config):
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=fast_config)
+    system.add_lan("lan-0")
+    registry = system.add_registry("lan-0")
+    system.add_service("lan-0", _radar())
+    client = system.add_client("lan-0")
+    system.run(until=2.0)
+    call = client.discover(REQUEST, model_id="semantic")
+    system.run_for(4.0)
+    assert call.completed
+    # The attempt is long dead: a late BUSY for its wire id must not
+    # resurrect the call or touch any counter.
+    client.receive(Envelope(
+        msg_type=protocol.BUSY, src=registry.node_id, dst=client.node_id,
+        payload=protocol.BusyPayload(request_id=f"{call.query_id}/0",
+                                     msg_type=protocol.QUERY,
+                                     retry_after=0.2, queue_depth=1),
+    ))
+    assert client.busy_rejections == 0
+    assert call.completions == 1
+    from repro.core.invariants import check_invariants
+    assert check_invariants(system) == []

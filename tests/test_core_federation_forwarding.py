@@ -375,3 +375,120 @@ def test_leave_and_rejoin_resets_failure_detector_state():
     # stale pre-leave counter still in place.
     system.run_for(3.0)
     assert rb.node_id in ra.federation.neighbors
+
+
+# -- CircuitBreaker half-open probe stampede -----------------------------------
+
+def test_breaker_half_open_admits_exactly_one_probe():
+    from repro.core.forwarding import (
+        BREAKER_CLOSED,
+        BREAKER_HALF_OPEN,
+        BREAKER_OPEN,
+        CircuitBreaker,
+    )
+
+    clock = [0.0]
+    breaker = CircuitBreaker(lambda: clock[0], failure_threshold=2,
+                             reset_timeout=5.0)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    clock[0] += 5.0
+    # The reset timeout elapses: the FIRST caller gets the probe slot ...
+    assert breaker.allows()
+    assert breaker.state == BREAKER_HALF_OPEN
+    # ... and every concurrent caller is refused while the probe is in
+    # flight. The historical bug admitted them all: a fan-out arriving
+    # in one batch stampeded a barely-recovered neighbor with N
+    # simultaneous "probes".
+    assert not breaker.allows()
+    assert not breaker.allows()
+    # The probe's failure re-opens the breaker and re-arms the timer;
+    # the next window again admits exactly one.
+    assert breaker.record_failure() is True
+    assert breaker.state == BREAKER_OPEN
+    clock[0] += 5.0
+    assert breaker.allows()
+    assert not breaker.allows()
+    # A successful probe closes the breaker, clearing the latch: traffic
+    # flows freely again.
+    assert breaker.record_success() is True
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.allows() and breaker.allows()
+
+
+# -- SeenQueries eviction vs in-flight aggregations ----------------------------
+
+def test_seen_queries_eviction_spares_protected_ids():
+    clock = [0.0]
+    live = {"q1", "q3"}
+    seen = SeenQueries(lambda: clock[0], retention=1000.0, max_entries=4,
+                       protected=lambda q: q in live)
+    for i in range(1, 5):
+        assert seen.check_and_mark(f"q{i}")
+    # Table full; the next insert must evict — but the oldest two ids
+    # are live aggregations, so the evictor skips to q2. Evicting a
+    # live id would let a late duplicate re-enter check_and_mark and
+    # double-count into the pending aggregation.
+    assert seen.check_and_mark("q5")
+    assert "q1" in seen and "q3" in seen
+    assert "q2" not in seen
+    assert seen.evictions == 1
+    # Still-live duplicates stay duplicates even under table pressure.
+    assert not seen.check_and_mark("q1")
+    assert not seen.check_and_mark("q3")
+
+
+def test_seen_queries_exceeds_bound_rather_than_evicting_live_ids():
+    clock = [0.0]
+    seen = SeenQueries(lambda: clock[0], retention=1000.0, max_entries=3,
+                       protected=lambda q: True)
+    for i in range(6):
+        assert seen.check_and_mark(f"q{i}")
+    # Every entry is a live aggregation: the hard bound yields (it is
+    # transiently exceeded) instead of breaking an in-flight query.
+    assert len(seen) == 6
+    assert seen.evictions == 0
+    assert all(f"q{i}" in seen for i in range(6))
+
+
+def test_seen_queries_prune_spares_protected_ids():
+    clock = [0.0]
+    live = {"slow"}
+    seen = SeenQueries(lambda: clock[0], retention=10.0, max_entries=None,
+                       protected=lambda q: q in live)
+    seen.check_and_mark("slow")
+    # Enough entries to cross the lazy-prune threshold (the sweep only
+    # runs above 1024 entries).
+    for i in range(1100):
+        seen.check_and_mark(f"fast{i}")
+    clock[0] = 60.0  # far past the retention horizon
+    seen.check_and_mark("new")
+    # The expired-but-live aggregation id survives the prune; the dead
+    # ones go.
+    assert "slow" in seen
+    assert "fast0" not in seen
+    assert len(seen) == 2  # slow + new
+    assert not seen.check_and_mark("slow")
+
+
+def test_seen_queries_protected_eviction_at_default_bound():
+    # The production configuration: the default 4096-entry bound under a
+    # flood, with a handful of in-flight ids scattered through the
+    # oldest region of the table.
+    clock = [0.0]
+    live = {f"live{i}" for i in range(5)}
+    seen = SeenQueries(lambda: clock[0], retention=1e9,
+                       protected=lambda q: q in live)
+    for live_id in sorted(live):
+        assert seen.check_and_mark(live_id)
+    for i in range(8000):
+        assert seen.check_and_mark(f"flood{i}")
+    # The bound holds (the evictor takes the oldest *non-protected*
+    # entries instead) ...
+    assert len(seen) == 4096
+    # ... and every live id survived 8000 insertions' worth of eviction
+    # pressure; only flood ids were evicted.
+    for live_id in live:
+        assert live_id in seen
+        assert not seen.check_and_mark(live_id)
