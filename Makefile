@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke bench all
+.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke bench all
 
 ## Tier 1: the full unit/integration suite. Must always be green.
 test:
@@ -47,8 +47,18 @@ overload-smoke:
 routing-smoke:
 	$(PYTHON) -m pytest benchmarks/test_e18_routing.py -q
 
+## Tier 2: recovery smoke — replays the E19 whole-LAN blackout at a
+## fixed seed and asserts the durability gates: >= 99% of non-expired
+## advertisements recovered from local WAL+snapshot replay alone with
+## zero re-publish traffic, time-to-full-query-success at least 5x
+## better than memory-only, injected torn/corrupt disk faults survived
+## without crashing recovery, and the default (durability off)
+## configuration attaching no disks at all.
+recovery-smoke:
+	$(PYTHON) -m pytest benchmarks/test_e19_recovery.py -q
+
 ## Full experiment/benchmark sweep (slow).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-all: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke
+all: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke

@@ -1,0 +1,54 @@
+"""Bench E19 — durable crash recovery: WAL + snapshot vs memory-only.
+
+Gates the PR's acceptance criteria:
+
+* **Recovery** — after a whole-LAN blackout the durable registries
+  restore >= 99% of non-expired advertisements from local replay alone,
+  with zero re-publish traffic, and reach full query success at least
+  5x faster than the memory-only baseline.
+* **Disk faults** — torn tail writes and record corruption never crash
+  recovery: the damage is counted and anti-entropy repairs the loss
+  back to full replica convergence.
+* **Determinism** — two same-seed runs produce identical result rows.
+* **Inertness** — the default (durability off) configuration attaches
+  no disks at all, so the memory-only baseline really is untouched.
+"""
+
+from repro.experiments.e19_recovery import _build, run, run_disk_faults
+
+
+def test_e19_recovery(benchmark, record):
+    result = benchmark.pedantic(lambda: run(seed=0), rounds=1, iterations=1)
+    record(result)
+    memory = result.single(durability="memory-only")
+    durable = result.single(durability="wal+snapshot")
+    assert durable["recovered_frac"] >= 0.99
+    assert durable["recovery_violations"] == 0
+    assert durable["republishes"] == 0
+    assert durable["replayed"] > 0
+    assert memory["republishes"] > 0
+    assert memory["ttfs"] >= 5 * durable["ttfs"]
+
+
+def test_e19_disk_faults(results_dir):
+    result = run_disk_faults(seed=0)
+    (results_dir / "e19_faults.txt").write_text(result.table() + "\n")
+    row = result.single()
+    assert row["faults"] == 6  # 2x (crash, disk fault, restart)
+    assert row["torn_writes"] == 1 and row["corruptions"] == 1
+    assert row["corrupt_skipped"] >= 1
+    assert row["recoveries"] == 2
+    assert row["hits_after"] == row["expected"]
+    assert row["convergence_violations"] == 0
+
+
+def test_e19_same_seed_rows_are_identical():
+    assert run(seed=3).rows == run(seed=3).rows
+
+
+def test_default_config_attaches_no_disks():
+    system, _client = _build(False, seed=0)
+    system.run(until=20.0)
+    assert system.network.disks == {}
+    assert all(r.durability.counters()["wal_appends"] == 0
+               for r in system.registries)

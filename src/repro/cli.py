@@ -64,6 +64,9 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "e18": ("repro.experiments.e18_routing",
             "§3.1 — adaptive load-aware routing under skewed registry "
             "load"),
+    "e19": ("repro.experiments.e19_recovery",
+            "extension — durable crash recovery (WAL + snapshot vs "
+            "memory-only)"),
 }
 
 

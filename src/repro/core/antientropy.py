@@ -63,6 +63,7 @@ class AntiEntropy:
         self.ads_applied = 0
         self.removals_applied = 0
         self.resurrections_blocked = 0
+        self.tombstones_pruned = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -111,10 +112,40 @@ class AntiEntropy:
         return self.registry.sim.now if self.registry.network is not None else 0.0
 
     def _prune_tombstones(self) -> None:
-        horizon = self._now() - 2 * self.config.lease_duration
+        """Bound tombstone growth: age horizon plus a hard size cap.
+
+        The age prune drops tombstones older than ``2 * lease_duration`` —
+        by then every replica's lease lapsed on its own. Under
+        remove-heavy churn that horizon alone still admits unbounded
+        growth, so ``antientropy_tombstone_cap`` evicts oldest-first past
+        the cap — but never a tombstone younger than the
+        *resurrection-safe floor* ``lease_duration + 2 * purge_interval``:
+        after an explicit removal the origin service stops renewing, so
+        every replica's lease lapses within one ``lease_duration``, and
+        two purge sweeps clear the ad everywhere. A tombstone older than
+        the floor guards nothing a lease hasn't already killed, so
+        evicting it cannot resurrect the ad; the map may transiently
+        exceed the cap rather than evict a still-needed tombstone.
+        """
+        now = self._now()
+        horizon = now - 2 * self.config.lease_duration
         stale = [ad_id for ad_id, (_v, at) in self.tombstones.items() if at < horizon]
         for ad_id in stale:
             del self.tombstones[ad_id]
+        self.tombstones_pruned += len(stale)
+        cap = self.config.antientropy_tombstone_cap
+        if cap is None or len(self.tombstones) <= cap:
+            return
+        floor = now - (self.config.lease_duration + 2 * self.config.purge_interval)
+        evictable = sorted(
+            (at, ad_id)
+            for ad_id, (_v, at) in self.tombstones.items()
+            if at < floor
+        )
+        excess = len(self.tombstones) - cap
+        for _at, ad_id in evictable[:excess]:
+            del self.tombstones[ad_id]
+            self.tombstones_pruned += 1
 
     # -- digests -----------------------------------------------------------
 
@@ -168,8 +199,18 @@ class AntiEntropy:
         for ad_id, version in payload.tombstones:
             if self.blocked(ad_id, version):
                 continue
-            self.tombstones[ad_id] = (version, self._now())
             existing = store.get(ad_id) if ad_id in store else None
+            if existing is None and ad_id not in self.tombstones:
+                # Nothing to delete and no staler tombstone to bump:
+                # adopting here would re-stamp a tombstone a peer may
+                # just have pruned, and the mutual re-seeding keeps the
+                # pair perpetually young — unbounded growth under churn.
+                # Skipping is lease-safe: should a stale third replica
+                # push the corpse later, its shipped *remaining* lease
+                # (the origin stopped renewing at removal) expires it
+                # within one lease_duration anyway.
+                continue
+            self.tombstones[ad_id] = (version, self._now())
             if existing is not None and existing.version <= version:
                 store.discard(ad_id)
                 self.epochs.pop(ad_id, None)
@@ -268,6 +309,7 @@ class AntiEntropy:
             "removals_applied": self.removals_applied,
             "resurrections_blocked": self.resurrections_blocked,
             "tombstones": len(self.tombstones),
+            "tombstones_pruned": self.tombstones_pruned,
         }
 
     def _record(self, kind: str, n: int = 1) -> None:

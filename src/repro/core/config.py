@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 from repro.core.admission import AdmissionPolicy
+from repro.core.durability import DurabilityConfig
 from repro.core.retry import RetryPolicy
 from repro.core.routing import RoutingConfig
 
@@ -130,6 +131,14 @@ class DiscoveryConfig:
     breaker_failure_threshold: int = 3
     #: Seconds an open breaker waits before allowing a half-open probe.
     breaker_reset_timeout: float = 10.0
+    #: Upper bound on retained anti-entropy tombstones. Under
+    #: remove-heavy churn the tombstone map would otherwise grow without
+    #: limit; past the cap, tombstones older than the resurrection-safe
+    #: floor (``lease_duration + 2 * purge_interval`` — see
+    #: :meth:`~repro.core.antientropy.AntiEntropy._prune_tombstones`)
+    #: are evicted oldest-first. ``None`` disables the size cap (the
+    #: ``2 * lease_duration`` age prune still applies).
+    antientropy_tombstone_cap: int | None = 4096
 
     def antientropy_enabled(self) -> bool:
         """Anti-entropy runs only for replicating registries."""
@@ -152,6 +161,13 @@ class DiscoveryConfig:
     #: caller's historical choice and the observation hooks are no-ops, so
     #: existing deployments are bit-identical.
     routing: RoutingConfig = RoutingConfig()
+
+    # -- durability ---------------------------------------------------------
+    #: Crash recovery from a per-node WAL + snapshot (see
+    #: :mod:`repro.core.durability`). The default has durability off and
+    #: is fully inert: no disk is attached, no message grows a header,
+    #: and event timing is bit-identical to a memory-only deployment.
+    durability: DurabilityConfig = DurabilityConfig()
 
     # -- recovery / retries ------------------------------------------------
     #: Backoff between client query attempts (failover retries). The
@@ -196,6 +212,11 @@ class DiscoveryConfig:
         if self.breaker_reset_timeout <= 0:
             raise ReproError(
                 f"breaker_reset_timeout must be positive, got {self.breaker_reset_timeout}"
+            )
+        if self.antientropy_tombstone_cap is not None and self.antientropy_tombstone_cap < 1:
+            raise ReproError(
+                f"antientropy_tombstone_cap must be >= 1 or None, "
+                f"got {self.antientropy_tombstone_cap}"
             )
 
     @property

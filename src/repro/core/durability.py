@@ -1,0 +1,554 @@
+"""Durable crash recovery: WAL + snapshot persistence with epoch fencing.
+
+The paper treats registry content as soft state — "should a service
+crash … the service description would be purged" — but the *registry's
+own* crash is a different failure mode: a correlated outage (whole-LAN
+blackout, rolling restart of every replica) loses every advertisement
+and lease until each service's next renew cycle notices and republishes.
+Directory-based discovery must keep registry state available across
+registry failure, not only across network faults. This module gives a
+registry exactly that, without giving up determinism:
+
+* every store mutation (publish/absorb, renew, explicit remove, lease
+  expiry) appends a **checksummed record** to an append-only WAL;
+* a periodic **compacting snapshot** rewrites the full state and
+  truncates the WAL, bounding replay work;
+* both are written through a small **storage port** — the default
+  backend is the :class:`~repro.netsim.disk.SimDisk` the network keeps
+  per node id (zero simulated time, survives crash/restart, reachable
+  by fault injection), and :class:`FileDisk` provides a real-filesystem
+  backend behind the same port for deployments outside the simulator;
+* on restart the registry **replays** snapshot+WAL, drops leases that
+  expired while it was down, bumps a persisted **incarnation epoch** so
+  peers fence its stale pre-crash messages, and lets the ordinary
+  join-time anti-entropy digest run as a *delta* repair round instead
+  of a cold bootstrap.
+
+Torn tail writes stop replay at the damaged frame; records whose CRC
+fails are skipped and counted (``durability.corrupt_skipped``) — the
+next anti-entropy round repairs whatever a skipped record lost.
+
+The all-off default (``DurabilityConfig()``) is fully inert: no disk is
+ever attached, no header is added to any message, and event timing is
+bit-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core import protocol
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.registry_node import RegistryNode
+
+#: Envelope header carrying the sender's persisted incarnation epoch.
+#: Only present when the sender has durability enabled; receivers track
+#: the highest epoch seen per peer and drop lower-stamped replication
+#: traffic ("a message from a previous life of this registry").
+INCARNATION_HEADER = "x-incarnation"
+
+#: Message types stamped with (and fenced by) the incarnation header:
+#: replication and reconciliation traffic, where a stale pre-crash write
+#: could undo post-recovery state, plus the federation handshake so
+#: peers learn a restarted registry's new epoch immediately on rejoin.
+FENCED_MSG_TYPES = frozenset({
+    protocol.AD_FORWARD,
+    protocol.ANTIENTROPY_DIGEST,
+    protocol.ANTIENTROPY_PULL,
+    protocol.ANTIENTROPY_ADS,
+    protocol.FEDERATION_JOIN,
+    protocol.FEDERATION_JOIN_ACK,
+})
+
+#: WAL/snapshot file names on the per-node disk.
+WAL_FILE = "wal"
+SNAPSHOT_FILE = "snap"
+META_FILE = "meta"
+
+#: Sanity bound on a single framed record; a length prefix beyond this
+#: means the framing itself was destroyed and the rest of the log is
+#: unparseable (dropped as a corrupt tail).
+_MAX_RECORD = 1 << 24
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Per-deployment durability tunables.
+
+    The default (``enabled=False``) is fully inert — behavior- and
+    byte-identical to a deployment without durability, like the inert
+    defaults of :class:`~repro.core.admission.AdmissionPolicy` and
+    :class:`~repro.core.routing.RoutingConfig`.
+    """
+
+    #: Master switch. Off: no disk attached, no WAL, no headers.
+    enabled: bool = False
+    #: Seconds between periodic compacting snapshots; ``None`` disables
+    #: the periodic task (snapshots still happen on the record cap and
+    #: at recovery).
+    snapshot_interval: float | None = 30.0
+    #: Compact as soon as this many WAL records accumulated since the
+    #: last snapshot; ``None`` disables the count trigger.
+    max_wal_records: int | None = 512
+    #: Root directory for the real-file backend. ``None`` (default)
+    #: uses the network's in-memory :class:`~repro.netsim.disk.SimDisk`;
+    #: a path stores each node's files under ``<directory>/<node_id>/``.
+    directory: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.snapshot_interval is not None and self.snapshot_interval <= 0:
+            raise ReproError(
+                f"snapshot_interval must be positive or None, "
+                f"got {self.snapshot_interval}"
+            )
+        if self.max_wal_records is not None and self.max_wal_records < 1:
+            raise ReproError(
+                f"max_wal_records must be >= 1 or None, got {self.max_wal_records}"
+            )
+
+
+class FileDisk:
+    """Real-filesystem backend implementing the SimDisk storage port.
+
+    One directory per node; each named blob is a file. Provides the same
+    fault-injection operations as :class:`~repro.netsim.disk.SimDisk` so
+    recovery tests run identically against both backends.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._last_write: dict[str, int] = {}
+        self.torn_writes = 0
+        self.corruptions = 0
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    def read(self, name: str) -> bytes | None:
+        try:
+            with open(self._path(name), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def write(self, name: str, data: bytes) -> None:
+        # Atomic replace so a crash mid-rewrite never leaves a half
+        # snapshot: the old file stays intact until the rename.
+        tmp = self._path(name) + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, self._path(name))
+        self._last_write[name] = len(data)
+
+    def append(self, name: str, data: bytes) -> None:
+        with open(self._path(name), "ab") as fh:
+            fh.write(data)
+        self._last_write[name] = len(data)
+
+    def delete(self, name: str) -> None:
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+        self._last_write.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(
+            n for n in os.listdir(self.directory)
+            if not n.endswith(".tmp")
+        )
+
+    def size(self, name: str) -> int:
+        try:
+            return os.path.getsize(self._path(name))
+        except OSError:
+            return 0
+
+    def tear_tail(self, name: str) -> int:
+        data = self.read(name)
+        if not data:
+            return 0
+        last = self._last_write.get(name) or len(data)
+        cut = min(len(data), max(1, (last + 1) // 2))
+        self.write(name, data[: len(data) - cut])
+        self.torn_writes += 1
+        return cut
+
+    def corrupt(self, name: str) -> bool:
+        data = self.read(name)
+        if not data:
+            return False
+        mid = len(data) // 2
+        self.write(name, data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:])
+        self.corruptions += 1
+        return True
+
+
+# -- record framing -----------------------------------------------------------
+
+def frame_record(payload_obj: Any) -> bytes:
+    """Serialize one record as ``[length:4][crc32:4][pickle payload]``."""
+    payload = pickle.dumps(payload_obj)
+    return struct.pack("<II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF) \
+        + payload
+
+
+def scan_records(data: bytes | None) -> tuple[list[Any], int, bool]:
+    """Parse framed records; never raises.
+
+    Returns ``(records, corrupt_skipped, torn)``:
+
+    * a frame whose payload fails its CRC (or does not unpickle) is
+      *skipped and counted* — the scan resumes at the next frame;
+    * an incomplete final frame (torn tail write) or a destroyed length
+      prefix stops the scan (``torn=True``) — everything before it is
+      kept, everything after is unparseable.
+    """
+    records: list[Any] = []
+    corrupt = 0
+    torn = False
+    if not data:
+        return records, corrupt, torn
+    offset, total = 0, len(data)
+    while offset < total:
+        if total - offset < 8:
+            torn = True
+            break
+        length, crc = struct.unpack_from("<II", data, offset)
+        if length > _MAX_RECORD:
+            corrupt += 1
+            torn = True
+            break
+        if offset + 8 + length > total:
+            torn = True
+            break
+        payload = data[offset + 8: offset + 8 + length]
+        offset += 8 + length
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            corrupt += 1
+            continue
+        try:
+            records.append(pickle.loads(payload))
+        except Exception:
+            corrupt += 1
+    return records, corrupt, torn
+
+
+# -- the manager --------------------------------------------------------------
+
+class DurabilityManager:
+    """WAL + snapshot persistence and recovery for one registry.
+
+    Record shapes (pickled tuples, tagged by their first element):
+
+    * ``("store", ad, lease_id, duration, expires_at, origin_epoch)`` —
+      an advertisement entered or refreshed the store (publish, replica
+      absorb); carries the lease coordinates so recovery can restore the
+      *original* lease id and expiry (services keep renewing the same
+      lease across the outage — zero re-publish traffic).
+    * ``("renew", ad_id, expires_at, origin_epoch)`` — a lease renewal
+      (much smaller than re-logging the advertisement).
+    * ``("remove", ad_id, version, noted_at)`` — an explicit removal;
+      replayed as a tombstone so recovery cannot resurrect it.
+    * ``("expire", ad_id)`` — the purge task dropped a lapsed lease.
+
+    The snapshot file holds one framed ``("snapshot", entries,
+    tombstones, taken_at)`` record; the meta file one framed
+    ``("meta", incarnation)`` record.
+    """
+
+    def __init__(self, registry: "RegistryNode", config: DurabilityConfig) -> None:
+        self.registry = registry
+        self.config = config
+        #: Persisted restart counter ("which life of this registry"),
+        #: bumped on every recovery and carried on replication traffic
+        #: so peers can fence stale pre-crash writes.
+        self.incarnation = 0
+        self.wal_appends = 0
+        self.replayed = 0
+        self.corrupt_skipped = 0
+        self.recoveries = 0
+        self.snapshots = 0
+        self.fenced = 0
+        self._records_since_snapshot = 0
+        self._port: Any = None
+        self._meta_loaded = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def port(self) -> Any:
+        """The storage backend for this node (resolved lazily)."""
+        if self._port is None:
+            if self.config.directory is not None:
+                self._port = FileDisk(
+                    os.path.join(self.config.directory, self.registry.node_id)
+                )
+            else:
+                self._port = self.registry.network.disk(self.registry.node_id)
+        return self._port
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Load persisted meta and arm the periodic snapshot (if enabled)."""
+        if not self.enabled:
+            return
+        if not self._meta_loaded:
+            self._meta_loaded = True
+            records, _corrupt, _torn = scan_records(self.port().read(META_FILE))
+            for record in records:
+                if record and record[0] == "meta":
+                    self.incarnation = max(self.incarnation, int(record[1]))
+        if self.config.snapshot_interval is not None:
+            self.registry.every(self.config.snapshot_interval, self.snapshot)
+
+    def discard(self) -> None:
+        """Drop persisted store state (a standby giving up the role).
+
+        The incarnation meta survives: the *next* promotion of this node
+        must still fence any stragglers from its previous active life.
+        """
+        if not self.enabled:
+            return
+        port = self.port()
+        port.write(WAL_FILE, b"")
+        port.write(SNAPSHOT_FILE, b"")
+        self._records_since_snapshot = 0
+
+    # -- logging (called by the registry on every store mutation) ----------
+
+    def _append(self, record: tuple) -> None:
+        self.port().append(WAL_FILE, frame_record(record))
+        self.wal_appends += 1
+        self._records_since_snapshot += 1
+        if self.registry.network is not None:
+            self.registry.network.metrics.counter("durability.wal_appends").inc()
+        if (
+            self.config.max_wal_records is not None
+            and self._records_since_snapshot >= self.config.max_wal_records
+        ):
+            self.snapshot()
+
+    def log_store(
+        self,
+        ad: Any,
+        *,
+        lease_id: str,
+        duration: float,
+        expires_at: float,
+        origin_epoch: int,
+    ) -> None:
+        """An advertisement was stored or refreshed (publish/absorb)."""
+        if self.enabled:
+            self._append(
+                ("store", ad, lease_id, duration, expires_at, origin_epoch)
+            )
+
+    def log_renew(self, ad_id: str, *, expires_at: float, origin_epoch: int) -> None:
+        """A lease renewal extended an advertisement's expiry."""
+        if self.enabled:
+            self._append(("renew", ad_id, expires_at, origin_epoch))
+
+    def log_remove(self, ad_id: str, version: int) -> None:
+        """An advertisement was explicitly removed (tombstoned)."""
+        if self.enabled:
+            self._append(("remove", ad_id, version, self.registry.sim.now))
+
+    def log_expire(self, ad_id: str) -> None:
+        """The purge task dropped an advertisement whose lease lapsed."""
+        if self.enabled:
+            self._append(("expire", ad_id))
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Write a full-state snapshot and truncate the WAL (compaction)."""
+        if not self.enabled:
+            return
+        registry = self.registry
+        entries = []
+        for ad in sorted(registry.store.all(), key=lambda a: a.ad_id):
+            lease_id = ""
+            duration = self.registry.config.lease_duration
+            expires_at = float("inf")
+            if registry.config.leasing_enabled and registry.leases is not None:
+                lease = registry.leases.lease_for_ad(ad.ad_id)
+                if lease is None:
+                    # Lease already lapsed but the purge sweep has not
+                    # run yet; the snapshot must not immortalize the ad.
+                    continue
+                lease_id = lease.lease_id
+                duration = lease.duration
+                expires_at = lease.expires_at
+            entries.append(
+                (ad, lease_id, duration, expires_at,
+                 registry.antientropy.epochs.get(ad.ad_id, 0))
+            )
+        record = (
+            "snapshot",
+            tuple(entries),
+            dict(registry.antientropy.tombstones),
+            registry.sim.now,
+        )
+        port = self.port()
+        # Snapshot first, then truncate: a crash between the two leaves
+        # the old WAL alongside the new snapshot, and replaying those
+        # records over the snapshotted state is idempotent.
+        port.write(SNAPSHOT_FILE, frame_record(record))
+        port.write(WAL_FILE, b"")
+        self._records_since_snapshot = 0
+        self.snapshots += 1
+        if registry.network is not None:
+            registry.network.metrics.counter("durability.snapshots").inc()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _load_state(self) -> tuple[dict, dict, int]:
+        """Replay snapshot+WAL into ``(ads, tombstones, corrupt)``.
+
+        ``ads`` maps ad_id to ``[ad, lease_id, duration, expires_at,
+        origin_epoch]``; ``tombstones`` maps ad_id to ``(version,
+        noted_at)``.
+        """
+        port = self.port()
+        ads: dict[str, list] = {}
+        tombstones: dict[str, tuple[int, float]] = {}
+        corrupt = 0
+
+        snap_records, snap_corrupt, _torn = scan_records(port.read(SNAPSHOT_FILE))
+        corrupt += snap_corrupt
+        for record in snap_records:
+            if not record or record[0] != "snapshot":
+                corrupt += 1
+                continue
+            _tag, entries, snap_tombs, _taken_at = record
+            for ad, lease_id, duration, expires_at, origin_epoch in entries:
+                ads[ad.ad_id] = [ad, lease_id, duration, expires_at, origin_epoch]
+            tombstones.update(snap_tombs)
+
+        wal_records, wal_corrupt, _torn = scan_records(port.read(WAL_FILE))
+        corrupt += wal_corrupt
+        for record in wal_records:
+            tag = record[0] if record else None
+            if tag == "store":
+                _tag, ad, lease_id, duration, expires_at, origin_epoch = record
+                ads[ad.ad_id] = [ad, lease_id, duration, expires_at, origin_epoch]
+                tombstones.pop(ad.ad_id, None)
+            elif tag == "renew":
+                _tag, ad_id, expires_at, origin_epoch = record
+                entry = ads.get(ad_id)
+                if entry is not None:
+                    entry[3] = expires_at
+                    entry[4] = max(entry[4], origin_epoch)
+            elif tag == "remove":
+                _tag, ad_id, version, noted_at = record
+                ads.pop(ad_id, None)
+                tombstones[ad_id] = (version, noted_at)
+            elif tag == "expire":
+                ads.pop(record[1], None)
+            else:
+                corrupt += 1
+        return ads, tombstones, corrupt
+
+    def recover(self) -> dict[str, int] | None:
+        """Replay persisted state into the (freshly started) registry.
+
+        Must run *after* :meth:`RegistryNode.start` re-created the lease
+        manager and scheduled the seed joins: the joins' acks arrive as
+        later events, so by the time the join-time anti-entropy digest
+        fires, the store is already warm and the digest exchange is a
+        pure delta repair round. Leases that expired in simulated time
+        while the registry was down are dropped (with their ads) rather
+        than resurrected. Bumps and persists the incarnation epoch so
+        peers fence this registry's stale pre-crash messages.
+        """
+        if not self.enabled:
+            return None
+        registry = self.registry
+        trace = registry.trace
+        span = None
+        if trace is not None:
+            span = trace.start_span(
+                "registry.recover", node=registry.node_id,
+                attrs={"incarnation": self.incarnation + 1},
+            )
+        ads, tombstones, corrupt = self._load_state()
+        now = registry.sim.now
+        replayed = 0
+        dropped_expired = 0
+        for ad_id in sorted(ads):
+            ad, lease_id, duration, expires_at, origin_epoch = ads[ad_id]
+            if registry.config.leasing_enabled and expires_at <= now:
+                dropped_expired += 1
+                continue
+            registry.store.put(ad)
+            registry.antientropy.note_stored(ad_id, origin_epoch)
+            if (
+                registry.config.leasing_enabled
+                and registry.leases is not None
+                and lease_id
+            ):
+                registry.leases.restore(
+                    ad_id, lease_id=lease_id, duration=duration,
+                    expires_at=expires_at,
+                )
+            replayed += 1
+        for ad_id in sorted(tombstones):
+            registry.antientropy.tombstones[ad_id] = tombstones[ad_id]
+
+        self.incarnation += 1
+        self.recoveries += 1
+        self.replayed += replayed
+        self.corrupt_skipped += corrupt
+        self.port().write(META_FILE, frame_record(("meta", self.incarnation)))
+        # Compact immediately: recovery itself is the best snapshot point.
+        self.snapshot()
+
+        counts = {
+            "replayed": replayed,
+            "dropped_expired": dropped_expired,
+            "corrupt_skipped": corrupt,
+            "tombstones": len(tombstones),
+            "incarnation": self.incarnation,
+        }
+        if registry.network is not None:
+            metrics = registry.network.metrics
+            metrics.counter("durability.replayed").inc(replayed)
+            if corrupt:
+                metrics.counter("durability.corrupt_skipped").inc(corrupt)
+            registry.network.stats.record_recovery("durability-recover")
+        if trace is not None and span is not None:
+            trace.end_span(span, attrs=dict(counts))
+        return counts
+
+    # -- fencing -----------------------------------------------------------
+
+    def stamp(self, headers: dict[str, Any] | None) -> dict[str, Any]:
+        """Add the incarnation header to an outgoing fenced message."""
+        out = dict(headers or {})
+        out.setdefault(INCARNATION_HEADER, self.incarnation)
+        return out
+
+    # -- reporting ---------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Durability counters for experiment rows."""
+        return {
+            "wal_appends": self.wal_appends,
+            "replayed": self.replayed,
+            "corrupt_skipped": self.corrupt_skipped,
+            "recoveries": self.recoveries,
+            "snapshots": self.snapshots,
+            "fenced": self.fenced,
+            "incarnation": self.incarnation,
+        }

@@ -36,6 +36,11 @@ from repro.core.config import (
     STRATEGY_INFORMED,
     STRATEGY_RANDOM_WALK,
 )
+from repro.core.durability import (
+    DurabilityManager,
+    FENCED_MSG_TYPES,
+    INCARNATION_HEADER,
+)
 from repro.core.federation import Federation
 from repro.core.forwarding import (
     PendingAggregation,
@@ -107,6 +112,12 @@ class RegistryNode(Node):
         #: Adaptive target selection for fan-out and walk next hops, fed
         #: passively by forwarded-query round-trips and peer BUSYs.
         self.router = Router(config.routing, self)
+        #: WAL + snapshot persistence and epoch-fenced crash recovery.
+        #: Inert (no disk, no headers) unless ``config.durability`` opts in.
+        self.durability = DurabilityManager(self, config.durability)
+        #: Highest incarnation epoch seen per peer (fencing state); only
+        #: ever populated by peers that stamp their replication traffic.
+        self._peer_incarnations: dict[str, int] = {}
         self.leases: LeaseManager | None = None
         self._seen: SeenQueries | None = None
         self._pending: dict[str, PendingAggregation] = {}
@@ -138,6 +149,7 @@ class RegistryNode(Node):
             self.every(self.config.purge_interval, self._purge)
         self.federation.start()
         self.antientropy.start()
+        self.durability.start()
         # Find same-LAN peer registries immediately (gateway election needs
         # them) and join the statically seeded WAN peers.
         self.multicast(protocol.REGISTRY_PROBE)
@@ -153,7 +165,14 @@ class RegistryNode(Node):
         self.admission.on_crash()
 
     def on_restart(self) -> None:
-        """Come back with empty soft state and re-bootstrap."""
+        """Come back with empty volatile state and re-bootstrap.
+
+        With durability enabled, :meth:`DurabilityManager.recover` then
+        replays the persisted snapshot+WAL *before* any seed-join ack
+        can arrive, so the join-time anti-entropy digest exchange runs
+        against a warm store — a delta repair round, not a cold
+        bootstrap.
+        """
         self.store.clear()
         self.repository.clear()
         self.federation.reset()
@@ -162,7 +181,64 @@ class RegistryNode(Node):
         self._walks.clear()
         self._seen_ad_pushes.clear()
         self._subscriptions.clear()
+        self._peer_incarnations.clear()
         self.start()
+        self.durability.recover()
+
+    def send(
+        self,
+        dst: str,
+        msg_type: str,
+        payload: Any = None,
+        *,
+        payload_type: str | None = None,
+        headers: dict[str, Any] | None = None,
+        hops: int = 0,
+    ) -> Envelope:
+        """Stamp replication traffic with our incarnation epoch.
+
+        Only when durability is enabled — the default deployment sends
+        byte-identical messages with no extra header. Headers do not
+        contribute to the wire-size model, so enabling durability does
+        not perturb delivery timing either.
+        """
+        if self.durability.enabled and msg_type in FENCED_MSG_TYPES:
+            headers = self.durability.stamp(headers)
+        return super().send(
+            dst, msg_type, payload,
+            payload_type=payload_type, headers=headers, hops=hops,
+        )
+
+    def _fence_stale(self, envelope: Envelope) -> bool:
+        """Drop replication traffic from a peer's previous incarnation.
+
+        A registry that crashed with messages in flight bumps its
+        persisted epoch on recovery; once we have seen the new epoch
+        (the rejoin handshake carries it), any lower-stamped straggler
+        is a pre-crash write that post-recovery state already
+        supersedes — absorbing it could resurrect retired data.
+        Unstamped messages (durability off, plain peers) pass freely.
+        """
+        stamp = envelope.headers.get(INCARNATION_HEADER)
+        if stamp is None:
+            return False
+        known = self._peer_incarnations.get(envelope.src, -1)
+        if stamp < known:
+            self.durability.fenced += 1
+            if self.network is not None:
+                self.network.metrics.counter("durability.fenced").inc()
+                trace = self.trace
+                if trace is not None:
+                    trace.event(
+                        "durability.fenced",
+                        node=self.node_id,
+                        ctx=self._trace_ctx,
+                        attrs={"from": envelope.src, "stale": stamp,
+                               "current": known},
+                    )
+            return True
+        self._peer_incarnations[envelope.src] = stamp
+        return False
 
     def describe(self) -> RegistryDescription:
         """Self-description for beacons, probe replies, and signalling."""
@@ -282,11 +358,15 @@ class RegistryNode(Node):
             self.federation.handle_registry_list(envelope.payload)
 
     def handle_federation_join(self, envelope: Envelope) -> None:
+        if self._fence_stale(envelope):
+            return
         description = envelope.payload if isinstance(envelope.payload, RegistryDescription) \
             else None
         self.federation.handle_join(envelope.src, description)
 
     def handle_federation_join_ack(self, envelope: Envelope) -> None:
+        if self._fence_stale(envelope):
+            return
         description = envelope.payload if isinstance(envelope.payload, RegistryDescription) \
             else None
         self.federation.handle_join_ack(envelope.src, description)
@@ -356,10 +436,16 @@ class RegistryNode(Node):
         self.rim.publishes += 1
         lease_id = ""
         duration = float("inf")
+        expires_at = float("inf")
         if self.config.leasing_enabled and self.leases is not None:
             lease = self.leases.grant(ad_id, payload.lease_duration)
             lease_id = lease.lease_id
             duration = lease.duration
+            expires_at = lease.expires_at
+        self.durability.log_store(
+            ad, lease_id=lease_id, duration=duration, expires_at=expires_at,
+            origin_epoch=self._lease_epoch(),
+        )
         self.send(
             envelope.src,
             protocol.PUBLISH_ACK,
@@ -383,7 +469,7 @@ class RegistryNode(Node):
             self.send(envelope.src, protocol.RENEW_ACK, payload)
             return
         try:
-            self.leases.renew(payload.lease_id)
+            lease = self.leases.renew(payload.lease_id)
         except Exception:
             # Unknown/expired lease: the service must republish (§4.8).
             self.send(envelope.src, protocol.RENEW_NACK, payload)
@@ -391,6 +477,10 @@ class RegistryNode(Node):
         self.send(envelope.src, protocol.RENEW_ACK, payload)
         if payload.ad_id in self.store:
             self.antientropy.note_stored(payload.ad_id, self._lease_epoch())
+            self.durability.log_renew(
+                payload.ad_id, expires_at=lease.expires_at,
+                origin_epoch=self._lease_epoch(),
+            )
         if self.config.cooperation == COOPERATION_REPLICATE_ADS and payload.ad_id in self.store:
             # Refresh replicas: the lease epoch advances the dedup key so
             # the push floods through.
@@ -408,6 +498,7 @@ class RegistryNode(Node):
             # Tombstone the removal so a stale replica cannot resurrect
             # the advertisement through anti-entropy reconciliation.
             self.antientropy.note_removed(payload.ad_id, removed.version)
+            self.durability.log_remove(payload.ad_id, removed.version)
         self.send(envelope.src, protocol.REMOVE_ACK, payload)
 
     def _purge(self) -> None:
@@ -417,6 +508,7 @@ class RegistryNode(Node):
                 if self.store.discard(ad_id) is not None:
                     self.rim.removals += 1
                     self.antientropy.note_dropped(ad_id)
+                    self.durability.log_expire(ad_id)
         now = self.sim.now
         lapsed = [sid for sid, sub in self._subscriptions.items()
                   if now >= sub.expires_at]
@@ -580,8 +672,18 @@ class RegistryNode(Node):
         fresh = ad.ad_id not in self.store
         self.store.put(ad)
         self.antientropy.note_stored(ad.ad_id, payload.epoch)
+        lease_id = ""
+        duration = payload.lease_duration
+        expires_at = float("inf")
         if self.config.leasing_enabled and self.leases is not None:
-            self.leases.grant(ad.ad_id, payload.lease_duration)
+            lease = self.leases.grant(ad.ad_id, payload.lease_duration)
+            lease_id = lease.lease_id
+            duration = lease.duration
+            expires_at = lease.expires_at
+        self.durability.log_store(
+            ad, lease_id=lease_id, duration=duration, expires_at=expires_at,
+            origin_epoch=payload.epoch,
+        )
         if fresh:
             self._notify_subscribers(ad)
         return True
@@ -589,6 +691,8 @@ class RegistryNode(Node):
     def handle_ad_forward(self, envelope: Envelope) -> None:
         payload = envelope.payload
         if not isinstance(payload, protocol.AdForwardPayload):
+            return
+        if self._fence_stale(envelope):
             return
         key = payload.dedup_key()
         if key in self._seen_ad_pushes:
@@ -603,14 +707,20 @@ class RegistryNode(Node):
     # -- anti-entropy reconciliation ----------------------------------------------
 
     def handle_antientropy_digest(self, envelope: Envelope) -> None:
+        if self._fence_stale(envelope):
+            return
         if isinstance(envelope.payload, protocol.DigestPayload):
             self.antientropy.handle_digest(envelope.src, envelope.payload)
 
     def handle_antientropy_pull(self, envelope: Envelope) -> None:
+        if self._fence_stale(envelope):
+            return
         if isinstance(envelope.payload, protocol.DigestPullPayload):
             self.antientropy.handle_pull(envelope.src, envelope.payload)
 
     def handle_antientropy_ads(self, envelope: Envelope) -> None:
+        if self._fence_stale(envelope):
+            return
         if isinstance(envelope.payload, protocol.SyncAdsPayload):
             self.antientropy.handle_ads(envelope.src, envelope.payload)
 

@@ -76,10 +76,16 @@ class StandbyRegistry(RegistryNode):
         self.every(self._watch_interval(), self._evaluate_dormant)
 
     def on_restart(self) -> None:
-        """A crashed standby comes back dormant regardless of prior role."""
+        """A crashed standby comes back dormant regardless of prior role.
+
+        Durable state (WAL + snapshot) from a previous *active* life is
+        deliberately kept: if this node promotes again it recovers its
+        persisted store first and lets warm sync repair only the delta.
+        """
         self.active = False
         self._beacon_seen.clear()
         self._promotion_pending = False
+        self._peer_incarnations.clear()
         self.store.clear()
         self.repository.clear()
         self.federation.reset()
@@ -147,6 +153,9 @@ class StandbyRegistry(RegistryNode):
         self.cancel_tasks()
         super().start()
         self.every(self._watch_interval(), self._evaluate_active)
+        # Recover persisted state from a previous active life *before*
+        # warm sync, so the digest exchange repairs only the delta.
+        self.durability.recover()
         self._warm_sync()
         # Announce immediately so peer standbys stand down and clients
         # attach without waiting a full beacon interval.
@@ -212,6 +221,10 @@ class StandbyRegistry(RegistryNode):
         self.cancel_tasks()
         self.store.clear()
         self.antientropy.reset()
+        # A graceful step-down hands the content back to the LAN's live
+        # registries; replaying it at the *next* promotion would resurrect
+        # stale ads, so drop the WAL + snapshot (the incarnation survives).
+        self.durability.discard()
         self._pending.clear()
         self._walks.clear()
         self._subscriptions.clear()

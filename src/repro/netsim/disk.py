@@ -1,0 +1,94 @@
+"""Simulated per-node durable storage.
+
+A :class:`SimDisk` is a tiny named-blob store owned by the
+:class:`~repro.netsim.network.Network`, keyed by node id — so its
+contents survive a node's fail-stop crash/restart cycle exactly like a
+real machine's disk survives a process crash. All operations are
+synchronous and cost zero simulated time: durability never perturbs
+event ordering, which keeps same-seed runs byte-identical whether a
+deployment persists state or not.
+
+The disk is also the injection point for *storage* faults
+(:mod:`repro.netsim.faults`): :meth:`tear_tail` models a write that was
+in flight when the power went ("torn write" — the tail of the last
+append is missing), and :meth:`corrupt` models silent media corruption
+(one byte flipped). Both are deterministic — no randomness — so fault
+scenarios replay bit-identically.
+"""
+
+from __future__ import annotations
+
+
+class SimDisk:
+    """Named byte blobs with deterministic fault injection."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytearray] = {}
+        #: Size of the most recent append/write per file, so a torn write
+        #: can chop *within* the last record rather than at an arbitrary
+        #: historical offset.
+        self._last_write: dict[str, int] = {}
+        self.torn_writes = 0
+        self.corruptions = 0
+
+    # -- storage port --------------------------------------------------------
+
+    def read(self, name: str) -> bytes | None:
+        """The full contents of ``name``, or ``None`` if absent."""
+        data = self._files.get(name)
+        return bytes(data) if data is not None else None
+
+    def write(self, name: str, data: bytes) -> None:
+        """Replace ``name`` wholesale (atomic rewrite)."""
+        self._files[name] = bytearray(data)
+        self._last_write[name] = len(data)
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data`` to ``name``, creating it if absent."""
+        self._files.setdefault(name, bytearray()).extend(data)
+        self._last_write[name] = len(data)
+
+    def delete(self, name: str) -> None:
+        """Remove ``name`` (no-op if absent)."""
+        self._files.pop(name, None)
+        self._last_write.pop(name, None)
+
+    def names(self) -> list[str]:
+        """Stored file names, sorted."""
+        return sorted(self._files)
+
+    def size(self, name: str) -> int:
+        """Bytes stored under ``name`` (0 if absent)."""
+        data = self._files.get(name)
+        return len(data) if data is not None else 0
+
+    # -- fault injection -----------------------------------------------------
+
+    def tear_tail(self, name: str) -> int:
+        """Truncate half of the last write to ``name`` (torn write).
+
+        Returns the number of bytes chopped (0 when there was nothing to
+        tear). Deterministic: always ``ceil(last_write / 2)`` bytes, at
+        least one.
+        """
+        data = self._files.get(name)
+        if not data:
+            return 0
+        last = self._last_write.get(name) or len(data)
+        cut = min(len(data), max(1, (last + 1) // 2))
+        del data[len(data) - cut:]
+        self.torn_writes += 1
+        return cut
+
+    def corrupt(self, name: str) -> bool:
+        """Flip one byte in the middle of ``name`` (media corruption).
+
+        Returns False when the file is absent or empty. Deterministic:
+        always the byte at ``len // 2``.
+        """
+        data = self._files.get(name)
+        if not data:
+            return False
+        data[len(data) // 2] ^= 0xFF
+        self.corruptions += 1
+        return True

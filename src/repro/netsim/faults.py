@@ -50,6 +50,8 @@ KIND_PARTITION = "partition"
 KIND_HEAL = "heal"
 KIND_LOSS = "loss-window"
 KIND_LATENCY = "latency-spike"
+KIND_DISK_TORN = "disk-torn-write"
+KIND_DISK_CORRUPT = "disk-corruption"
 
 
 @dataclass(frozen=True)
@@ -62,11 +64,14 @@ class FaultAction:
     groups: tuple[tuple[str, ...], ...] = ()
     window: LossWindow | None = None
     spike: LatencySpike | None = None
+    file: str = ""
 
     def describe(self) -> str:
         """Human-readable one-liner for histories and experiment notes."""
         if self.kind in (KIND_CRASH, KIND_RESTART):
             return f"t={self.time:g} {self.kind} {self.node_id}"
+        if self.kind in (KIND_DISK_TORN, KIND_DISK_CORRUPT):
+            return f"t={self.time:g} {self.kind} {self.node_id}:{self.file}"
         if self.kind == KIND_PARTITION:
             return f"t={self.time:g} partition {list(map(list, self.groups))}"
         if self.kind == KIND_LOSS:
@@ -104,6 +109,32 @@ class FaultPlan:
     def restart(self, at: float, node_id: str) -> "FaultPlan":
         """Restart ``node_id`` at time ``at`` (no-op if already up)."""
         self._actions.append(FaultAction(time=at, kind=KIND_RESTART, node_id=node_id))
+        return self
+
+    def disk_torn_write(self, at: float, node_id: str, *, file: str = "wal") -> "FaultPlan":
+        """Tear the tail of ``node_id``'s durable ``file`` at time ``at``.
+
+        Models a crash mid-``write(2)``: a deterministic chunk of the most
+        recent append is chopped off, leaving a half-written final record.
+        Recovery must stop replay at the torn frame without crashing.
+        No-op when the node never attached a disk.
+        """
+        self._actions.append(
+            FaultAction(time=at, kind=KIND_DISK_TORN, node_id=node_id, file=file)
+        )
+        return self
+
+    def disk_corrupt(self, at: float, node_id: str, *, file: str = "wal") -> "FaultPlan":
+        """Flip a byte in the middle of ``node_id``'s durable ``file``.
+
+        Models silent media corruption. Recovery must skip (and count)
+        the CRC-failing record and let anti-entropy repair the loss.
+        Deterministic: the flipped offset depends only on file length.
+        No-op when the node never attached a disk.
+        """
+        self._actions.append(
+            FaultAction(time=at, kind=KIND_DISK_CORRUPT, node_id=node_id, file=file)
+        )
         return self
 
     def partition(self, at: float, groups: Iterable[Iterable[str]]) -> "FaultPlan":
@@ -264,6 +295,14 @@ class AppliedFaults:
             self.network.partition(action.groups)
         elif action.kind == KIND_HEAL:
             self.network.heal_partition()
+        elif action.kind == KIND_DISK_TORN:
+            disk = self.network.disks.get(action.node_id)
+            if disk is None or disk.tear_tail(action.file) == 0:
+                return
+        elif action.kind == KIND_DISK_CORRUPT:
+            disk = self.network.disks.get(action.node_id)
+            if disk is None or not disk.corrupt(action.file):
+                return
         # Loss windows and latency spikes were installed at apply time
         # (they are time-scoped); this event just marks their onset.
         self.network.stats.record_fault(action.kind)

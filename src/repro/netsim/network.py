@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import NetworkError, UnknownNodeError
+from repro.netsim.disk import SimDisk
 from repro.netsim.messages import Envelope, SizeModel
 from repro.netsim.node import Node
 from repro.netsim.simulator import Simulator
@@ -176,6 +177,12 @@ class Network:
         #: loss bursts and latency spikes consulted on every delivery.
         self.loss_windows: list[LossWindow] = []
         self.latency_spikes: list[LatencySpike] = []
+        #: Per-node durable storage (see :mod:`repro.netsim.disk`),
+        #: created lazily by :meth:`disk` — the dict stays empty unless
+        #: a node opts into durability. Keyed by node id, owned by the
+        #: network, so contents survive node crash/restart like a real
+        #: disk survives a process crash.
+        self.disks: dict[str, SimDisk] = {}
 
     # -- construction ---------------------------------------------------
 
@@ -249,6 +256,19 @@ class Network:
         if lan is None:
             raise NetworkError(f"unknown LAN {lan_name!r}")
         return [self.nodes[nid] for nid in sorted(lan.node_ids)]
+
+    def disk(self, node_id: str) -> SimDisk:
+        """The durable per-node disk for ``node_id`` (created on first use).
+
+        Unlike the node object's volatile attributes, the disk is owned
+        by the network, so a fail-stop crash/restart cycle leaves its
+        contents intact. :mod:`repro.netsim.faults` reaches disks here to
+        inject torn writes and corruption.
+        """
+        disk = self.disks.get(node_id)
+        if disk is None:
+            disk = self.disks[node_id] = SimDisk()
+        return disk
 
     # -- partitions -----------------------------------------------------
 

@@ -69,6 +69,14 @@ def run_traced(experiment: str = "e7", seed: int = 0) -> TracedRun:
         )
         interval = 0.05
     registries_per_lan = 1
+    if experiment == "e19":
+        # The recovery capture: durability on, with the registry crashed
+        # and restarted mid-capture — the trace then shows the
+        # registry.recover span and the metrics block carries the
+        # durability.wal_appends / durability.replayed counters.
+        from repro.core.durability import DurabilityConfig
+
+        config = DiscoveryConfig(durability=DurabilityConfig(enabled=True))
     if experiment == "e18":
         # The routing capture: the e17 tiny-queue saturation plus a
         # sibling registry and the least-loaded strategy, so the trace
@@ -97,6 +105,13 @@ def run_traced(experiment: str = "e7", seed: int = 0) -> TracedRun:
     # Let bootstrap finish (probes, publishes, first federation round)
     # before the workload starts, so traces show steady-state behavior.
     system.run(until=12.0)
+    if experiment == "e19":
+        # Crash and restart the registry after bootstrap so the workload
+        # below queries the *replayed* store.
+        registry = system.registries[0]
+        system.sim.schedule_at(system.sim.now + 0.5, registry.crash)
+        system.sim.schedule_at(system.sim.now + 1.0, registry.restart)
+        system.run_for(1.5)
     workload = QueryWorkload.anchored(built.generator, built.profiles, 4, generalize=1)
     driver = QueryDriver(system, workload, model_id="semantic",
                          interval=interval, seed=seed)

@@ -53,7 +53,8 @@ class LeaseManager:
     on_event:
         Optional observer called with ``(kind, lease)`` on every lease
         lifecycle transition: ``"grant"``, ``"renew"``, ``"expire"``,
-        ``"cancel"``. The registry wires this to its metrics/trace hooks.
+        ``"cancel"``, ``"restore"`` (crash recovery). The registry wires
+        this to its metrics/trace hooks.
     """
 
     def __init__(
@@ -123,6 +124,40 @@ class LeaseManager:
         lease.expires_at = self.clock() + lease.duration
         lease.renewals += 1
         self._notify("renew", lease)
+        return lease
+
+    def restore(
+        self,
+        ad_id: str,
+        *,
+        lease_id: str,
+        duration: float,
+        expires_at: float,
+        renewals: int = 0,
+    ) -> Lease:
+        """Reinstate a lease with its *original* id and expiry (recovery).
+
+        Crash recovery replays persisted leases through here instead of
+        :meth:`grant`: the service node holds the original ``lease_id``
+        and keeps renewing it across the registry outage, so restoring
+        the exact id (rather than minting a new one) is what lets those
+        renewals succeed — no RENEW_NACK, no forced republish.
+        """
+        if duration <= 0:
+            raise LeaseError(f"lease duration must be positive, got {duration}")
+        old = self.lease_for_ad(ad_id)
+        if old is not None:
+            self._drop(old)
+        lease = Lease(
+            lease_id=lease_id,
+            ad_id=ad_id,
+            duration=duration,
+            expires_at=expires_at,
+            renewals=renewals,
+        )
+        self._by_lease[lease.lease_id] = lease
+        self._by_ad[ad_id] = lease.lease_id
+        self._notify("restore", lease)
         return lease
 
     def cancel_for_ad(self, ad_id: str) -> None:

@@ -330,3 +330,117 @@ def test_convergence_scenario_bounded_rounds():
     assert row["diverged_after_heal"]
     assert row["rounds_to_converge"] <= row["max_rounds"]
     assert row["antientropy"]["ads_applied"] >= 1
+
+
+# -- bounded tombstone growth (churn spam) -------------------------------------
+
+
+class _TombstoneClock:
+    """Just enough registry for AntiEntropy prune unit tests: a settable
+    clock and an empty store."""
+
+    class _Sim:
+        now = 0.0
+
+    class _Store:
+        @staticmethod
+        def all():
+            return ()
+
+    def __init__(self):
+        self.sim = self._Sim()
+        self.network = object()
+        self.store = self._Store()
+
+
+def _pruner(cap, *, lease_duration=4.0, purge_interval=1.0):
+    from repro.core.antientropy import AntiEntropy
+
+    config = DiscoveryConfig(
+        cooperation=COOPERATION_REPLICATE_ADS, default_ttl=0,
+        antientropy_interval=1.0, lease_duration=lease_duration,
+        purge_interval=purge_interval, antientropy_tombstone_cap=cap,
+    )
+    registry = _TombstoneClock()
+    return AntiEntropy(registry, config), registry.sim
+
+
+def test_tombstone_cap_never_evicts_within_prune_horizon():
+    """Safety first: a burst of fresh tombstones may exceed the cap, but
+    none younger than ``lease_duration + 2 * purge_interval`` is evicted
+    — so nothing can be resurrected inside the prune horizon."""
+    ae, sim = _pruner(cap=5)  # floor 6s, age horizon 8s
+    for i in range(20):
+        ae.note_removed(f"ad-{i:03d}", version=1)
+    ae.digest()  # digest prunes; all 20 are younger than the floor
+    assert len(ae.tombstones) == 20
+    assert ae.tombstones_pruned == 0
+    assert all(ae.blocked(f"ad-{i:03d}", 1) for i in range(20))
+
+
+def test_tombstone_cap_evicts_oldest_past_the_safety_floor():
+    ae, sim = _pruner(cap=5)
+    for i in range(15):
+        sim.now = 0.05 * i  # staggered removals, all within 0.7s
+        ae.note_removed(f"ad-{i:03d}", version=1)
+    sim.now = 7.0  # past the 6s floor, inside the 8s age horizon
+    ae.digest()
+    assert len(ae.tombstones) == 5
+    assert ae.tombstones_pruned == 10
+    # Oldest-first: the five *newest* tombstones survive.
+    assert sorted(ae.tombstones) == [f"ad-{i:03d}" for i in range(10, 15)]
+
+
+def test_tombstone_age_horizon_clears_everything():
+    ae, sim = _pruner(cap=None)
+    for i in range(30):
+        ae.note_removed(f"ad-{i:03d}", version=1)
+    sim.now = 9.0  # past 2 * lease_duration = 8s
+    ae.digest()
+    assert ae.tombstones == {}
+    assert ae.tombstones_pruned == 30
+
+
+def test_tombstone_growth_bounded_under_remove_churn():
+    """Churn spam: waves of publish + explicit deregister must not grow
+    the tombstone map without bound, and nothing pruned may resurrect."""
+    config = DiscoveryConfig(
+        cooperation=COOPERATION_REPLICATE_ADS, default_ttl=0,
+        antientropy_interval=1.0, lease_duration=3.0, purge_interval=1.0,
+        antientropy_tombstone_cap=4,
+    )
+    system = DiscoverySystem(seed=5, ontology=battlefield_ontology(),
+                             config=config)
+    for i in range(2):
+        system.add_lan(f"lan-{i}")
+    registries = [
+        system.add_registry(f"lan-{i}", node_id=f"registry-{i:02d}",
+                            seeds=(f"registry-{(i + 1) % 2:02d}",))
+        for i in range(2)
+    ]
+    removed: set[str] = set()
+    for wave in range(4):
+        services = [
+            system.add_service(f"lan-{wave % 2}",
+                               _radar(f"burst-{wave}-{j}"))
+            for j in range(4)
+        ]
+        system.run_for(2.0)
+        for service in services:
+            removed.update(
+                ad.ad_id
+                for r in registries
+                for ad in r.store.by_service(service.node_id)
+            )
+            service.deregister()
+            service.crash()
+        system.run_for(1.0)
+    assert len(removed) >= 40  # far beyond the cap of 4
+    # Quiesce past the safety floor (3 + 2*1 = 5s) plus a digest round.
+    system.run_for(8.0)
+    for registry in registries:
+        assert len(registry.antientropy.tombstones) <= 4
+        assert registry.antientropy.tombstones_pruned > 0
+        assert all(ad_id not in registry.store for ad_id in removed)
+    assert check_convergence(system) == []
+    assert_invariants(system)

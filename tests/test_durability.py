@@ -1,0 +1,458 @@
+"""Durable crash recovery: WAL codec, storage ports, replay, fencing.
+
+Covers the durability subsystem end to end: record framing (CRC skip,
+torn-tail stop), the SimDisk/FileDisk storage-port parity, snapshot
+compaction, restart replay (original lease ids, expired-lease drop,
+tombstone restoration), incarnation fencing, disk-fault survival, the
+default-off inertness guarantee, and the crash→restart timer-leak
+regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import COOPERATION_REPLICATE_ADS, DiscoveryConfig
+from repro.core.durability import (
+    DurabilityConfig,
+    FileDisk,
+    INCARNATION_HEADER,
+    SNAPSHOT_FILE,
+    WAL_FILE,
+    frame_record,
+    scan_records,
+)
+from repro.core.invariants import assert_recovery, check_recovery, store_snapshot
+from repro.core.system import DiscoverySystem
+from repro.errors import ReproError
+from repro.netsim.disk import SimDisk
+from repro.netsim.messages import Envelope
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+REQUEST = ServiceRequest.build("ncw:SensorService", outputs=["ncw:Track"])
+
+
+def _radar(name):
+    return ServiceProfile.build(name, "ncw:RadarService",
+                                outputs=["ncw:AirTrack"])
+
+
+def _durable_config(**overrides):
+    defaults = dict(
+        cooperation=COOPERATION_REPLICATE_ADS, default_ttl=0,
+        antientropy_interval=2.0, lease_duration=30.0, purge_interval=2.0,
+        query_timeout=2.0, aggregation_timeout=0.3,
+        durability=DurabilityConfig(enabled=True),
+    )
+    defaults.update(overrides)
+    return DiscoveryConfig(**defaults)
+
+
+def _single_lan(config, *, seed=7, services=2):
+    system = DiscoverySystem(seed=seed, ontology=battlefield_ontology(),
+                             config=config)
+    system.add_lan("lan-0")
+    registry = system.add_registry("lan-0")
+    for i in range(services):
+        system.add_service("lan-0", _radar(f"radar-{i}"))
+    client = system.add_client("lan-0")
+    return system, registry, client
+
+
+# -- record framing --------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        data = b"".join(frame_record(("tag", i)) for i in range(5))
+        records, corrupt, torn = scan_records(data)
+        assert records == [("tag", i) for i in range(5)]
+        assert corrupt == 0 and not torn
+
+    def test_empty_and_none(self):
+        assert scan_records(b"") == ([], 0, False)
+        assert scan_records(None) == ([], 0, False)
+
+    def test_crc_failure_skips_one_record(self):
+        good = frame_record(("a", 1))
+        bad = bytearray(frame_record(("b", 2)))
+        bad[-1] ^= 0xFF  # flip a payload byte: CRC mismatch
+        tail = frame_record(("c", 3))
+        records, corrupt, torn = scan_records(good + bytes(bad) + tail)
+        assert records == [("a", 1), ("c", 3)]
+        assert corrupt == 1 and not torn
+
+    def test_torn_tail_stops_scan(self):
+        good = frame_record(("a", 1))
+        partial = frame_record(("b", 2))[:-3]
+        records, corrupt, torn = scan_records(good + partial)
+        assert records == [("a", 1)]
+        assert torn
+
+    def test_destroyed_length_prefix_is_corrupt_tail(self):
+        good = frame_record(("a", 1))
+        garbage = b"\xff" * 12  # length prefix far beyond _MAX_RECORD
+        records, corrupt, torn = scan_records(good + garbage)
+        assert records == [("a", 1)]
+        assert corrupt == 1 and torn
+
+
+# -- storage ports ---------------------------------------------------------
+
+
+def _port_contract(disk):
+    assert disk.read("wal") is None
+    disk.append("wal", b"abc")
+    disk.append("wal", b"def")
+    assert disk.read("wal") == b"abcdef"
+    assert disk.size("wal") == 6
+    disk.write("wal", b"xyz")
+    assert disk.read("wal") == b"xyz"
+    disk.write("snap", b"s")
+    assert disk.names() == ["snap", "wal"]
+    disk.delete("snap")
+    assert disk.names() == ["wal"]
+    disk.delete("missing")  # no-op
+
+
+class TestSimDisk:
+    def test_port_contract(self):
+        _port_contract(SimDisk())
+
+    def test_tear_tail_chops_half_the_last_write(self):
+        disk = SimDisk()
+        disk.append("wal", b"A" * 10)
+        disk.append("wal", b"B" * 8)
+        cut = disk.tear_tail("wal")
+        assert cut == 4  # half of the 8-byte append, rounded up
+        assert disk.read("wal") == b"A" * 10 + b"B" * 4
+        assert disk.torn_writes == 1
+
+    def test_tear_tail_empty_is_noop(self):
+        disk = SimDisk()
+        assert disk.tear_tail("wal") == 0
+        disk.write("wal", b"")
+        assert disk.tear_tail("wal") == 0
+        assert disk.torn_writes == 0
+
+    def test_corrupt_flips_middle_byte(self):
+        disk = SimDisk()
+        disk.write("wal", b"\x00" * 9)
+        assert disk.corrupt("wal")
+        assert disk.read("wal") == b"\x00" * 4 + b"\xff" + b"\x00" * 4
+        assert disk.corruptions == 1
+
+    def test_corrupt_empty_is_noop(self):
+        disk = SimDisk()
+        assert not disk.corrupt("wal")
+        assert disk.corruptions == 0
+
+
+class TestFileDisk:
+    def test_port_contract(self, tmp_path):
+        _port_contract(FileDisk(str(tmp_path / "node")))
+
+    def test_fault_parity_with_simdisk(self, tmp_path):
+        sim, real = SimDisk(), FileDisk(str(tmp_path / "node"))
+        for disk in (sim, real):
+            disk.append("wal", b"A" * 10)
+            disk.append("wal", b"B" * 8)
+            disk.tear_tail("wal")
+            disk.corrupt("wal")
+        assert sim.read("wal") == real.read("wal")
+
+    def test_write_leaves_no_tmp_files(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "node"))
+        disk.write("snap", b"state")
+        assert disk.names() == ["snap"]
+
+
+# -- configuration ---------------------------------------------------------
+
+
+class TestDurabilityConfig:
+    def test_default_is_disabled(self):
+        assert not DurabilityConfig().enabled
+        assert not DiscoveryConfig().durability.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"snapshot_interval": 0.0}, {"snapshot_interval": -1.0},
+         {"max_wal_records": 0}],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            DurabilityConfig(**kwargs)
+
+    def test_tombstone_cap_validated(self):
+        with pytest.raises(ReproError):
+            DiscoveryConfig(antientropy_tombstone_cap=0)
+
+
+# -- default-off inertness -------------------------------------------------
+
+
+class TestInertDefault:
+    def test_no_disk_attached_and_no_headers(self, ontology):
+        system = DiscoverySystem(seed=7, ontology=ontology)
+        system.add_lan("lan-0")
+        registry = system.add_registry("lan-0")
+        system.add_service("lan-0", _radar("radar-0"))
+        system.run(until=5.0)
+        assert system.network.disks == {}
+        assert registry.durability.counters()["wal_appends"] == 0
+        env = registry.send(registry.node_id, "ad-forward")
+        assert INCARNATION_HEADER not in env.headers
+
+
+# -- recovery end to end ---------------------------------------------------
+
+
+class TestRecovery:
+    def test_replay_restores_store_and_original_lease_ids(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=5.0)
+        pre = store_snapshot(registry)
+        assert pre
+        lease_ids = {ad_id: registry.leases.lease_for_ad(ad_id).lease_id
+                     for ad_id in pre}
+        registry.crash()
+        system.run_for(1.0)
+        registry.restart()
+        assert_recovery(registry, pre)
+        for ad_id, lease_id in lease_ids.items():
+            restored = registry.leases.lease_for_ad(ad_id)
+            assert restored is not None and restored.lease_id == lease_id
+        assert registry.durability.incarnation == 1
+
+    def test_renewals_succeed_after_recovery_without_republish(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=5.0)
+        registry.crash()
+        system.run_for(1.0)
+        registry.restart()
+        before = system.network.stats.snapshot()
+        # Two renew intervals (30 * 0.4 = 12s each): every service renews
+        # its original lease; none is NACKed into republishing.
+        system.run_for(25.0)
+        delta = system.network.stats.delta_since(before)
+        assert delta["by_type"].get("publish", {}).get("count", 0) == 0
+        assert delta["by_type"].get("renew-nack", {}).get("count", 0) == 0
+        call = system.discover(client, REQUEST, timeout=3.0)
+        assert len(call.hits) > 0
+
+    def test_leases_expired_during_outage_are_dropped(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=5.0)
+        pre = store_snapshot(registry)
+        registry.crash()
+        for service in system.services:
+            service.crash()  # nobody renews during the long outage
+        system.run_for(2.0 * system.config.lease_duration)
+        registry.restart()
+        assert len(registry.store) == 0
+        assert len(registry.leases) == 0
+        # The invariant agrees: every pre-crash lease expired by now.
+        assert check_recovery(registry, pre) == []
+
+    def test_remove_tombstone_survives_restart(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=5.0)
+        victim = system.services[0]
+        ad_ids = [ad.ad_id for ad in registry.store.all()
+                  if ad.service_node == victim.node_id]
+        assert ad_ids
+        victim.deregister()
+        system.run_for(1.0)
+        assert all(ad_id in registry.antientropy.tombstones
+                   for ad_id in ad_ids)
+        registry.crash()
+        system.run_for(1.0)
+        registry.restart()
+        for ad_id in ad_ids:
+            assert ad_id in registry.antientropy.tombstones
+            assert ad_id not in registry.store
+
+    def test_snapshot_compaction_truncates_wal(self):
+        config = _durable_config(
+            durability=DurabilityConfig(enabled=True, max_wal_records=5),
+        )
+        system, registry, client = _single_lan(config, services=3)
+        system.run(until=20.0)
+        disk = system.network.disk(registry.node_id)
+        assert registry.durability.snapshots >= 1
+        records, _corrupt, _torn = scan_records(disk.read(WAL_FILE))
+        assert len(records) < 5
+        snap_records, _c, _t = scan_records(disk.read(SNAPSHOT_FILE))
+        assert snap_records and snap_records[0][0] == "snapshot"
+
+    def test_recovery_replays_snapshot_plus_wal(self):
+        config = _durable_config(
+            durability=DurabilityConfig(enabled=True, max_wal_records=4),
+        )
+        system, registry, client = _single_lan(config, services=3)
+        system.run(until=20.0)
+        pre = store_snapshot(registry)
+        registry.crash()
+        system.run_for(0.5)
+        registry.restart()
+        assert_recovery(registry, pre)
+
+    def test_same_seed_runs_are_identical(self):
+        # Ad/lease ids come from a process-global counter, so two runs in
+        # one process differ in ids; everything else — event timing, WAL
+        # record mix, replay outcome — must be bit-identical.
+        def one():
+            system, registry, client = _single_lan(_durable_config())
+            system.run(until=5.0)
+            registry.crash()
+            system.run_for(1.0)
+            registry.restart()
+            system.run_for(5.0)
+            disk = system.network.disk(registry.node_id)
+            wal, _c, _t = scan_records(disk.read(WAL_FILE))
+            snap, _c2, _t2 = scan_records(disk.read(SNAPSHOT_FILE))
+            return (
+                sorted((ad.service_name, ad.version)
+                       for ad in registry.store.all()),
+                [record[0] for record in wal],
+                len(snap[0][1]) if snap else 0,
+                registry.durability.counters(),
+                system.sim.now,
+            )
+
+        assert one() == one()
+
+    def test_file_disk_backend_recovers(self, tmp_path):
+        config = _durable_config(
+            durability=DurabilityConfig(enabled=True,
+                                        directory=str(tmp_path)),
+        )
+        system, registry, client = _single_lan(config)
+        system.run(until=5.0)
+        pre = store_snapshot(registry)
+        assert pre
+        registry.crash()
+        system.run_for(1.0)
+        registry.restart()
+        assert_recovery(registry, pre)
+        assert system.network.disks == {}  # the real-file port was used
+
+
+# -- disk-fault survival ---------------------------------------------------
+
+
+class TestDiskFaults:
+    def test_torn_wal_tail_never_crashes_recovery(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=5.0)
+        registry.crash()
+        disk = system.network.disk(registry.node_id)
+        assert disk.tear_tail(WAL_FILE) > 0
+        system.run_for(0.5)
+        registry.restart()  # must not raise
+        system.run_for(2.0)
+        call = system.discover(client, REQUEST, timeout=3.0)
+        assert call.completed
+
+    def test_corrupt_snapshot_skipped_and_counted(self):
+        config = _durable_config(
+            durability=DurabilityConfig(enabled=True, max_wal_records=4),
+        )
+        system, registry, client = _single_lan(config, services=3)
+        system.run(until=20.0)
+        registry.crash()
+        disk = system.network.disk(registry.node_id)
+        assert disk.corrupt(SNAPSHOT_FILE)
+        system.run_for(0.5)
+        registry.restart()  # must not raise
+        assert registry.durability.corrupt_skipped >= 1
+
+
+# -- incarnation fencing ---------------------------------------------------
+
+
+class TestFencing:
+    def test_send_stamps_fenced_types_only(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=2.0)
+        stamped = registry.send(registry.node_id, "ad-forward")
+        assert stamped.headers[INCARNATION_HEADER] == 0
+        plain = registry.send(registry.node_id, "publish")
+        assert INCARNATION_HEADER not in plain.headers
+
+    def test_stale_incarnation_dropped_and_counted(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=2.0)
+
+        def envelope(stamp):
+            return Envelope(msg_type="ad-forward", src="peer-x",
+                            dst=registry.node_id,
+                            headers={INCARNATION_HEADER: stamp})
+
+        assert not registry._fence_stale(envelope(3))  # learn epoch 3
+        assert registry._fence_stale(envelope(2))      # stale: fenced
+        assert registry.durability.fenced == 1
+        assert not registry._fence_stale(envelope(3))
+        assert not registry._fence_stale(envelope(4))
+        unstamped = Envelope(msg_type="ad-forward", src="peer-x",
+                             dst=registry.node_id)
+        assert not registry._fence_stale(unstamped)
+
+    def test_restart_bumps_advertised_incarnation(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=2.0)
+        assert registry.send(registry.node_id, "ad-forward") \
+            .headers[INCARNATION_HEADER] == 0
+        registry.crash()
+        system.run_for(0.5)
+        registry.restart()
+        assert registry.send(registry.node_id, "ad-forward") \
+            .headers[INCARNATION_HEADER] == 1
+
+
+# -- timer-leak regression (crash → restart cycles) ------------------------
+
+
+class TestTimerLeaks:
+    def test_registry_periodics_stable_across_restart_cycles(self):
+        system, registry, client = _single_lan(_durable_config())
+        system.run(until=3.0)
+        baseline = len(registry._periodics)
+        assert baseline > 0
+        for _ in range(3):
+            registry.crash()
+            system.run_for(0.5)
+            registry.restart()
+            system.run_for(0.5)
+            assert len(registry._periodics) == baseline
+            assert len(registry._timers) <= baseline + len(system.services)
+
+    def test_standby_periodics_stable_across_promote_demote(self):
+        config = DiscoveryConfig(
+            beacon_interval=1.0, lease_duration=10.0, purge_interval=1.0,
+            query_timeout=2.0, aggregation_timeout=0.3,
+        )
+        system = DiscoverySystem(seed=7, ontology=battlefield_ontology(),
+                                 config=config)
+        system.add_lan("lan-0")
+        primary = system.add_registry("lan-0")
+        standby = system.add_standby_registry("lan-0", lan_target=1)
+        system.run(until=3.0)
+        dormant_baseline = len(standby._periodics)
+        for _ in range(3):
+            primary.crash()
+            deadline = system.sim.now + 20.0
+            while system.sim.now < deadline and not standby.active:
+                system.run_for(0.5)
+            assert standby.active
+            promoted = len(standby._periodics)
+            primary.restart()
+            deadline = system.sim.now + 20.0
+            while system.sim.now < deadline and standby.active:
+                system.run_for(0.5)
+            assert not standby.active
+            assert len(standby._periodics) == dormant_baseline
+        # Promotion count stayed flat too: each cycle armed the same set.
+        assert promoted >= dormant_baseline

@@ -275,6 +275,112 @@ class TestFaultPlan:
             FaultPlan.churn(["n1"], rate=0.0, window=10.0)
 
 
+class TestDiskFaultActions:
+    def test_describe_mentions_node_and_file(self):
+        plan = (FaultPlan()
+                .disk_torn_write(1.0, "n1")
+                .disk_corrupt(2.0, "n1", file="snap"))
+        text = "\n".join(plan.describe())
+        assert "disk-torn-write n1:wal" in text
+        assert "disk-corruption n1:snap" in text
+
+    def test_no_disk_attached_is_a_noop(self, net):
+        _add(net, "n1", "lan-a")
+        applied = (FaultPlan()
+                   .disk_torn_write(1.0, "n1")
+                   .disk_corrupt(1.5, "n1")
+                   .apply(net))
+        net.sim.run(until=2.0)
+        assert applied.counts() == {}
+
+    def test_tear_and_corrupt_hit_the_attached_disk(self, net):
+        _add(net, "n1", "lan-a")
+        disk = net.disk("n1")
+        disk.append("wal", b"A" * 16)
+        applied = (FaultPlan()
+                   .disk_torn_write(1.0, "n1")
+                   .disk_corrupt(2.0, "n1")
+                   .apply(net))
+        net.sim.run(until=3.0)
+        assert applied.counts() == {"disk-torn-write": 1,
+                                    "disk-corruption": 1}
+        assert disk.torn_writes == 1 and disk.corruptions == 1
+        assert net.stats.faults["disk-torn-write"] == 1
+        assert net.stats.faults["disk-corruption"] == 1
+
+
+class TestFaultComposition:
+    """Overlapping and interleaved fault actions from one plan."""
+
+    def test_overlapping_loss_burst_and_latency_spike_same_scope(self, net):
+        a = _add(net, "a", "lan-a")
+        a2 = _add(net, "a2", "lan-a")
+        b = _add(net, "b", "lan-b")
+        plan = (FaultPlan()
+                .loss_burst(1.0, 2.0, 1.0, link=("lan-a", "lan-b"))
+                .latency_spike(1.0, 2.0, 0.5, lan="lan-a"))
+        plan.apply(net)
+        arrival = {}
+        a2.handle_message = lambda env: arrival.setdefault("t", net.sim.now)
+        net.sim.schedule_at(1.2, lambda: a.send("b", "doomed"))
+        net.sim.schedule_at(1.2, lambda: a.send("a2", "delayed"))
+        net.sim.run(until=4.0)
+        # Cross-link traffic died in the loss window; intra-LAN traffic
+        # rode the concurrent latency spike — both faults applied.
+        assert b.received == []
+        assert net.stats.drops_by_reason["fault-loss"] == 1
+        assert arrival["t"] == pytest.approx(1.2 + net.lan_latency + 0.5)
+
+    def test_crash_while_partitioned_heal_before_restart(self, net):
+        a = _add(net, "a", "lan-a")
+        b = _add(net, "b", "lan-b")
+        plan = (FaultPlan()
+                .partition(1.0, [["lan-a"], ["lan-b"]])
+                .crash(2.0, "a")
+                .heal(3.0)
+                .restart(4.0, "a"))
+        applied = plan.apply(net)
+        net.sim.run(until=2.5)
+        assert not a.alive and not net.reachable("a", "b")
+        # Healed but still crashed: the partition is gone, the node isn't.
+        net.sim.run(until=3.5)
+        assert net.reachable("a", "b") and not a.alive
+        b.send("a", "into-the-void")
+        net.sim.run(until=3.9)
+        assert net.stats.drops_by_reason["dead-dst"] == 1
+        net.sim.run(until=4.5)
+        assert a.alive
+        b.send("a", "welcome-back")
+        net.sim.run(until=5.0)
+        assert [env.msg_type for env in a.received] == ["welcome-back"]
+        assert applied.counts() == {"partition": 1, "crash": 1,
+                                    "heal": 1, "restart": 1}
+
+    def test_restart_on_still_partitioned_lan(self, net):
+        a = _add(net, "a", "lan-a")
+        a2 = _add(net, "a2", "lan-a")
+        b = _add(net, "b", "lan-b")
+        plan = (FaultPlan()
+                .partition(1.0, [["lan-a"], ["lan-b"]])
+                .crash(2.0, "a")
+                .restart(3.0, "a")
+                .heal(6.0))
+        plan.apply(net)
+        net.sim.run(until=4.0)
+        # Back up behind the partition: LAN traffic flows, WAN doesn't.
+        assert a.alive and not net.reachable("a", "b")
+        a.send("a2", "local")
+        a.send("b", "blocked")
+        net.sim.run(until=5.0)
+        assert [env.msg_type for env in a2.received] == ["local"]
+        assert b.received == []
+        assert net.stats.drops_by_reason["unreachable"] >= 1
+        net.sim.run(until=7.0)
+        a.send("b", "after-heal")
+        net.sim.run(until=8.0)
+        assert [env.msg_type for env in b.received] == ["after-heal"]
+
+
 # -- invariant checker ----------------------------------------------------
 
 
