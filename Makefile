@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke bench all
+.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke health-smoke bench all
 
 ## Tier 1: the full unit/integration suite. Must always be green.
 test:
@@ -57,8 +57,18 @@ routing-smoke:
 recovery-smoke:
 	$(PYTHON) -m pytest benchmarks/test_e19_recovery.py -q
 
+## Tier 2: health smoke — replays the E20 fault sequence at a fixed seed
+## and asserts the runtime health layer's gates: zero alarms on the
+## clean control run, every injected fault class (flood, crash,
+## partition) raising its matched alarm in-window with a flight-recorder
+## dump attached, byte-identical same-seed alarm timelines and dumps,
+## and the default (health off) configuration exporting byte-identical
+## traces for the same faulted scenario.
+health-smoke:
+	$(PYTHON) -m pytest benchmarks/test_e20_health.py -q
+
 ## Full experiment/benchmark sweep (slow).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-all: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke
+all: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke health-smoke

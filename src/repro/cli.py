@@ -10,6 +10,8 @@ Usage (installed entry point or ``python -m repro``)::
     python -m repro ablations                  # the knob sweeps
     python -m repro trace e7                   # render a causal query trace
     python -m repro metrics e7                 # render the metrics registry
+    python -m repro metrics e7 --format prom   # Prometheus text exposition
+    python -m repro health e20                 # capacity-planning report
     python -m repro demo                       # 30-second guided demo
 
 Experiment runners are imported lazily so ``list`` stays fast.
@@ -67,7 +69,14 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "e19": ("repro.experiments.e19_recovery",
             "extension — durable crash recovery (WAL + snapshot vs "
             "memory-only)"),
+    "e20": ("repro.experiments.e20_health",
+            "extension — runtime health under faults (alarms, flight "
+            "recorders, SLO burn)"),
 }
+
+#: Experiments whose ``run`` accepts ``report_dir`` and emits a
+#: capacity-planning report (see :mod:`repro.obs.report`).
+HEALTH_EXPERIMENTS = ("e17", "e18", "e19", "e20")
 
 
 def _runner(experiment_id: str) -> Callable:
@@ -168,10 +177,37 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.capture import run_traced
 
     run = run_traced(args.experiment, seed=args.seed)
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(json.dumps(run.metrics.snapshot(), indent=2, default=str))
+    elif fmt == "prom":
+        print(run.metrics.render_prom())
     else:
         print(run.metrics.render())
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Run a health-instrumented experiment; render its capacity report."""
+    if args.experiment not in HEALTH_EXPERIMENTS:
+        print(f"unknown health experiment {args.experiment!r} "
+              f"(one of: {', '.join(HEALTH_EXPERIMENTS)})", file=sys.stderr)
+        return 2
+    import pathlib
+
+    from repro.obs.report import render_report
+
+    module = importlib.import_module(EXPERIMENTS[args.experiment][0])
+    module.run(seed=args.seed, report_dir=args.dir)
+    path = pathlib.Path(args.dir) / (
+        f"health_{args.experiment}_seed{args.seed}.json"
+    )
+    report = json.loads(path.read_text())
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        print(render_report(report))
+        print(f"\nwritten: {path}")
     return 0
 
 
@@ -259,8 +295,27 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("experiment", help="experiment id, e.g. e7")
     metrics.add_argument("--seed", type=int, default=0)
     metrics.add_argument("--json", action="store_true",
-                         help="print the metrics snapshot as JSON")
+                         help="print the metrics snapshot as JSON "
+                              "(same as --format json)")
+    metrics.add_argument("--format", choices=("text", "json", "prom"),
+                         default="text",
+                         help="output format; 'prom' renders Prometheus "
+                              "text exposition")
     metrics.set_defaults(func=cmd_metrics)
+
+    health = sub.add_parser(
+        "health",
+        help="run a health-instrumented experiment and render its "
+             "capacity-planning report",
+    )
+    health.add_argument("experiment",
+                        help=f"one of: {', '.join(HEALTH_EXPERIMENTS)}")
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument("--dir", default="benchmarks/results",
+                        help="directory the JSON report is written to")
+    health.add_argument("--json", action="store_true",
+                        help="print the raw JSON report instead")
+    health.set_defaults(func=cmd_health)
 
     sub.add_parser("demo", help="a 30-second guided demo").set_defaults(
         func=cmd_demo)

@@ -392,7 +392,9 @@ class AdmissionController:
             self.max_depth = depth
         network = self.node.network
         if network is not None:
-            network.metrics.gauge("registry.queue_depth").set(depth)
+            network.metrics.gauge("registry.queue_depth").set(
+                depth, now=network.sim.now
+            )
 
     def counters(self) -> dict[str, int]:
         """A plain snapshot for experiment rows."""

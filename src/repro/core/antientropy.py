@@ -171,6 +171,9 @@ class AntiEntropy:
             return
         self.rounds_run += 1
         self._record("antientropy-round")
+        network = self.registry.network
+        if network is not None and network.health.active:
+            network.health.feed_liveness("antientropy-round", self.registry.node_id)
         payload = self.digest()
         for neighbor in neighbors:
             self.registry.send(neighbor, protocol.ANTIENTROPY_DIGEST, payload)

@@ -531,6 +531,12 @@ class ClientNode(Node):
         call.completed_at = self.sim.now
         if self.network is not None:
             self.network.metrics.histogram("query.e2e_latency").observe(call.latency)
+            if self.network.health.active:
+                self.network.health.record_request(
+                    "query",
+                    ok=via not in ("failed", "crashed"),
+                    latency=call.latency,
+                )
         if call._span is not None and self.trace is not None:
             status = via if via in ("failed", "crashed") else ("ok" if hits else "empty")
             self.trace.end_span(

@@ -16,6 +16,7 @@ from repro.core.admission import AdmissionPolicy
 from repro.core.durability import DurabilityConfig
 from repro.core.retry import RetryPolicy
 from repro.core.routing import RoutingConfig
+from repro.obs.health import HealthConfig
 
 #: Query forwarding strategies (§4.9: "increasing the reach of a query
 #: gradually in several rounds, random walks, or broadcasting in the
@@ -168,6 +169,14 @@ class DiscoveryConfig:
     #: is fully inert: no disk is attached, no message grows a header,
     #: and event timing is bit-identical to a memory-only deployment.
     durability: DurabilityConfig = DurabilityConfig()
+
+    # -- runtime health ------------------------------------------------------
+    #: Flight recorders, windowed SLO tracking, and anomaly watchdogs
+    #: (see :mod:`repro.obs.health`). The default has the layer off and
+    #: fully inert: no periodic tick is scheduled, no trace observer is
+    #: registered, and every run is byte-identical to a pre-health
+    #: deployment.
+    health: HealthConfig = HealthConfig()
 
     # -- recovery / retries ------------------------------------------------
     #: Backoff between client query attempts (failover retries). The

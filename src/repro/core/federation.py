@@ -22,7 +22,11 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core import protocol
 from repro.core.config import DiscoveryConfig
-from repro.core.forwarding import BREAKER_OPEN, CircuitBreaker
+from repro.core.forwarding import (
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
 from repro.registry.rim import RegistryDescription
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -196,6 +200,9 @@ class Federation:
 
     # -- circuit breakers -------------------------------------------------------------
 
+    #: Breaker-state gauge levels (Prometheus-style enum encoding).
+    _BREAKER_LEVELS = {BREAKER_OPEN: 2.0, BREAKER_HALF_OPEN: 1.0}
+
     def _breaker(self, neighbor: str) -> CircuitBreaker:
         breaker = self.breakers.get(neighbor)
         if breaker is None:
@@ -203,9 +210,26 @@ class Federation:
                 lambda: self.registry.sim.now,
                 failure_threshold=self.config.breaker_failure_threshold,
                 reset_timeout=self.config.breaker_reset_timeout,
+                on_transition=lambda old, new, _n=neighbor:
+                    self._on_breaker_transition(_n, old, new),
             )
             self.breakers[neighbor] = breaker
         return breaker
+
+    def _on_breaker_transition(self, neighbor: str, old: str, new: str) -> None:
+        """Mirror breaker state into metrics: a per-link state gauge
+        (closed=0 / half-open=1 / open=2) and a global flap counter for
+        open → half-open → open round trips (failed probes)."""
+        network = self.registry.network
+        if network is None:
+            return
+        now = self.registry.sim.now
+        gauge = network.metrics.gauge(
+            f"breaker.state.{self.registry.node_id}:{neighbor}"
+        )
+        gauge.set(self._BREAKER_LEVELS.get(new, 0.0), now=now)
+        if old == BREAKER_HALF_OPEN and new == BREAKER_OPEN:
+            network.metrics.counter("breaker.flaps").inc()
 
     def record_neighbor_failure(self, neighbor: str) -> None:
         """Feed one failure signal (missed pong, aggregation timeout)."""

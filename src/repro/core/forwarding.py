@@ -320,6 +320,7 @@ class CircuitBreaker:
         *,
         failure_threshold: int = 3,
         reset_timeout: float = 10.0,
+        on_transition: Callable[[str, str], None] | None = None,
     ) -> None:
         self._clock = clock
         self.failure_threshold = failure_threshold
@@ -328,32 +329,47 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at = 0.0
         self.times_opened = 0
+        #: Probe failures: open → half-open → open round trips. A rising
+        #: flap count means the neighbor keeps looking back up and then
+        #: failing its single probe — the signature of a struggling (not
+        #: cleanly dead) peer, and what the flapping watchdog keys on.
+        self.flaps = 0
         #: True while the single half-open probe is unresolved.
         self.probing = False
+        #: Observer called as ``(old_state, new_state)`` on every state
+        #: change (the metrics bridge lives in the federation layer).
+        self.on_transition = on_transition
+
+    def _transition(self, new_state: str) -> None:
+        old = self.state
+        self.state = new_state
+        if self.on_transition is not None and old != new_state:
+            self.on_transition(old, new_state)
 
     def record_failure(self) -> bool:
         """One failure signal; returns True when this trip *opened* it."""
         if self.state == BREAKER_HALF_OPEN:
             # The probe failed: straight back to open, timer re-armed.
-            self.state = BREAKER_OPEN
             self.opened_at = self._clock()
             self.times_opened += 1
+            self.flaps += 1
             self.probing = False
+            self._transition(BREAKER_OPEN)
             return True
         self.failures += 1
         if self.state == BREAKER_CLOSED and self.failures >= self.failure_threshold:
-            self.state = BREAKER_OPEN
             self.opened_at = self._clock()
             self.times_opened += 1
+            self._transition(BREAKER_OPEN)
             return True
         return False
 
     def record_success(self) -> bool:
         """One success signal; returns True when it *closed* the breaker."""
         was = self.state
-        self.state = BREAKER_CLOSED
         self.failures = 0
         self.probing = False
+        self._transition(BREAKER_CLOSED)
         return was != BREAKER_CLOSED
 
     def allows(self) -> bool:
@@ -367,8 +383,8 @@ class CircuitBreaker:
         """
         if self.state == BREAKER_OPEN:
             if self._clock() - self.opened_at >= self.reset_timeout:
-                self.state = BREAKER_HALF_OPEN
                 self.probing = True
+                self._transition(BREAKER_HALF_OPEN)
                 return True
             return False
         if self.state == BREAKER_HALF_OPEN:

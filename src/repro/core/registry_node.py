@@ -731,6 +731,8 @@ class RegistryNode(Node):
         if self.network is None:
             return
         self.network.metrics.counter(f"lease.{kind}").inc()
+        if self.network.health.active:
+            self.network.health.feed_lease(kind, self.node_id)
         trace = self.trace
         if trace is not None:
             trace.event(

@@ -22,6 +22,7 @@ descriptions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core import protocol
 from repro.core.bootstrap import RegistryTracker
@@ -33,6 +34,9 @@ from repro.netsim.node import Node
 from repro.registry.advertisements import Advertisement, new_uuid
 from repro.registry.matching import QueryHit
 from repro.semantics.profiles import ServiceProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.health import HealthMonitor
 
 
 @dataclass
@@ -73,6 +77,9 @@ class ServiceNode(Node):
         #: Renew send times by lease id (latest send wins): the ack's
         #: round-trip is a passive latency sample for the router.
         self._renew_sent_at: dict[str, float] = {}
+        #: Publish send times by ad id (latest send wins) — round-trip
+        #: latency samples for the health layer's PUBLISH objective.
+        self._publish_sent_at: dict[str, float] = {}
         self._published: dict[str, PublishedAd] = {
             model_id: PublishedAd(model_id=model_id) for model_id in self.models.model_ids()
         }
@@ -84,6 +91,12 @@ class ServiceNode(Node):
         self.renew_retries = 0
         #: BUSY rejections honored by deferring on the server's hint.
         self.busy_deferrals = 0
+
+    def _health(self) -> "HealthMonitor | None":
+        """The run's health monitor, or None when the layer is off."""
+        if self.network is not None and self.network.health.active:
+            return self.network.health
+        return None
 
     def _describe_all(self) -> dict[str, object]:
         return {
@@ -157,6 +170,7 @@ class ServiceNode(Node):
             self._arm_publish_retry(record, registry_id, attempt=1)
 
     def _send_publish(self, registry_id: str, record: PublishedAd) -> None:
+        self._publish_sent_at[record.ad_id] = self.sim.now
         self.send(
             registry_id,
             protocol.PUBLISH,
@@ -209,6 +223,13 @@ class ServiceNode(Node):
         record = self._published.get(ack.model_id)
         if record is None or record.registry != envelope.src:
             return
+        sent_at = self._publish_sent_at.pop(record.ad_id, None)
+        health = self._health()
+        if health is not None:
+            health.record_request(
+                "publish", ok=True,
+                latency=(self.sim.now - sent_at) if sent_at is not None else 0.0,
+            )
         record.ad_id = ack.ad_id
         record.lease_id = ack.lease_id
         record.acked = True
@@ -301,6 +322,12 @@ class ServiceNode(Node):
         if sent_at is not None:
             # Renew round-trips double as passive latency probes.
             self.router.on_response(envelope.src, rtt=self.sim.now - sent_at)
+        health = self._health()
+        if health is not None:
+            health.record_request(
+                "renew", ok=True,
+                latency=(self.sim.now - sent_at) if sent_at is not None else 0.0,
+            )
         for record in self._published.values():
             if record.lease_id == payload.lease_id:
                 record.renew_outstanding = False
@@ -314,6 +341,9 @@ class ServiceNode(Node):
         payload = envelope.payload
         if not isinstance(payload, protocol.PublishNack):
             return
+        health = self._health()
+        if health is not None:
+            health.record_request("publish", ok=False)
         if self.tracker.current != envelope.src:
             return
         self.tracker.excluded.add(envelope.src)
@@ -332,6 +362,12 @@ class ServiceNode(Node):
         payload = envelope.payload
         if not isinstance(payload, protocol.BusyPayload):
             return
+        health = self._health()
+        if health is not None and payload.msg_type in (protocol.RENEW, protocol.PUBLISH):
+            health.record_request(
+                "renew" if payload.msg_type == protocol.RENEW else "publish",
+                ok=False,
+            )
         self.router.on_busy(
             envelope.src,
             retry_after=payload.retry_after,
@@ -394,6 +430,9 @@ class ServiceNode(Node):
         payload = envelope.payload
         if not isinstance(payload, protocol.RenewPayload):
             return
+        health = self._health()
+        if health is not None:
+            health.record_request("renew", ok=False)
         for record in self._published.values():
             if record.lease_id == payload.lease_id:
                 record.renew_outstanding = False

@@ -30,6 +30,7 @@ from repro.errors import ReproError
 from repro.netsim.messages import SizeModel
 from repro.netsim.network import Network
 from repro.netsim.simulator import Simulator
+from repro.obs.health import HealthMonitor
 from repro.semantics.ontology import Ontology
 from repro.semantics.profiles import ServiceProfile, ServiceRequest
 
@@ -81,12 +82,20 @@ class DiscoverySystem:
         self.network = Network(
             self.sim, size_model=size_model, loss_rate=loss_rate
         )
+        self.network.health.configure(self.config.health)
+        if self.network.health.active:
+            self.network.health.attach(self.sim)
         self.registries: list[RegistryNode] = []
         self.services: list[ServiceNode] = []
         self.clients: list[ClientNode] = []
         self._counters = {"registry": itertools.count(), "svc": itertools.count(),
                           "client": itertools.count()}
         self._started = False
+
+    @property
+    def health(self) -> "HealthMonitor":
+        """The run's health monitor (inert unless ``config.health`` enables it)."""
+        return self.network.health
 
     # -- topology ------------------------------------------------------------
 

@@ -39,6 +39,7 @@ from repro.core.config import DiscoveryConfig
 from repro.core.invariants import assert_invariants
 from repro.core.retry import RetryPolicy
 from repro.experiments.common import ExperimentResult
+from repro.obs.report import build_capacity_report, write_report
 from repro.semantics.generator import battlefield_ontology
 from repro.workloads.queries import QueryWorkload
 from repro.workloads.scenarios import ScenarioSpec, build_scenario
@@ -239,13 +240,41 @@ def _run_flood(
     return row, shed_pairs
 
 
+def capacity_report(result: ExperimentResult, *, seed: int,
+                    mode: str = "shedding") -> dict:
+    """E17's sweep as a capacity-planning report (one admission mode)."""
+    rows = [row for row in result.rows if row["mode"] == mode]
+    return build_capacity_report(
+        "E17",
+        seed=seed,
+        points=[
+            {
+                "qps": row["offered_qps"],
+                "success": row["success_ratio"],
+                "latency": row["p99_latency"],
+                "load": row["load"],
+                "renew_survival": row["renew_survival"],
+            }
+            for row in rows
+        ],
+        shed=sum(row["shed"] for row in rows),
+        issued=sum(row["issued"] for row in rows),
+        notes=(f"admission mode: {mode}",),
+    )
+
+
 def run(
     *,
     multipliers: tuple[float, ...] = MULTIPLIERS,
     window: float = 10.0,
     seed: int = 0,
+    report_dir: str | None = None,
 ) -> ExperimentResult:
-    """Sweep offered load × admission policy; the E17 result table."""
+    """Sweep offered load × admission policy; the E17 result table.
+
+    ``report_dir`` additionally writes the shedding-mode sweep as a
+    capacity-planning report (see :mod:`repro.obs.report`).
+    """
     result = ExperimentResult(
         experiment="E17",
         description="overload protection: goodput, p99, renew survival "
@@ -273,6 +302,8 @@ def run(
         "on a plateau instead of a cliff; degraded=True responses trade "
         "WAN coverage for bounded latency."
     )
+    if report_dir is not None:
+        write_report(capacity_report(result, seed=seed), report_dir)
     return result
 
 

@@ -46,6 +46,7 @@ from repro.core.routing import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.e17_overload import _renew_survival, _p99, shedding_policy
+from repro.obs.report import build_capacity_report, write_report
 from repro.semantics.generator import battlefield_ontology
 from repro.workloads.queries import QueryWorkload
 from repro.workloads.scenarios import ScenarioSpec, build_scenario
@@ -200,14 +201,42 @@ def _run_skewed(
     }
 
 
+def capacity_report(result: ExperimentResult, *, seed: int,
+                    strategy: str = ROUTING_LEAST_LOADED) -> dict:
+    """E18's sweep as a capacity-planning report (one routing strategy)."""
+    rows = [row for row in result.rows if row["strategy"] == strategy]
+    return build_capacity_report(
+        "E18",
+        seed=seed,
+        points=[
+            {
+                "qps": row["offered_qps"],
+                "success": row["success_ratio"],
+                "latency": row["p99_latency"],
+                "load": row["load"],
+                "goodput_qps": row["goodput_qps"],
+            }
+            for row in rows
+        ],
+        shed=sum(row["shed"] for row in rows),
+        issued=sum(row["issued"] for row in rows),
+        notes=(f"routing strategy: {strategy} (skewed flood, one hot replica)",),
+    )
+
+
 def run(
     *,
     strategies: tuple[str, ...] = STRATEGIES,
     multipliers: tuple[float, ...] = MULTIPLIERS,
     window: float = 10.0,
     seed: int = 0,
+    report_dir: str | None = None,
 ) -> ExperimentResult:
-    """Sweep routing strategy × skewed load; the E18 result table."""
+    """Sweep routing strategy × skewed load; the E18 result table.
+
+    ``report_dir`` additionally writes the least-loaded sweep as a
+    capacity-planning report (see :mod:`repro.obs.report`).
+    """
     result = ExperimentResult(
         experiment="E18",
         description="adaptive load-aware routing: p99 and goodput under "
@@ -241,6 +270,8 @@ def run(
         "one response round-trip — lower p99 and higher in-window "
         "goodput than static at every overload multiplier."
     )
+    if report_dir is not None:
+        write_report(capacity_report(result, seed=seed), report_dir)
     return result
 
 

@@ -41,6 +41,7 @@ from repro.core.invariants import (
 from repro.core.system import DiscoverySystem
 from repro.experiments.common import ExperimentResult
 from repro.netsim.faults import FaultPlan
+from repro.obs.report import build_capacity_report, write_report
 from repro.semantics.generator import battlefield_ontology
 from repro.semantics.profiles import ServiceProfile, ServiceRequest
 
@@ -85,8 +86,45 @@ def _build(durable: bool, seed: int, *, services_per_lan: int = 2):
     return system, client
 
 
-def run(*, window: float = 25.0, seed: int = 0) -> ExperimentResult:
-    """Whole-LAN blackout at steady state: durability on vs memory-only."""
+def capacity_report(result: ExperimentResult, *, seed: int,
+                    window: float = 25.0) -> dict:
+    """E19 as a recovery-capacity report: one point per durability mode.
+
+    The "load" axis is degenerate (one probing client), so the point's
+    ``qps`` is the recovery-window probe rate and the objective is on
+    *recovery* quality: a mode holds when local replay restored >= 99% of
+    the advertisements and full query success returned within half the
+    recovery window.
+    """
+    return build_capacity_report(
+        "E19",
+        seed=seed,
+        points=[
+            {
+                "qps": 2.0,  # the 0.5 s TTFS probe cadence
+                "success": row["recovered_frac"],
+                "latency": row["ttfs"],
+                "durability": row["durability"],
+                "republishes": row["republishes"],
+            }
+            for row in result.rows
+        ],
+        success_target=0.99,
+        latency_target=window / 2.0,
+        notes=(
+            "success = fraction recovered by local replay alone; "
+            "latency = time-to-full-query-success after restart",
+        ),
+    )
+
+
+def run(*, window: float = 25.0, seed: int = 0,
+        report_dir: str | None = None) -> ExperimentResult:
+    """Whole-LAN blackout at steady state: durability on vs memory-only.
+
+    ``report_dir`` additionally writes the recovery outcome as a
+    capacity-planning report (see :mod:`repro.obs.report`).
+    """
     result = ExperimentResult(
         experiment="E19",
         description="durable crash recovery after a whole-LAN blackout",
@@ -100,6 +138,9 @@ def run(*, window: float = 25.0, seed: int = 0) -> ExperimentResult:
         "memory-only registries restart empty and serve misses until the "
         "next renew tick NACKs and every service republishes from scratch."
     )
+    if report_dir is not None:
+        write_report(capacity_report(result, seed=seed, window=window),
+                     report_dir)
     return result
 
 

@@ -21,6 +21,7 @@ from repro.netsim.messages import Envelope, SizeModel
 from repro.netsim.node import Node
 from repro.netsim.simulator import Simulator
 from repro.netsim.stats import TrafficStats
+from repro.obs.health import HealthMonitor
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, HOP_BUCKETS, MetricsRegistry
 from repro.obs.tracing import TraceRecorder
 
@@ -171,6 +172,12 @@ class Network:
         #: recovery/drop counters here so event rates are queryable too.
         self.metrics = MetricsRegistry()
         self.stats.metrics = self.metrics
+        #: The run's health monitor (flight recorders, SLO windows,
+        #: watchdogs — see :mod:`repro.obs.health`). Constructed inert:
+        #: until :meth:`~repro.obs.health.HealthMonitor.configure` enables
+        #: it, ``active`` is False and every feed call short-circuits.
+        self.health = HealthMonitor(lambda: sim.now, self.metrics,
+                                    trace=sim.trace)
         self.nodes: dict[str, Node] = {}
         self.lans: dict[str, Lan] = {}
         #: Fault-injection state (see :mod:`repro.netsim.faults`): timed
@@ -443,6 +450,10 @@ class Network:
 
     def _deliver(self, envelope: Envelope, dst_id: str) -> None:
         """Delivery event: hand the envelope to the destination if it is up."""
+        if self.health.active:
+            # Keep the SLO windows rolling with traffic so burn rates are
+            # current even between watchdog ticks. No-op when health is off.
+            self.health.advance(self.sim.now)
         dst = self.nodes.get(dst_id)
         if dst is None or not dst.alive:
             self.stats.record_drop("dead-dst")

@@ -134,6 +134,8 @@ class Node:
         self.crash_count += 1
         self.cancel_tasks()
         self.on_crash()
+        if self.network is not None and self.network.health.active:
+            self.network.health.on_node_crash(self.node_id)
 
     def restart(self) -> None:
         """Bring a crashed node back up with empty volatile state."""
@@ -141,6 +143,8 @@ class Node:
             return
         self.alive = True
         self.on_restart()
+        if self.network is not None and self.network.health.active:
+            self.network.health.on_node_restart(self.node_id)
 
     def on_crash(self) -> None:
         """Hook invoked after a crash. Default: no-op."""

@@ -68,6 +68,21 @@ def run_traced(experiment: str = "e7", seed: int = 0) -> TracedRun:
                                       degrade_at=1.0, retry_after_base=0.1),
         )
         interval = 0.05
+    if experiment == "e20":
+        # The health capture: the e17 tiny-queue saturation with the
+        # runtime health layer enabled and its thresholds tightened so
+        # the four-query burst trips the shed watchdog — the trace then
+        # shows health.alarm events and the metrics block carries the
+        # health.alarms / health.dumps counters.
+        from repro.obs.health import HealthConfig
+
+        config = DiscoveryConfig(
+            admission=AdmissionPolicy(query_cost=0.4, queue_limit=1,
+                                      degrade_at=1.0, retry_after_base=0.1),
+            health=HealthConfig(enabled=True, shed_step_threshold=2,
+                                queue_depth_threshold=1.0),
+        )
+        interval = 0.05
     registries_per_lan = 1
     if experiment == "e19":
         # The recovery capture: durability on, with the registry crashed

@@ -1,0 +1,434 @@
+"""Runtime health: flight recorders, SLO windows, watchdog alarms.
+
+The observability built in earlier PRs is *post-hoc*: whole-run traces
+and cumulative metrics answer "what happened" after the fact. A dynamic
+deployment — the paper's whole premise — also needs "is the system
+healthy right now, and how much headroom is left". This module is that
+runtime layer:
+
+* :class:`FlightRecorder` — a bounded per-node ring of recent spans,
+  events, and state transitions. Cheap enough to leave on, dumpable on
+  demand and dumped automatically on crash, invariant violation, or
+  watchdog alarm: the forensic "last N records before the incident"
+  without whole-run trace cost.
+* :class:`HealthMonitor` — owns the per-node recorders, a windowed
+  :class:`~repro.obs.slo.SLOTracker`, and the
+  :mod:`~repro.obs.watchdog` detectors; evaluated on a periodic
+  sim-time tick when enabled.
+
+**Inert by default.** Like admission control, routing, and durability,
+the default :class:`HealthConfig` has ``enabled=False``: no periodic
+tick is scheduled, no instrument is created, no trace observer is
+registered, and no record differs by a byte from a pre-health run —
+the obs/routing/recovery smoke byte-identity gates hold unchanged.
+
+Determinism: the monitor reads only the injected sim-time clock, the
+metrics registry, and feeds pushed by protocol agents; the tick never
+touches the simulator RNG. Same-seed runs therefore produce identical
+alarm streams and byte-identical flight-recorder dumps.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ReproError
+from repro.obs.slo import (
+    CLASS_PUBLISH,
+    CLASS_QUERY,
+    CLASS_RENEW,
+    SLOObjective,
+    SLOStatus,
+    SLOTracker,
+)
+from repro.obs.watchdog import (
+    Alarm,
+    AntiEntropyStaleness,
+    BreakerFlapping,
+    LeaseExpirySpike,
+    QueueDepthGrowth,
+    ShedRateStep,
+    Watchdog,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.simulator import Simulator
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import TraceRecorder
+
+#: Default objectives: queries may fail 5% and must answer within 2 s at
+#: p95; renews are the soft-state lifeline and get a tighter target.
+DEFAULT_OBJECTIVES: tuple[SLOObjective, ...] = (
+    SLOObjective(CLASS_QUERY, success_target=0.95, latency_target=2.0),
+    SLOObjective(CLASS_RENEW, success_target=0.99, latency_target=1.5),
+    SLOObjective(CLASS_PUBLISH, success_target=0.95, latency_target=2.0),
+)
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tunables of the runtime health layer (inert when ``enabled=False``)."""
+
+    #: Master switch. Off = byte-identical to a pre-health deployment.
+    enabled: bool = False
+
+    # -- flight recorder ---------------------------------------------------
+    #: Records retained per node ring (oldest evicted beyond this).
+    recorder_capacity: int = 256
+    #: Automatic dumps retained per run (oldest dropped beyond this).
+    max_dumps: int = 32
+
+    # -- SLO windows -------------------------------------------------------
+    #: Sim-seconds per SLO bucket.
+    slo_bucket: float = 1.0
+    #: Fast burn-rate window (reacts quickly).
+    fast_window: float = 5.0
+    #: Slow burn-rate window (suppresses blips).
+    slow_window: float = 60.0
+    #: Error-budget burn multiple that breaches (in BOTH windows).
+    burn_threshold: float = 2.0
+    #: Minimum fast-window samples before an objective may breach.
+    min_samples: int = 5
+    #: Per-request-class objectives.
+    objectives: tuple[SLOObjective, ...] = DEFAULT_OBJECTIVES
+
+    # -- watchdogs ---------------------------------------------------------
+    #: Seconds between watchdog/SLO evaluation ticks.
+    watchdog_interval: float = 1.0
+    #: Queue-depth growth: time-weighted mean window and depth threshold.
+    queue_window: float = 5.0
+    queue_depth_threshold: float = 8.0
+    #: Breaker flapping: open→half-open→open cycles within the window.
+    flap_window: float = 30.0
+    breaker_flap_threshold: int = 2
+    #: Anti-entropy staleness: silence bound for a registry's rounds.
+    antientropy_stale_after: float = 30.0
+    #: Lease-expiry spike: expiries within the window.
+    lease_window: float = 10.0
+    lease_expiry_spike: int = 3
+    #: Shed-rate step: sheds within the window.
+    shed_window: float = 5.0
+    shed_step_threshold: int = 10
+
+    def __post_init__(self) -> None:
+        if self.recorder_capacity < 1:
+            raise ReproError(
+                f"recorder_capacity must be >= 1, got {self.recorder_capacity}"
+            )
+        if self.watchdog_interval <= 0:
+            raise ReproError(
+                f"watchdog_interval must be positive, got {self.watchdog_interval}"
+            )
+        if not self.objectives:
+            raise ReproError("health needs at least one SLO objective")
+        for window in (self.queue_window, self.flap_window, self.lease_window,
+                       self.shed_window, self.antientropy_stale_after):
+            if window <= 0:
+                raise ReproError(f"watchdog windows must be positive, got {window}")
+
+
+class FlightRecorder:
+    """Bounded ring of one node's recent observability records.
+
+    Records are the plain dicts the trace observer (and the monitor's
+    explicit marks) produce; the ring keeps the most recent
+    ``capacity`` of them, evicting oldest-first. :meth:`dump_jsonl`
+    renders the ring with sorted keys and canonical separators, so the
+    bytes are a pure function of the run — the determinism contract the
+    health smoke asserts.
+    """
+
+    __slots__ = ("node_id", "records", "appended")
+
+    def __init__(self, node_id: str, capacity: int) -> None:
+        self.node_id = node_id
+        self.records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        #: Total records ever offered (``appended - len(records)`` were evicted).
+        self.appended = 0
+
+    @property
+    def evicted(self) -> int:
+        return self.appended - len(self.records)
+
+    def note(self, record: dict[str, Any]) -> None:
+        self.appended += 1
+        self.records.append(record)
+
+    def dump_jsonl(self) -> str:
+        """The ring as byte-stable JSON Lines (oldest first)."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self.records
+        )
+
+
+@dataclass
+class HealthDump:
+    """One captured flight-recorder dump (crash, alarm, or on demand)."""
+
+    reason: str
+    node: str
+    time: float
+    jsonl: str
+    #: Records inside the dump (for quick assertions).
+    records: int = 0
+
+
+class HealthMonitor:
+    """The per-run health brain: recorders + SLO windows + watchdogs.
+
+    Owned by the :class:`~repro.netsim.network.Network` next to the
+    metrics registry, so every protocol agent reaches it the same way
+    it reaches metrics. Construction is cheap and inert; the monitor
+    only becomes live when :meth:`configure` receives an enabled
+    :class:`HealthConfig` and :meth:`attach` arms the periodic tick.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        metrics: "MetricsRegistry",
+        trace: "TraceRecorder | None" = None,
+        config: HealthConfig | None = None,
+    ) -> None:
+        self.clock = clock
+        self.metrics = metrics
+        self.trace = trace
+        self.config = config or HealthConfig()
+        self.recorders: dict[str, FlightRecorder] = {}
+        self.alarms: list[Alarm] = []
+        self.dumps: list[HealthDump] = []
+        self.slo: SLOTracker | None = None
+        self.watchdogs: list[Watchdog] = []
+        self._liveness: dict[str, dict[str, float]] = {}
+        self._lease_events: deque[tuple[float, str, str]] = deque(maxlen=4096)
+        self._slo_breached: set[str] = set()
+        self._attached = False
+        if self.config.enabled:
+            self._build()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether the health layer is live for this run."""
+        return self.config.enabled
+
+    def configure(self, config: HealthConfig) -> None:
+        """Adopt a deployment's health config (resets tracker state)."""
+        self.config = config
+        if config.enabled:
+            self._build()
+
+    def _build(self) -> None:
+        cfg = self.config
+        self.slo = SLOTracker(
+            self.clock,
+            objectives=cfg.objectives,
+            bucket=cfg.slo_bucket,
+            fast_window=cfg.fast_window,
+            slow_window=cfg.slow_window,
+            burn_threshold=cfg.burn_threshold,
+            min_samples=cfg.min_samples,
+        )
+        self.watchdogs = [
+            QueueDepthGrowth(window=cfg.queue_window,
+                             threshold=cfg.queue_depth_threshold),
+            BreakerFlapping(window=cfg.flap_window,
+                            threshold=cfg.breaker_flap_threshold),
+            AntiEntropyStaleness(stale_after=cfg.antientropy_stale_after),
+            LeaseExpirySpike(window=cfg.lease_window,
+                             threshold=cfg.lease_expiry_spike),
+            ShedRateStep(window=cfg.shed_window,
+                         threshold=cfg.shed_step_threshold),
+        ]
+
+    def attach(self, sim: "Simulator") -> None:
+        """Arm the periodic tick and the trace observer (enabled runs only).
+
+        This is the one hook the simulator side provides: nothing is
+        scheduled — and the trace recorder gains no observer — unless the
+        deployment opted in, so default runs stay byte-identical.
+        """
+        if not self.active or self._attached:
+            return
+        self._attached = True
+        self.trace = sim.trace
+        sim.trace.observers.append(self._on_trace_record)
+        sim.every(self.config.watchdog_interval, self.tick)
+
+    # -- feeds -------------------------------------------------------------
+
+    def _on_trace_record(self, record: dict[str, Any]) -> None:
+        """Trace observer: mirror every span/event into its node's ring."""
+        node = record.get("node") or ""
+        self.recorder_for(node).note(record)
+
+    def recorder_for(self, node_id: str) -> FlightRecorder:
+        recorder = self.recorders.get(node_id)
+        if recorder is None:
+            recorder = self.recorders[node_id] = FlightRecorder(
+                node_id, self.config.recorder_capacity
+            )
+        return recorder
+
+    def note(self, node: str, name: str, **attrs: Any) -> None:
+        """Record an explicit state transition into a node's ring."""
+        if not self.active:
+            return
+        self.recorder_for(node).note({
+            "t": self.clock(), "kind": "mark", "name": name,
+            "node": node, "attrs": attrs,
+        })
+
+    def record_request(self, request_class: str, *, ok: bool,
+                       latency: float = 0.0) -> None:
+        """SLO feed: one finished QUERY/RENEW/PUBLISH request."""
+        if self.slo is not None:
+            self.slo.record(request_class, ok=ok, latency=latency)
+
+    def feed_liveness(self, name: str, node: str) -> None:
+        """Heartbeat feed: ``node`` performed periodic activity ``name``."""
+        self._liveness.setdefault(name, {})[node] = self.clock()
+
+    def feed_lease(self, kind: str, node: str) -> None:
+        """Lease lifecycle feed from a registry's lease manager."""
+        self._lease_events.append((self.clock(), kind, node))
+
+    def liveness(self, name: str) -> dict[str, float]:
+        """Last-seen time per node for heartbeat ``name``."""
+        return self._liveness.get(name, {})
+
+    def lease_events(self, kind: str, *, since: float) -> list[tuple[float, str]]:
+        """``(time, node)`` lease events of ``kind`` since ``since``."""
+        return [(t, node) for t, k, node in self._lease_events
+                if k == kind and t >= since]
+
+    def advance(self, now: float) -> None:
+        """Network hook: roll SLO windows between ticks (cheap)."""
+        if self.slo is not None:
+            self.slo.advance(now)
+
+    # -- lifecycle events --------------------------------------------------
+
+    def on_node_crash(self, node_id: str) -> None:
+        """A node failed-stop: mark it and capture its flight recorder."""
+        if not self.active:
+            return
+        self.note(node_id, "node.crash")
+        self.capture_dump("crash", node=node_id)
+
+    def on_node_restart(self, node_id: str) -> None:
+        if not self.active:
+            return
+        self.note(node_id, "node.restart")
+
+    def on_invariant_violation(self, summary: str) -> None:
+        """An invariant sweep failed: dump everything we have."""
+        if not self.active:
+            return
+        self.metrics.counter("health.invariant_violations").inc()
+        self.capture_dump("invariant-violation", detail=summary)
+
+    # -- the tick ----------------------------------------------------------
+
+    def tick(self) -> None:
+        """Evaluate watchdogs and SLO burn rates (periodic, sim-time)."""
+        if not self.active:
+            return
+        now = self.clock()
+        if self.slo is not None:
+            self.slo.advance(now)
+        raised: list[Alarm] = []
+        for watchdog in self.watchdogs:
+            raised.extend(watchdog.check(self, now))
+        raised.extend(self._check_slo(now))
+        for alarm in raised:
+            self._raise(alarm)
+
+    def _check_slo(self, now: float) -> list[Alarm]:
+        if self.slo is None:
+            return []
+        alarms = []
+        for status in self.slo.check():
+            cls = status.objective.request_class
+            if status.breached:
+                if cls not in self._slo_breached:
+                    self._slo_breached.add(cls)
+                    kind = "burn" if status.burn_breached else "latency"
+                    alarms.append(Alarm(f"slo-{kind}", "", now, {
+                        "class": cls,
+                        "fast_burn": round(status.fast_burn, 3),
+                        "slow_burn": round(status.slow_burn, 3),
+                        "latency": round(status.latency, 4),
+                    }))
+            else:
+                self._slo_breached.discard(cls)
+        return alarms
+
+    def _raise(self, alarm: Alarm) -> None:
+        self.alarms.append(alarm)
+        self.metrics.counter("health.alarms").inc()
+        self.metrics.counter(f"health.alarm.{alarm.name}").inc()
+        if self.trace is not None:
+            self.trace.event(
+                "health.alarm",
+                node=alarm.node,
+                attrs={"alarm": alarm.name, **alarm.details},
+            )
+        self.capture_dump(alarm.name, node=alarm.node or None)
+
+    # -- dumps -------------------------------------------------------------
+
+    def capture_dump(self, reason: str, *, node: str | None = None,
+                     detail: str = "") -> HealthDump:
+        """Snapshot flight recorders (one node's, or all) into a dump."""
+        if node is not None:
+            recorder = self.recorder_for(node)
+            jsonl = recorder.dump_jsonl()
+            count = len(recorder.records)
+        else:
+            parts = []
+            count = 0
+            for node_id in sorted(self.recorders):
+                recorder = self.recorders[node_id]
+                parts.append(recorder.dump_jsonl())
+                count += len(recorder.records)
+            jsonl = "\n".join(part for part in parts if part)
+        dump = HealthDump(
+            reason=reason if not detail else f"{reason}: {detail}",
+            node=node or "",
+            time=self.clock(),
+            jsonl=jsonl,
+            records=count,
+        )
+        self.dumps.append(dump)
+        if len(self.dumps) > self.config.max_dumps:
+            del self.dumps[0]
+        self.metrics.counter("health.dumps").inc()
+        return dump
+
+    # -- reporting ---------------------------------------------------------
+
+    def alarm_timeline(self) -> list[dict[str, Any]]:
+        """The run's alarms as plain dicts, in firing order."""
+        return [
+            {"t": a.time, "alarm": a.name, "node": a.node, **a.details}
+            for a in self.alarms
+        ]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Health state for reports: SLOs, alarms, dump inventory."""
+        return {
+            "enabled": self.active,
+            "slo": self.slo.snapshot() if self.slo is not None else {},
+            "alarms": self.alarm_timeline(),
+            "dumps": [
+                {"reason": d.reason, "node": d.node, "t": d.time,
+                 "records": d.records}
+                for d in self.dumps
+            ],
+        }

@@ -24,6 +24,8 @@ the instrumented code observes (sim-time latencies, counts, bytes).
 from __future__ import annotations
 
 import bisect
+import re
+from collections import deque
 from typing import Any, Iterable
 
 from repro.errors import ReproError
@@ -63,19 +65,65 @@ class Counter:
 
 
 class Gauge:
-    """A named value that can move both ways (e.g. live lease count)."""
+    """A named value that can move both ways (e.g. live lease count).
 
-    __slots__ = ("name", "value")
+    Callers that pass ``now`` (sim time) to :meth:`set`/:meth:`add` also
+    feed a bounded transition history, which :meth:`mean_over` turns into
+    a **time-weighted** average over a trailing window — the difference
+    between "the queue is empty right now" and "the queue averaged depth
+    12 over the last five seconds". Untimed sets keep the original
+    snapshot-only behavior.
+    """
+
+    __slots__ = ("name", "value", "last_set", "_history")
+
+    #: Transition history bound: at one set per simulated event this
+    #: comfortably covers any watchdog window without unbounded growth.
+    HISTORY = 4096
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        #: Sim time of the last *timed* set (None before the first one).
+        self.last_set: float | None = None
+        self._history: deque[tuple[float, float]] = deque(maxlen=self.HISTORY)
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, *, now: float | None = None) -> None:
         self.value = value
+        if now is not None:
+            self.last_set = now
+            self._history.append((now, value))
 
-    def add(self, delta: float) -> None:
-        self.value += delta
+    def add(self, delta: float, *, now: float | None = None) -> None:
+        self.set(self.value + delta, now=now)
+
+    def mean_over(self, window: float, *, now: float) -> float:
+        """Time-weighted mean of the value over ``[now - window, now]``.
+
+        Each recorded value is weighted by how long it was in effect;
+        before the first timed set the gauge is taken as 0 (its initial
+        value). With no timed history at all the current value is
+        returned (the snapshot-only degenerate case).
+        """
+        if window <= 0:
+            raise ReproError(f"gauge {self.name!r} window must be positive, got {window}")
+        if not self._history:
+            return self.value
+        start = now - window
+        current = 0.0
+        integral = 0.0
+        prev_t = start
+        for t, value in self._history:
+            if t <= start:
+                current = value
+                continue
+            if t > now:
+                break
+            integral += (t - prev_t) * current
+            prev_t = t
+            current = value
+        integral += (now - prev_t) * current
+        return integral / window
 
 
 class Histogram:
@@ -164,6 +212,17 @@ class Histogram:
         }
 
 
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Fold an instrument name onto the Prometheus metric-name grammar."""
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
 class MetricsRegistry:
     """Name-keyed counters, gauges, and histograms for one run.
 
@@ -206,6 +265,38 @@ class MetricsRegistry:
             "histograms": {name: self.histograms[name].summary()
                            for name in sorted(self.histograms)},
         }
+
+    def render_prom(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every instrument.
+
+        Counters and gauges become single samples; histograms become the
+        standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+        ``_count``. Instrument names are sanitized to the Prometheus
+        grammar (dots and other separators fold to ``_``). The output is
+        sorted and format-stable so a future real-transport scrape
+        endpoint (and the CLI test) can rely on the exact shape.
+        """
+        lines: list[str] = []
+        for name in sorted(self.counters):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {self.counters[name].value}")
+        for name in sorted(self.gauges):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {self.gauges[name].value:g}")
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.counts):
+                cumulative += count
+                lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{metric}_sum {histogram.total:g}")
+            lines.append(f"{metric}_count {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def render(self) -> str:
         """Aligned plain-text tables (the ``repro metrics`` output)."""

@@ -95,6 +95,15 @@ class TraceRecorder:
         self._next_span = 0
         self._aliases: dict[str, str] = {}
         self._alias_counts: dict[str, int] = {}
+        #: Live subscribers (the runtime health layer's flight recorders):
+        #: each closed span and each event is offered as a plain record
+        #: dict. Empty by default — nothing is built or called unless a
+        #: subscriber registered, so the default path is unchanged.
+        self.observers: list[Callable[[dict[str, Any]], None]] = []
+
+    def _notify(self, record: dict[str, Any]) -> None:
+        for observer in self.observers:
+            observer(record)
 
     # -- id management ----------------------------------------------------
 
@@ -160,6 +169,12 @@ class TraceRecorder:
         span.status = status
         if attrs:
             span.attrs.update(attrs)
+        if self.observers:
+            self._notify({
+                "t": span.end, "kind": "span", "name": span.name,
+                "node": span.node, "start": span.start,
+                "status": span.status, "attrs": dict(span.attrs),
+            })
 
     def event(
         self,
@@ -182,6 +197,11 @@ class TraceRecorder:
         )
         if self.enabled:
             self.events.append(record)
+        if self.observers:
+            self._notify({
+                "t": record.time, "kind": "event", "name": record.name,
+                "node": record.node, "attrs": dict(record.attrs),
+            })
         return record
 
     # -- header propagation ------------------------------------------------

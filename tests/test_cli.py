@@ -48,7 +48,7 @@ def test_parser_requires_command():
 
 
 def test_experiment_ids_match_design_numbering():
-    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 20)}
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 21)}
 
 
 def test_experiment_chart_flag(capsys):
@@ -106,3 +106,53 @@ def test_metrics_renders_registry(capsys):
 def test_metrics_unknown_experiment(capsys):
     assert main(["metrics", "e99"]) == 2
     assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_metrics_prom_format_is_stable(capsys):
+    import re
+
+    assert main(["metrics", "e1", "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    assert out.endswith("\n") and lines
+    assert any(line.startswith("# TYPE ") and line.endswith(" counter")
+               for line in lines)
+    assert any(line.startswith("# TYPE ") and line.endswith(" histogram")
+               for line in lines)
+    assert 'le="+Inf"' in out
+    # Every sample name obeys the Prometheus metric-name grammar.
+    for line in lines:
+        if line.startswith("#") or not line:
+            continue
+        name = line.split(" ", 1)[0].split("{", 1)[0]
+        assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name), line
+    # Byte-stable: a second capture renders identically.
+    assert main(["metrics", "e1", "--format", "prom"]) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_metrics_json_flag_still_works(capsys):
+    import json
+
+    assert main(["metrics", "e1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"counters", "gauges", "histograms"}
+
+
+def test_health_writes_and_renders_report(tmp_path, capsys):
+    import json
+
+    assert main(["health", "e19", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "capacity report — E19" in out
+    path = tmp_path / "health_e19_seed0.json"
+    assert path.exists()
+    report = json.loads(path.read_text())
+    assert report["experiment"] == "E19"
+    assert report["points"]
+    assert all("slo_ok" in point for point in report["points"])
+
+
+def test_health_rejects_non_health_experiment(capsys):
+    assert main(["health", "e1"]) == 2
+    assert "unknown health experiment" in capsys.readouterr().err

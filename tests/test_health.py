@@ -1,0 +1,531 @@
+"""Tests for the runtime health layer: recorders, SLOs, watchdogs.
+
+Covers the instruments in isolation (flight-recorder ring semantics,
+time-weighted gauge means, Prometheus rendering, SLO burn-rate edges,
+each watchdog's rising-edge behavior) and the wired monitor on a real
+deployment: inert-by-default, crash dumps, and same-seed byte-identity
+of dumps — including across a crash/restart with durability enabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import DiscoveryConfig
+from repro.core.durability import DurabilityConfig
+from repro.core.forwarding import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.core.system import DiscoverySystem
+from repro.errors import ReproError
+from repro.obs.health import (
+    DEFAULT_OBJECTIVES,
+    FlightRecorder,
+    HealthConfig,
+    HealthMonitor,
+)
+from repro.obs.metrics import Gauge, MetricsRegistry
+from repro.obs.slo import SLOObjective, SLOTracker
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+REQUEST = ServiceRequest.build("ncw:SensorService", outputs=["ncw:Track"])
+
+
+def _monitor(**overrides):
+    """A manually clocked monitor over a fresh metrics registry."""
+    state = {"t": 0.0}
+    metrics = MetricsRegistry()
+    config = HealthConfig(enabled=True, **overrides)
+    monitor = HealthMonitor(lambda: state["t"], metrics, config=config)
+    return state, metrics, monitor
+
+
+def _system(health: HealthConfig, *, seed: int = 0,
+            durability: DurabilityConfig | None = None) -> DiscoverySystem:
+    """A one-LAN deployment: registry + one service + one client."""
+    config = DiscoveryConfig(
+        health=health,
+        durability=durability or DurabilityConfig(),
+        beacon_interval=1.0,
+        lease_duration=4.0,
+        purge_interval=0.5,
+    )
+    system = DiscoverySystem(seed=seed, ontology=battlefield_ontology(),
+                             config=config)
+    system.add_lan("lan-0")
+    system.add_registry("lan-0")
+    system.add_service("lan-0", ServiceProfile.build(
+        "radar-0", "ncw:RadarService", outputs=["ncw:AirTrack"]))
+    system.add_client("lan-0")
+    return system
+
+
+# -- config validation -------------------------------------------------------
+
+
+def test_health_config_rejects_bad_capacity():
+    with pytest.raises(ReproError):
+        HealthConfig(recorder_capacity=0)
+
+
+def test_health_config_rejects_bad_interval():
+    with pytest.raises(ReproError):
+        HealthConfig(watchdog_interval=0.0)
+
+
+def test_health_config_rejects_empty_objectives():
+    with pytest.raises(ReproError):
+        HealthConfig(objectives=())
+
+
+def test_health_config_rejects_bad_window():
+    with pytest.raises(ReproError):
+        HealthConfig(lease_window=-1.0)
+
+
+def test_default_health_config_is_disabled():
+    assert HealthConfig().enabled is False
+    assert DiscoveryConfig().health.enabled is False
+
+
+# -- flight recorder ---------------------------------------------------------
+
+
+def test_flight_recorder_evicts_oldest_first():
+    recorder = FlightRecorder("n1", capacity=3)
+    for i in range(5):
+        recorder.note({"t": float(i), "kind": "mark", "seq": i})
+    assert recorder.appended == 5
+    assert recorder.evicted == 2
+    assert [r["seq"] for r in recorder.records] == [2, 3, 4]
+
+
+def test_flight_recorder_dump_is_byte_stable():
+    recorder = FlightRecorder("n1", capacity=4)
+    recorder.note({"b": 2, "a": 1, "t": 0.5})
+    recorder.note({"t": 1.0, "kind": "event"})
+    dump = recorder.dump_jsonl()
+    assert dump == recorder.dump_jsonl()
+    lines = dump.splitlines()
+    assert lines[0] == '{"a":1,"b":2,"t":0.5}'  # sorted keys, no spaces
+    assert [json.loads(line) for line in lines]
+
+
+def test_flight_recorder_truncated_dump_holds_newest():
+    recorder = FlightRecorder("n1", capacity=2)
+    for i in range(4):
+        recorder.note({"seq": i})
+    assert recorder.dump_jsonl() == '{"seq":2}\n{"seq":3}'
+
+
+# -- gauge time-weighted mean ------------------------------------------------
+
+
+def test_gauge_mean_over_weights_by_time_held():
+    gauge = Gauge("depth")
+    gauge.set(0.0, now=0.0)
+    gauge.set(10.0, now=5.0)
+    assert gauge.mean_over(10.0, now=10.0) == pytest.approx(5.0)
+    assert gauge.mean_over(5.0, now=10.0) == pytest.approx(10.0)
+
+
+def test_gauge_mean_over_is_zero_weighted_before_first_set():
+    gauge = Gauge("depth")
+    gauge.set(4.0, now=8.0)
+    # [2, 8) carries the initial 0, [8, 10) carries 4 -> 8/8 = 1.
+    assert gauge.mean_over(8.0, now=10.0) == pytest.approx(1.0)
+
+
+def test_gauge_mean_over_without_history_returns_current_value():
+    gauge = Gauge("depth")
+    gauge.set(5.0)  # untimed: snapshot-only behavior
+    assert gauge.last_set is None
+    assert gauge.mean_over(3.0, now=10.0) == 5.0
+
+
+def test_gauge_mean_over_rejects_bad_window():
+    with pytest.raises(ReproError):
+        Gauge("depth").mean_over(0.0, now=1.0)
+
+
+def test_gauge_add_feeds_history():
+    gauge = Gauge("depth")
+    gauge.add(2.0, now=1.0)
+    gauge.add(2.0, now=2.0)
+    assert gauge.value == 4.0
+    assert gauge.last_set == 2.0
+
+
+# -- prometheus rendering ----------------------------------------------------
+
+
+def test_render_prom_exact_format():
+    registry = MetricsRegistry()
+    registry.counter("admission.shed").inc(3)
+    registry.gauge("registry.queue_depth").set(2.0)
+    histogram = registry.histogram("query.lat", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        histogram.observe(value)
+    assert registry.render_prom() == (
+        "# TYPE admission_shed counter\n"
+        "admission_shed 3\n"
+        "# TYPE registry_queue_depth gauge\n"
+        "registry_queue_depth 2\n"
+        "# TYPE query_lat histogram\n"
+        'query_lat_bucket{le="0.1"} 1\n'
+        'query_lat_bucket{le="1"} 2\n'
+        'query_lat_bucket{le="+Inf"} 3\n'
+        "query_lat_sum 5.55\n"
+        "query_lat_count 3\n"
+    )
+
+
+def test_render_prom_empty_registry_is_empty():
+    assert MetricsRegistry().render_prom() == ""
+
+
+# -- SLO tracker -------------------------------------------------------------
+
+
+def _tracker(state, **kw):
+    defaults = dict(
+        objectives=(SLOObjective("query", success_target=0.9,
+                                 latency_target=1.0),),
+        fast_window=5.0, slow_window=10.0, burn_threshold=2.0, min_samples=5,
+    )
+    defaults.update(kw)
+    return SLOTracker(lambda: state["t"], **defaults)
+
+
+def test_slo_burn_breaches_in_both_windows():
+    state = {"t": 0.0}
+    tracker = _tracker(state)
+    for i in range(6):
+        state["t"] = 1.0 + i * 0.5
+        tracker.record("query", ok=False)
+    (status,) = tracker.check()
+    assert status.burn_breached and status.breached
+    assert status.fast_burn >= 2.0 and status.slow_burn >= 2.0
+
+
+def test_slo_needs_min_samples_to_breach():
+    state = {"t": 1.0}
+    tracker = _tracker(state)
+    for _ in range(3):
+        tracker.record("query", ok=False)
+    (status,) = tracker.check()
+    assert not status.breached and status.fast_samples == 3
+
+
+def test_slo_slow_window_suppresses_blips():
+    state = {"t": 0.0}
+    tracker = _tracker(state)
+    for i in range(40):  # a healthy slow window first
+        state["t"] = 1.0 + (i % 4)
+        tracker.record("query", ok=True)
+    state["t"] = 10.0
+    for _ in range(6):  # then a short error blip
+        tracker.record("query", ok=False)
+    (status,) = tracker.check()
+    assert status.fast_burn >= 2.0  # the fast window is all errors
+    assert status.slow_burn < 2.0  # but the slow window absorbs it
+    assert not status.burn_breached
+
+
+def test_slo_latency_breach_is_independent_of_errors():
+    state = {"t": 1.0}
+    tracker = _tracker(state)
+    for _ in range(6):
+        tracker.record("query", ok=True, latency=3.0)
+    (status,) = tracker.check()
+    assert status.latency_breached and not status.burn_breached
+
+
+def test_slo_empty_windows_are_healthy():
+    state = {"t": 5.0}
+    tracker = _tracker(state)
+    assert tracker.success_rate("query", 5.0) == 1.0
+    assert tracker.burn_rate("query", 5.0) == 0.0
+    (status,) = tracker.check()
+    assert not status.breached
+
+
+def test_slo_rejects_slow_window_shorter_than_fast():
+    with pytest.raises(ReproError):
+        _tracker({"t": 0.0}, fast_window=5.0, slow_window=1.0)
+
+
+# -- watchdogs (through the monitor's tick) ----------------------------------
+
+
+def _alarm_names(monitor):
+    return [a.name for a in monitor.alarms]
+
+
+def test_shed_step_fires_on_rising_edge_only():
+    state, metrics, monitor = _monitor(shed_step_threshold=10)
+    state["t"] = 1.0
+    monitor.tick()  # baseline sample: counter at 0
+    metrics.counter("admission.shed").inc(12)
+    state["t"] = 2.0
+    monitor.tick()
+    assert _alarm_names(monitor) == ["shed-step"]
+    state["t"] = 3.0
+    monitor.tick()  # condition persists: no second alarm
+    assert _alarm_names(monitor) == ["shed-step"]
+    state["t"] = 9.0
+    monitor.tick()  # window drained: edge re-arms
+    metrics.counter("admission.shed").inc(12)
+    state["t"] = 10.0
+    monitor.tick()
+    assert _alarm_names(monitor) == ["shed-step", "shed-step"]
+
+
+def test_queue_growth_uses_time_weighted_mean():
+    state, metrics, monitor = _monitor(queue_depth_threshold=8.0)
+    metrics.gauge("registry.queue_depth").set(10.0, now=0.0)
+    state["t"] = 4.0
+    monitor.tick()
+    assert _alarm_names(monitor) == ["queue-growth"]
+    # Queue drains: the mean decays and the edge clears.
+    metrics.gauge("registry.queue_depth").set(0.0, now=4.5)
+    state["t"] = 12.0
+    monitor.tick()
+    assert _alarm_names(monitor) == ["queue-growth"]
+
+
+def test_antientropy_staleness_per_node_and_rearms():
+    state, _metrics, monitor = _monitor(antientropy_stale_after=30.0)
+    monitor.feed_liveness("antientropy-round", "r1")
+    state["t"] = 30.0
+    monitor.tick()
+    assert _alarm_names(monitor) == ["antientropy-stale"]
+    assert monitor.alarms[0].node == "r1"
+    monitor.feed_liveness("antientropy-round", "r1")  # the node came back
+    state["t"] = 31.0
+    monitor.tick()
+    assert len(monitor.alarms) == 1
+    state["t"] = 61.0
+    monitor.tick()  # silent again: the edge re-fires
+    assert _alarm_names(monitor) == ["antientropy-stale"] * 2
+
+
+def test_lease_expiry_spike_names_single_source_node():
+    state, _metrics, monitor = _monitor(lease_expiry_spike=3)
+    state["t"] = 1.0
+    for _ in range(3):
+        monitor.feed_lease("expire", "r1")
+    state["t"] = 2.0
+    monitor.tick()
+    (alarm,) = monitor.alarms
+    assert alarm.name == "lease-expiry-spike"
+    assert alarm.node == "r1"
+    assert alarm.details["expiries_in_window"] == 3
+
+
+def test_breaker_flap_watchdog_reads_flap_counter():
+    state, metrics, monitor = _monitor(breaker_flap_threshold=2)
+    state["t"] = 1.0
+    monitor.tick()
+    metrics.counter("breaker.flaps").inc(2)
+    state["t"] = 2.0
+    monitor.tick()
+    assert _alarm_names(monitor) == ["breaker-flap"]
+
+
+def test_alarm_raises_counters_trace_event_and_dump():
+    state, metrics, monitor = _monitor(shed_step_threshold=1)
+    state["t"] = 1.0
+    monitor.tick()
+    metrics.counter("admission.shed").inc(5)
+    state["t"] = 2.0
+    monitor.tick()
+    assert metrics.counters["health.alarms"].value == 1
+    assert metrics.counters["health.alarm.shed-step"].value == 1
+    assert len(monitor.dumps) == 1
+    assert monitor.dumps[0].reason == "shed-step"
+
+
+def test_invariant_violation_counts_and_dumps():
+    _state, metrics, monitor = _monitor()
+    monitor.on_invariant_violation("stale wire id")
+    assert metrics.counters["health.invariant_violations"].value == 1
+    assert monitor.dumps[0].reason == "invariant-violation: stale wire id"
+
+
+def test_dump_inventory_is_bounded():
+    _state, _metrics, monitor = _monitor(max_dumps=3)
+    for i in range(5):
+        monitor.capture_dump(f"manual-{i}")
+    assert len(monitor.dumps) == 3
+    assert [d.reason for d in monitor.dumps] == [
+        "manual-2", "manual-3", "manual-4",
+    ]
+
+
+def test_inactive_monitor_is_inert():
+    metrics = MetricsRegistry()
+    monitor = HealthMonitor(lambda: 0.0, metrics)
+    assert not monitor.active
+    monitor.note("n1", "anything")
+    monitor.record_request("query", ok=False)
+    monitor.tick()
+    monitor.on_node_crash("n1")
+    assert monitor.recorders == {} and monitor.alarms == []
+    assert monitor.dumps == [] and metrics.counters == {}
+
+
+# -- wired into a deployment -------------------------------------------------
+
+
+def test_default_config_registers_no_observers_or_instruments():
+    system = _system(HealthConfig())
+    system.run(until=6.0)
+    assert not system.health.active
+    assert system.sim.trace.observers == []
+    assert system.health.recorders == {}
+    assert not any(name.startswith("health.")
+                   for name in system.network.metrics.counters)
+
+
+def test_enabled_monitor_mirrors_trace_into_rings():
+    system = _system(HealthConfig(enabled=True))
+    system.run(until=6.0)
+    assert system.health.active
+    assert len(system.sim.trace.observers) == 1
+    registry = system.registries[0].node_id
+    recorder = system.health.recorders[registry]
+    assert recorder.appended > 0
+    names = {r.get("name") for r in recorder.records}
+    assert "registry.publish" in names or "lease.grant" in names
+
+
+def test_crash_dump_captured_and_byte_identical_across_runs():
+    def crash_run() -> tuple[list, str]:
+        system = _system(HealthConfig(enabled=True), seed=2)
+        registry = system.registries[0]
+        system.sim.schedule_at(6.0, registry.crash)
+        system.sim.schedule_at(8.0, registry.restart)
+        system.run(until=12.0)
+        dumps = [(d.reason, d.node, d.time, d.records)
+                 for d in system.health.dumps]
+        return dumps, "\n".join(d.jsonl for d in system.health.dumps)
+
+    dumps_a, jsonl_a = crash_run()
+    dumps_b, jsonl_b = crash_run()
+    assert any(reason == "crash" for reason, *_rest in dumps_a)
+    assert dumps_a == dumps_b
+    assert jsonl_a == jsonl_b and jsonl_a
+
+
+def test_dumps_byte_identical_across_durable_crash_restart():
+    def durable_run() -> str:
+        system = _system(
+            HealthConfig(enabled=True), seed=3,
+            durability=DurabilityConfig(enabled=True),
+        )
+        registry = system.registries[0]
+        system.sim.schedule_at(6.0, registry.crash)
+        system.sim.schedule_at(8.0, registry.restart)
+        system.run(until=14.0)
+        # The ring records both the crash mark and the restart mark.
+        marks = {r["name"] for r in
+                 system.health.recorders[registry.node_id].records
+                 if r.get("kind") == "mark"}
+        assert {"node.crash", "node.restart"} <= marks
+        return "\n".join(d.jsonl for d in system.health.dumps)
+
+    assert durable_run() == durable_run()
+
+
+def test_small_ring_truncates_deterministically():
+    def windowed_run() -> str:
+        system = _system(HealthConfig(enabled=True, recorder_capacity=8),
+                         seed=4)
+        system.run(until=10.0)
+        registry = system.registries[0].node_id
+        recorder = system.health.recorders[registry]
+        assert recorder.evicted > 0
+        assert len(recorder.records) == 8
+        return recorder.dump_jsonl()
+
+    dump = windowed_run()
+    assert dump == windowed_run()
+    assert len(dump.splitlines()) == 8
+
+
+# -- breaker state gauge + flap counter (core/forwarding satellite) ----------
+
+
+def test_circuit_breaker_reports_transitions_and_flaps():
+    state = {"t": 0.0}
+    seen: list[tuple[str, str]] = []
+    breaker = CircuitBreaker(
+        lambda: state["t"], failure_threshold=2, reset_timeout=5.0,
+        on_transition=lambda old, new: seen.append((old, new)),
+    )
+    breaker.record_failure()
+    breaker.record_failure()  # trips open
+    state["t"] = 6.0
+    assert breaker.allows()  # half-open probe admitted
+    breaker.record_failure()  # probe failed: a flap
+    state["t"] = 12.0
+    assert breaker.allows()
+    breaker.record_success()
+    assert seen == [
+        (BREAKER_CLOSED, BREAKER_OPEN),
+        (BREAKER_OPEN, BREAKER_HALF_OPEN),
+        (BREAKER_HALF_OPEN, BREAKER_OPEN),
+        (BREAKER_OPEN, BREAKER_HALF_OPEN),
+        (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+    ]
+    assert breaker.flaps == 1
+
+
+def test_breaker_observer_silent_without_state_change():
+    seen: list[tuple[str, str]] = []
+    breaker = CircuitBreaker(lambda: 0.0, failure_threshold=3,
+                             on_transition=lambda o, n: seen.append((o, n)))
+    breaker.record_failure()  # below threshold: still closed
+    breaker.record_success()  # closed -> closed
+    assert seen == []
+
+
+def test_federation_breaker_gauge_and_flap_counter():
+    config = DiscoveryConfig(
+        breaker_failure_threshold=3,
+        breaker_reset_timeout=5.0,
+        ping_interval=500.0,  # keep ping rounds out of the test window
+        signalling_interval=None,
+    )
+    system = DiscoverySystem(seed=0, ontology=battlefield_ontology(),
+                             config=config)
+    system.add_lan("lan-0")
+    system.add_lan("lan-1")
+    left = system.add_registry("lan-0")
+    right = system.add_registry("lan-1")
+    system.federate(left, right)
+    system.run(until=3.0)
+
+    metrics = system.network.metrics
+    gauge_name = f"breaker.state.{left.node_id}:{right.node_id}"
+    for _ in range(3):
+        left.federation.record_neighbor_failure(right.node_id)
+    assert metrics.gauges[gauge_name].value == 2.0  # open
+
+    system.run_for(6.0)  # past the reset timeout
+    assert left.federation.breaker_allows(right.node_id)
+    assert metrics.gauges[gauge_name].value == 1.0  # half-open
+
+    left.federation.record_neighbor_failure(right.node_id)  # probe fails
+    assert metrics.gauges[gauge_name].value == 2.0  # flapped back open
+    assert metrics.counters["breaker.flaps"].value == 1
+
+    left.federation.record_neighbor_success(right.node_id)
+    assert metrics.gauges[gauge_name].value == 0.0  # closed
