@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke health-smoke bench all
+.PHONY: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke health-smoke shard-smoke bench all
 
 ## Tier 1: the full unit/integration suite. Must always be green.
 test:
@@ -67,8 +67,19 @@ recovery-smoke:
 health-smoke:
 	$(PYTHON) -m pytest benchmarks/test_e20_health.py -q
 
+## Tier 2: shard smoke — replays the E21 sharded-federation scenario at
+## a fixed seed and asserts its gates: per-node store load and digest
+## bytes tracking ~K*R/S on the 100k-ad ring sweep, join/leave moving
+## no more than K*R/S copies, probe success >= 0.99 while R-1 replicas
+## of a shard are fail-stopped, a clean placement/convergence sweep at
+## the end, byte-identical same-seed traces, and the default (sharding
+## off) configuration exporting byte-identical traces with every shard
+## counter at zero.
+shard-smoke:
+	$(PYTHON) -m pytest benchmarks/test_e21_sharding.py -q
+
 ## Full experiment/benchmark sweep (slow).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-all: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke health-smoke
+all: test perf-smoke fault-smoke obs-smoke overload-smoke routing-smoke recovery-smoke health-smoke shard-smoke

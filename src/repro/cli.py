@@ -72,6 +72,9 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "e20": ("repro.experiments.e20_health",
             "extension — runtime health under faults (alarms, flight "
             "recorders, SLO burn)"),
+    "e21": ("repro.experiments.e21_sharding",
+            "extension — sharded, replicated federation (quorum writes, "
+            "read cover, self-healing)"),
 }
 
 #: Experiments whose ``run`` accepts ``report_dir`` and emits a

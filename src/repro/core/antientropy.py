@@ -149,16 +149,29 @@ class AntiEntropy:
 
     # -- digests -----------------------------------------------------------
 
-    def digest(self) -> protocol.DigestPayload:
-        """This registry's current store digest."""
+    def digest(self, peer: str | None = None) -> protocol.DigestPayload:
+        """This registry's current store digest.
+
+        Under sharded federation a digest addressed to ``peer`` covers
+        only the co-owned replica ranges — the per-round digest cost
+        scales with the shared shards (~K·R/S ads), not the whole store.
+        """
         self._prune_tombstones()
+        shard = getattr(self.registry, "shard", None)
+        scoped = peer is not None and shard is not None and shard.active()
+
+        def covered(ad_id: str) -> bool:
+            return not scoped or shard.co_owned(ad_id, peer)
+
         entries = tuple(
             (ad.ad_id, ad.version, self.epochs.get(ad.ad_id, 0))
             for ad in self.registry.store.all()
+            if covered(ad.ad_id)
         )
         tombstones = tuple(
             (ad_id, version)
             for ad_id, (version, _at) in sorted(self.tombstones.items())
+            if covered(ad_id)
         )
         return protocol.DigestPayload(entries=entries, tombstones=tombstones)
 
@@ -166,7 +179,16 @@ class AntiEntropy:
         """One periodic round: send our digest to every neighbor."""
         if not self.enabled():
             return
-        neighbors = sorted(self.registry.federation.neighbors)
+        sharded = self.registry.shard.active()
+        if sharded:
+            # Per-shard rounds: gossip only with registries sharing a
+            # replica range, each digest scoped to the shared shards.
+            # The stray sweep runs first so the digests reflect the
+            # post-placement store.
+            self.registry.shard.sweep_strays()
+            neighbors = sorted(self.registry.shard.shard_peers())
+        else:
+            neighbors = sorted(self.registry.federation.neighbors)
         if not neighbors:
             return
         self.rounds_run += 1
@@ -174,15 +196,21 @@ class AntiEntropy:
         network = self.registry.network
         if network is not None and network.health.active:
             network.health.feed_liveness("antientropy-round", self.registry.node_id)
-        payload = self.digest()
-        for neighbor in neighbors:
-            self.registry.send(neighbor, protocol.ANTIENTROPY_DIGEST, payload)
+        if sharded:
+            for neighbor in neighbors:
+                self.registry.send(
+                    neighbor, protocol.ANTIENTROPY_DIGEST, self.digest(neighbor)
+                )
+        else:
+            payload = self.digest()
+            for neighbor in neighbors:
+                self.registry.send(neighbor, protocol.ANTIENTROPY_DIGEST, payload)
 
     def sync_with(self, peer: str) -> None:
         """Kick off a digest exchange with one peer (join, promotion)."""
         if not self.enabled() or peer == self.registry.node_id:
             return
-        self.registry.send(peer, protocol.ANTIENTROPY_DIGEST, self.digest())
+        self.registry.send(peer, protocol.ANTIENTROPY_DIGEST, self.digest(peer))
 
     # -- message handling --------------------------------------------------
 
@@ -224,11 +252,14 @@ class AntiEntropy:
 
         theirs = {ad_id: (version, epoch) for ad_id, version, epoch in payload.entries}
         their_tombs = dict(payload.tombstones)
+        shard = getattr(self.registry, "shard", None)
+        sharded = shard is not None and shard.active()
 
         wants = sorted(
             ad_id
             for ad_id, (version, epoch) in theirs.items()
             if not self.blocked(ad_id, version)
+            and (not sharded or shard.owns_local(ad_id))
             and (
                 ad_id not in store
                 or (version, epoch)
@@ -246,6 +277,7 @@ class AntiEntropy:
         push = [
             ad for ad in store.all()
             if ad.version > their_tombs.get(ad.ad_id, -1)
+            and (not sharded or shard.co_owned(ad.ad_id, src))
             and (
                 ad.ad_id not in theirs
                 or (ad.version, self.epochs.get(ad.ad_id, 0)) > theirs[ad.ad_id]

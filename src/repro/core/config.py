@@ -16,6 +16,7 @@ from repro.core.admission import AdmissionPolicy
 from repro.core.durability import DurabilityConfig
 from repro.core.retry import RetryPolicy
 from repro.core.routing import RoutingConfig
+from repro.core.sharding import ShardingConfig
 from repro.obs.health import HealthConfig
 
 #: Query forwarding strategies (§4.9: "increasing the reach of a query
@@ -169,6 +170,14 @@ class DiscoveryConfig:
     #: is fully inert: no disk is attached, no message grows a header,
     #: and event timing is bit-identical to a memory-only deployment.
     durability: DurabilityConfig = DurabilityConfig()
+
+    # -- sharded federation --------------------------------------------------
+    #: Consistent-hash partitioning with quorum writes and replica-set
+    #: query routing (see :mod:`repro.core.sharding`). The default has
+    #: sharding off and fully inert: replicate-ads cooperation keeps its
+    #: replicate-everywhere flood and traces stay byte-identical to a
+    #: pre-sharding deployment.
+    sharding: ShardingConfig = ShardingConfig()
 
     # -- runtime health ------------------------------------------------------
     #: Flight recorders, windowed SLO tracking, and anomaly watchdogs

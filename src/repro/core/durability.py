@@ -65,6 +65,15 @@ FENCED_MSG_TYPES = frozenset({
     protocol.ANTIENTROPY_ADS,
     protocol.FEDERATION_JOIN,
     protocol.FEDERATION_JOIN_ACK,
+    # Sharded-federation quorum traffic: a pre-crash write or ack from a
+    # replica's previous incarnation must not land after recovery.
+    protocol.SHARD_STORE,
+    protocol.SHARD_STORE_ACK,
+    protocol.SHARD_RENEW,
+    protocol.SHARD_RENEW_ACK,
+    protocol.SHARD_REMOVE,
+    protocol.SHARD_REMOVE_ACK,
+    protocol.SHARD_TRANSFER,
 })
 
 #: WAL/snapshot file names on the per-node disk.

@@ -52,6 +52,12 @@ class Federation:
         #: Per-neighbor circuit breakers fed by missed pongs and
         #: aggregation timeouts; consulted by the query fan-out.
         self.breakers: dict[str, CircuitBreaker] = {}
+        #: Departure tombstones: member -> time its leave was learned.
+        #: Gossip relaying a pre-departure snapshot must not resurrect
+        #: the member (ring membership would thrash); a snapshot issued
+        #: *after* the departure is a genuine rejoin and clears the
+        #: tombstone.
+        self.departed: dict[str, float] = {}
         self.joins_sent = 0
         self.neighbors_lost = 0
         self.reconnects = 0
@@ -70,6 +76,7 @@ class Federation:
         self.known.clear()
         self._missed_pongs.clear()
         self.breakers.clear()
+        self.departed.clear()
 
     # -- joining ------------------------------------------------------------
 
@@ -89,12 +96,31 @@ class Federation:
         """Our join was accepted."""
         self._add_neighbor(src, description)
 
-    def handle_leave(self, src: str) -> None:
-        """A peer announced a graceful departure."""
-        self.neighbors.discard(src)
-        self.known.pop(src, None)
-        self._missed_pongs.pop(src, None)
-        self.breakers.pop(src, None)
+    def handle_leave(self, src: str, member: str = "") -> None:
+        """A peer announced a graceful departure (possibly relayed).
+
+        The announcement is flooded: each registry forwards it once to
+        its own neighbors, so members that were never direct neighbors
+        of the leaver (and would otherwise keep gossiping its stale
+        description, re-growing the shard ring) learn of the departure
+        too. The ``departed`` tombstone deduplicates the flood.
+        """
+        member = member or src
+        if member == self.registry.node_id or member in self.departed:
+            return
+        self.departed[member] = self.registry.sim.now
+        self.neighbors.discard(member)
+        self.known.pop(member, None)
+        self._missed_pongs.pop(member, None)
+        self.breakers.pop(member, None)
+        for neighbor in sorted(self.neighbors):
+            if neighbor != src:
+                self.registry.send(neighbor, protocol.FEDERATION_LEAVE,
+                                   protocol.LeavePayload(member=member))
+        # A graceful leave is authoritative: drop the peer from the shard
+        # ring (triggering rebalance) and re-resolve any in-flight queries
+        # that were still waiting on it.
+        self.registry.on_peer_departed(member, left_ring=True)
 
     def leave(self) -> None:
         """Announce graceful departure to all neighbors.
@@ -104,14 +130,17 @@ class Federation:
         cycle and get a re-federated neighbor dropped after a single
         missed pong.
         """
+        self.registry.on_departing()
         for neighbor in sorted(self.neighbors):
-            self.registry.send(neighbor, protocol.FEDERATION_LEAVE)
+            self.registry.send(neighbor, protocol.FEDERATION_LEAVE,
+                               protocol.LeavePayload(member=self.registry.node_id))
         self.neighbors.clear()
         self._missed_pongs.clear()
         self.breakers.clear()
 
     def _add_neighbor(self, other_id: str, description: RegistryDescription | None) -> None:
         is_new = other_id not in self.neighbors
+        self.departed.pop(other_id, None)  # a direct (re)join is proof of return
         self.neighbors.add(other_id)
         # A join (or join-ack) is proof of life: reset the failure
         # detector rather than inheriting a stale pre-departure count.
@@ -119,8 +148,14 @@ class Federation:
         self.record_neighbor_success(other_id)
         if description is not None:
             self.known[other_id] = description
+            self.registry.on_registry_observed(description)
         if is_new:
             self.registry.on_neighbor_added(other_id)
+            if self.registry.shard.configured():
+                # Hand the new neighbor our full membership view at once
+                # (same convergence rationale as the observe() rumor).
+                self.registry.send(other_id, protocol.REGISTRY_LIST_REPLY,
+                                   self.registry_list())
 
     # -- observation -----------------------------------------------------------
 
@@ -133,11 +168,31 @@ class Federation:
         """
         if description.registry_id == self.registry.node_id:
             return
+        left_at = self.departed.get(description.registry_id)
+        if left_at is not None:
+            if description.issued_at <= left_at:
+                return  # stale pre-departure snapshot relayed by gossip
+            del self.departed[description.registry_id]  # genuine rejoin
         current = self.known.get(description.registry_id)
         if current is not None and current.issued_at > description.issued_at:
             # Gossip relayed an older snapshot: keep the fresher one.
             return
+        is_new = current is None
         self.known[description.registry_id] = description
+        self.registry.on_registry_observed(description)
+        if is_new and self.registry.shard.configured():
+            # Sharded mode: key placement is only correct once every
+            # member sees the same ring, so a first sighting is rumored
+            # to the neighbors immediately instead of waiting for the
+            # periodic signalling round (which moves knowledge one hop
+            # per round — O(diameter × interval) to converge). Each
+            # registry forwards a given member at most once, so the
+            # flood is bounded at N² messages federation-wide.
+            rumor = protocol.RegistryListPayload(registries=(description,))
+            for neighbor in sorted(self.neighbors):
+                if neighbor != description.registry_id:
+                    self.registry.send(neighbor, protocol.REGISTRY_LIST_REPLY,
+                                       rumor)
         if (
             description.lan_name == self.registry.lan_name
             and description.registry_id not in self.neighbors
@@ -183,6 +238,10 @@ class Federation:
         self._missed_pongs.pop(neighbor, None)
         self.breakers.pop(neighbor, None)
         self.neighbors_lost += 1
+        # A crash suspicion is NOT a ring departure: the shard ring keeps
+        # the member (health-aware replica selection and hinted handoff
+        # mask it) so a flapping registry does not thrash key placement.
+        self.registry.on_peer_departed(neighbor, left_ring=False)
         self._reconnect()
 
     def _reconnect(self) -> None:

@@ -136,15 +136,26 @@ class PendingAggregation:
         on_complete: Callable[[list[QueryHit], int], None],
         on_target_timeout: Callable[[str], None] | None = None,
         trace_ctx: tuple[int, int] | None = None,
+        on_retarget: Callable[[list[str], tuple[str, ...]], list[str]] | None = None,
     ) -> None:
         self.query_id = query_id
         self.batches: list[list[QueryHit]] = [local_hits]
         self.outstanding = len(targets) if outstanding is None else outstanding
         self.silent: set[str] = set(targets)
+        #: Every target contacted so far (originals plus retarget
+        #: replacements) — the retarget planner must not re-pick them.
+        self.targets: tuple[str, ...] = tuple(targets)
         self.max_results = max_results
         self.responders = 1  # ourselves
         self._on_complete = on_complete
         self._on_target_timeout = on_target_timeout
+        #: Fault-masked reads (sharded federation): called once, at the
+        #: first timeout, with the silent targets; returns replacement
+        #: targets the caller has (re)contacted — the aggregation then
+        #: waits one more timeout round for them instead of completing.
+        self._on_retarget = on_retarget
+        self._retargeted = False
+        self._timeout_interval = timeout
         self._node = node
         self.trace_ctx = trace_ctx
         self._done = False
@@ -179,7 +190,48 @@ class PendingAggregation:
         if self._on_target_timeout is not None:
             for target in sorted(self.silent):
                 self._on_target_timeout(target)
+        if (
+            self._on_retarget is not None
+            and not self._retargeted
+            and self.silent
+        ):
+            # One retry round on replacement targets; the silent ones are
+            # written off (their suspicion was reported above).
+            self._retargeted = True
+            replacements = self._on_retarget(sorted(self.silent), self.targets)
+            if replacements:
+                self.silent = set(replacements)
+                self.outstanding = len(replacements)
+                self.targets = tuple(dict.fromkeys(
+                    list(self.targets) + list(replacements)
+                ))
+                self._timer = self._node.after(
+                    self._timeout_interval, self._timeout
+                )
+                return
         self._complete()
+
+    def drain_target(self, target: str) -> None:
+        """A target left the federation: stop waiting for its answer.
+
+        Counts as an (empty) response so the aggregation completes as
+        soon as the surviving targets have answered, instead of riding
+        out the timeout against a tombstoned member.
+        """
+        if self._done or target not in self.silent:
+            return
+        self.silent.discard(target)
+        self.outstanding -= 1
+        if self.outstanding <= 0:
+            self._complete()
+
+    def flush(self) -> None:
+        """Complete immediately with whatever has arrived (we are leaving).
+
+        Unlike a timeout, no target is blamed — the departure is ours.
+        """
+        if not self._done:
+            self._complete()
 
     def _complete(self) -> None:
         self._done = True

@@ -142,6 +142,8 @@ def check_convergence(system: "DiscoverySystem") -> list[str]:
     ]
     if len(members) < 2:
         return []
+    if system.config.sharding.enabled:
+        return _check_sharded_convergence(system, members)
     views = {
         r.node_id: frozenset((ad.ad_id, ad.version) for ad in r.store.all())
         for r in members
@@ -164,6 +166,114 @@ def check_convergence(system: "DiscoverySystem") -> list[str]:
             f"(extra={extra[:5]}, missing={missing[:5]})"
         )
     return violations
+
+
+def _canonical_ring(system: "DiscoverySystem", members):
+    """The ring implied by the live active registries' ring identities.
+
+    Crashed registries are *kept* on the live rings by design (replica
+    selection and hinted handoff mask them; only a graceful leave shrinks
+    the ring), so the canonical ring also includes any member a live
+    registry still has on its own ring — with the ring identity that
+    registry records for it. A gracefully-departed member appears on no
+    live ring and therefore stays excluded.
+    """
+    from repro.core.sharding import ConsistentHashRing
+
+    cfg = system.config.sharding
+    ring = ConsistentHashRing(virtual_nodes=cfg.virtual_nodes, seed=cfg.ring_seed)
+    for registry in members:
+        ring.add(registry.node_id, getattr(registry, "ring_identity", registry.node_id))
+    for registry in sorted(members, key=lambda r: r.node_id):
+        live = getattr(registry, "shard", None)
+        if live is None or not live.configured():
+            continue
+        for member in sorted(live.ring.members()):
+            if member not in ring:
+                ring.add(member, live.ring.ring_id_of(member))
+    return ring
+
+
+def _check_sharded_convergence(system: "DiscoverySystem", members) -> list[str]:
+    """Per-replica-set agreement: under sharding only the R assigned
+    replicas of an advertisement must agree — the global identical-store
+    comparison would flag correct partitioning as divergence."""
+    ring = _canonical_ring(system, members)
+    r = system.config.sharding.replication_factor
+    holders: dict[str, dict[str, int]] = {}
+    for registry in members:
+        for ad in registry.store.all():
+            holders.setdefault(ad.ad_id, {})[registry.node_id] = ad.version
+    alive = {registry.node_id for registry in members}
+    violations = []
+    for ad_id in sorted(holders):
+        assigned = [m for m in ring.replicas_for(ad_id, r) if m in alive]
+        versions = {m: holders[ad_id].get(m) for m in assigned}
+        present = {v for v in versions.values() if v is not None}
+        if len(present) > 1 or (present and None in versions.values()):
+            detail = ", ".join(
+                f"{m}={'-' if v is None else v}" for m, v in sorted(versions.items())
+            )
+            violations.append(
+                f"shard replicas diverge on {ad_id}: {detail}"
+            )
+    return violations
+
+
+def check_shard_placement(system: "DiscoverySystem") -> list[str]:
+    """Placement sweep for sharded deployments.
+
+    After quiescing (rebalances drained), every stored advertisement must
+    sit inside its assigned replica range on the canonical ring — the
+    ring implied by the live active registries' ring identities — and
+    every live advertisement must still have at least one alive assigned
+    replica holding it. Vacuous when sharding is off.
+    """
+    from repro.core.config import COOPERATION_REPLICATE_ADS
+
+    if (
+        not system.config.sharding.enabled
+        or system.config.cooperation != COOPERATION_REPLICATE_ADS
+    ):
+        return []
+    members = [
+        r for r in system.registries
+        if r.alive and getattr(r, "active", True)
+    ]
+    if not members:
+        return []
+    ring = _canonical_ring(system, members)
+    r = system.config.sharding.replication_factor
+    violations: list[str] = []
+    live_ads: set[str] = set()
+    for registry in members:
+        for ad in registry.store.all():
+            live_ads.add(ad.ad_id)
+            if not ring.owns(registry.node_id, ad.ad_id, r):
+                violations.append(
+                    f"{registry.node_id}: holds {ad.ad_id} outside its "
+                    f"assigned replica set {ring.replicas_for(ad.ad_id, r)}"
+                )
+    held_by = {
+        registry.node_id: {ad.ad_id for ad in registry.store.all()}
+        for registry in members
+    }
+    for ad_id in sorted(live_ads):
+        assigned = [m for m in ring.replicas_for(ad_id, r) if m in held_by]
+        if assigned and not any(ad_id in held_by[m] for m in assigned):
+            violations.append(
+                f"{ad_id}: no alive assigned replica ({assigned}) holds it"
+            )
+    return violations
+
+
+def assert_shard_placement(system: "DiscoverySystem") -> None:
+    """Raise :class:`InvariantError` on shard-placement violations."""
+    violations = check_shard_placement(system)
+    if violations:
+        raise InvariantError(
+            "shard placement violations:\n  " + "\n  ".join(violations)
+        )
 
 
 def assert_convergence(system: "DiscoverySystem") -> None:

@@ -62,6 +62,19 @@ AD_FORWARD = "ad-forward"
 ANTIENTROPY_DIGEST = "antientropy-digest"
 ANTIENTROPY_PULL = "antientropy-pull"
 ANTIENTROPY_ADS = "antientropy-ads"
+#: Sharded federation (quorum replication): the write coordinator pushes
+#: one advertisement to a replica-set member and awaits its ack.  An
+#: empty ``request_id`` marks fire-and-forget traffic (hinted-handoff
+#: replay, read repair) that needs no ack.
+SHARD_STORE = "shard-store"
+SHARD_STORE_ACK = "shard-store-ack"
+#: Replica-lease refresh and tombstoning for quorum-replicated ads.
+SHARD_RENEW = "shard-renew"
+SHARD_RENEW_ACK = "shard-renew-ack"
+SHARD_REMOVE = "shard-remove"
+SHARD_REMOVE_ACK = "shard-remove-ack"
+#: Bulk key movement after a ring membership change (rebalancing).
+SHARD_TRANSFER = "shard-transfer"
 
 # -- message types: subscriptions (notification extension) -----------------
 
@@ -159,6 +172,21 @@ class RenewPayload:
 
     def size_bytes(self) -> int:
         return len(self.lease_id) + len(self.ad_id) + 8
+
+
+@dataclass(frozen=True)
+class LeavePayload:
+    """Graceful departure, flooded so non-neighbors learn it too.
+
+    ``member`` is the departing registry; empty means the sender itself
+    (the first-hop announcement). Relays always name the member since
+    the envelope ``src`` is then the forwarder, not the leaver.
+    """
+
+    member: str = ""
+
+    def size_bytes(self) -> int:
+        return len(self.member) + 8
 
 
 @dataclass(frozen=True)
@@ -399,6 +427,66 @@ class SyncAdsPayload:
 
     def size_bytes(self) -> int:
         return 16 + sum(entry.size_bytes() for entry in self.ads)
+
+
+@dataclass(frozen=True)
+class ShardStorePayload:
+    """One quorum-write replica push (sharded federation).
+
+    Wraps the classic :class:`AdForwardPayload` so replicas absorb it
+    through the same tombstone/capacity/lease path as the flood, plus a
+    coordinator-scoped ``request_id`` correlating the ack.  Empty
+    ``request_id`` ⇒ no ack expected (hint replay / read repair).
+    """
+
+    request_id: str
+    entry: AdForwardPayload
+
+    def size_bytes(self) -> int:
+        return len(self.request_id) + self.entry.size_bytes() + 8
+
+
+@dataclass(frozen=True)
+class ShardAckPayload:
+    """A replica's answer to a quorum write/renew/remove.
+
+    ``found`` is False when a renew targeted an advertisement the
+    replica does not hold (the coordinator NACKs the service so it
+    republishes); ``version`` reports the replica's stored version for
+    read-repair bookkeeping.
+    """
+
+    request_id: str
+    ad_id: str
+    found: bool = True
+    version: int = 0
+
+    def size_bytes(self) -> int:
+        return len(self.request_id) + len(self.ad_id) + 16
+
+
+@dataclass(frozen=True)
+class ShardRenewPayload:
+    """Refresh the replica leases of one quorum-replicated advertisement."""
+
+    request_id: str
+    ad_id: str
+    epoch: int
+    duration: float
+
+    def size_bytes(self) -> int:
+        return len(self.request_id) + len(self.ad_id) + 24
+
+
+@dataclass(frozen=True)
+class ShardRemovePayload:
+    """Tombstone one advertisement on a replica (quorum remove)."""
+
+    request_id: str
+    ad_id: str
+
+    def size_bytes(self) -> int:
+        return len(self.request_id) + len(self.ad_id) + 16
 
 
 @dataclass(frozen=True)

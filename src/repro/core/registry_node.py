@@ -50,6 +50,7 @@ from repro.core.forwarding import (
 )
 from repro.core.repository import ArtifactRepository
 from repro.core.routing import Router
+from repro.core.sharding import ShardManager
 from repro.descriptions.base import DescriptionModel, ModelRegistry
 from repro.netsim.messages import Envelope
 from repro.netsim.node import Node
@@ -115,6 +116,14 @@ class RegistryNode(Node):
         #: WAL + snapshot persistence and epoch-fenced crash recovery.
         #: Inert (no disk, no headers) unless ``config.durability`` opts in.
         self.durability = DurabilityManager(self, config.durability)
+        #: Identity under which this registry's virtual nodes hash onto
+        #: the consistent-hash ring. Normally the node id; a promoted
+        #: warm standby inherits the identity of the registry it
+        #: replaces so promotion moves no keys.
+        self.ring_identity = node_id
+        #: Consistent-hash placement, quorum writes, hinted handoff.
+        #: Inert unless ``config.sharding`` opts in.
+        self.shard = ShardManager(self, config)
         #: Highest incarnation epoch seen per peer (fencing state); only
         #: ever populated by peers that stamp their replication traffic.
         self._peer_incarnations: dict[str, int] = {}
@@ -150,6 +159,11 @@ class RegistryNode(Node):
         self.federation.start()
         self.antientropy.start()
         self.durability.start()
+        # Seed the shard ring with ourselves; gossip adds the rest. Our
+        # own claim is stamped *now* so it beats any stale gossiped
+        # snapshot of a previous identity holder.
+        self.shard.note_member(self.node_id, self.ring_identity,
+                               at=self.sim.now)
         # Find same-LAN peer registries immediately (gateway election needs
         # them) and join the statically seeded WAN peers.
         self.multicast(protocol.REGISTRY_PROBE)
@@ -182,6 +196,7 @@ class RegistryNode(Node):
         self._seen_ad_pushes.clear()
         self._subscriptions.clear()
         self._peer_incarnations.clear()
+        self.shard.reset()
         self.start()
         self.durability.recover()
 
@@ -248,6 +263,9 @@ class RegistryNode(Node):
             artifact_names=tuple(self.repository.names()),
             summary_terms=self._summary_terms(),
             issued_at=self.sim.now if self.network is not None else 0.0,
+            # Carried only under sharding so peers place us (and a future
+            # standby can inherit our positions); "" adds zero bytes.
+            ring_id=self.ring_identity if self.shard.configured() else "",
         )
 
     def _summary_terms(self) -> tuple[str, ...]:
@@ -349,6 +367,8 @@ class RegistryNode(Node):
 
     def handle_registry_pong(self, envelope: Envelope) -> None:
         self.federation.handle_pong(envelope.src)
+        # Proof of life: replay any writes hinted while the peer was down.
+        self.shard.peer_alive(envelope.src)
 
     def handle_registry_list_request(self, envelope: Envelope) -> None:
         self.send(envelope.src, protocol.REGISTRY_LIST_REPLY, self.federation.registry_list())
@@ -372,7 +392,9 @@ class RegistryNode(Node):
         self.federation.handle_join_ack(envelope.src, description)
 
     def handle_federation_leave(self, envelope: Envelope) -> None:
-        self.federation.handle_leave(envelope.src)
+        member = envelope.payload.member \
+            if isinstance(envelope.payload, protocol.LeavePayload) else ""
+        self.federation.handle_leave(envelope.src, member)
 
     # -- repository (§4.6) ------------------------------------------------------
 
@@ -405,6 +427,12 @@ class RegistryNode(Node):
             # Silently discard descriptions we cannot evaluate; the
             # publisher will fail over to a capable registry on timeout.
             self.models.discarded_payloads += 1
+            return
+        if self.shard.active():
+            # Sharded federation: this registry coordinates a quorum
+            # write to the advertisement's replica set instead of
+            # storing locally and flooding.
+            self._shard_publish(envelope.src, payload)
             return
         ad_id = payload.ad_id or new_uuid("ad")
         if (
@@ -468,6 +496,12 @@ class RegistryNode(Node):
         if not self.config.leasing_enabled or self.leases is None:
             self.send(envelope.src, protocol.RENEW_ACK, payload)
             return
+        if self.shard.active() and payload.lease_id.startswith("shard:"):
+            # The service published through us while we were not in the
+            # advertisement's replica set: relay the renewal to the
+            # replicas actually holding the leases.
+            self._shard_renew_relay(envelope.src, payload)
+            return
         try:
             lease = self.leases.renew(payload.lease_id)
         except Exception:
@@ -482,13 +516,21 @@ class RegistryNode(Node):
                 origin_epoch=self._lease_epoch(),
             )
         if self.config.cooperation == COOPERATION_REPLICATE_ADS and payload.ad_id in self.store:
-            # Refresh replicas: the lease epoch advances the dedup key so
-            # the push floods through.
-            self._push_ad(self.store.get(payload.ad_id), exclude=set())
+            if self.shard.active():
+                # Refresh only the other replicas of this ad's shard —
+                # a compact SHARD_RENEW, not a full-store flood.
+                self._shard_refresh(payload.ad_id)
+            else:
+                # Refresh replicas: the lease epoch advances the dedup
+                # key so the push floods through.
+                self._push_ad(self.store.get(payload.ad_id), exclude=set())
 
     def handle_remove(self, envelope: Envelope) -> None:
         payload = envelope.payload
         if not isinstance(payload, protocol.RemovePayload):
+            return
+        if self.shard.active():
+            self._shard_remove(envelope.src, payload)
             return
         removed = self.store.discard(payload.ad_id)
         if self.leases is not None:
@@ -599,8 +641,14 @@ class RegistryNode(Node):
                         )
         if self.config.cooperation != COOPERATION_REPLICATE_ADS:
             return
+        self.shard.peer_alive(neighbor)
         if self.antientropy.enabled():
             self.antientropy.sync_with(neighbor)
+            return
+        if self.shard.active():
+            # Without reconciliation, hinted handoff and rebalancing are
+            # the only repair channels — never ship the whole (sharded)
+            # store to a neighbor that mostly does not own it.
             return
         epoch = self._lease_epoch()
         for ad in self.store.all():
@@ -698,11 +746,332 @@ class RegistryNode(Node):
         if key in self._seen_ad_pushes:
             return
         self._seen_ad_pushes.add(key)
+        if self.shard.active():
+            # Defensive: replication under sharding travels via
+            # SHARD_STORE/SHARD_TRANSFER; a stray flood push must not
+            # violate placement or re-fan out to every neighbor.
+            if self.shard.owns_local(payload.advertisement.ad_id):
+                self._absorb_replica(payload)
+            return
         self._absorb_replica(payload)
         # Flood onward regardless of local support — we may bridge two
         # capable registries.
         for neighbor in self.federation.forward_targets({envelope.src}):
             self.send(neighbor, protocol.AD_FORWARD, payload)
+
+    # -- sharded federation (quorum replication) -----------------------------------
+
+    def _shard_publish(self, requester: str, payload: protocol.PublishPayload) -> None:
+        """Coordinate a quorum write for one publish (sharding on).
+
+        The advertisement's replica set comes from the consistent-hash
+        ring; this registry stores a copy only if it is *in* that set.
+        The service is acked once W replicas confirmed; a replica that
+        stays silent past the quorum timeout gets the write buffered as
+        a hint and replayed on its next proof of life.
+        """
+        ad_id = payload.ad_id or new_uuid("ad")
+        replicas = self.shard.replicas_for(ad_id)
+        me = self.node_id
+        epoch = self._lease_epoch()
+        existing = self.store.get(ad_id) if ad_id in self.store else None
+        version = existing.version + 1 if existing is not None else 1
+        ad = Advertisement(
+            ad_id=ad_id,
+            service_node=payload.service_node,
+            service_name=payload.service_name,
+            endpoint=payload.endpoint,
+            model_id=payload.model_id,
+            description=payload.description,
+            version=version,
+            published_at=self.sim.now,
+            home_registry=me,
+        )
+        self.rim.publishes += 1
+        acked = 0
+        lease_id = f"shard:{ad_id}"
+        duration = payload.lease_duration or self.config.lease_duration
+        if me in replicas:
+            if (
+                self.capacity is not None
+                and len(self.store) >= self.capacity
+                and ad_id not in self.store
+            ):
+                self.send(
+                    requester,
+                    protocol.PUBLISH_NACK,
+                    protocol.PublishNack(ad_id=ad_id, model_id=payload.model_id),
+                )
+                return
+            self.store.put(ad)
+            self.antientropy.note_stored(ad_id, epoch)
+            expires_at = float("inf")
+            if self.config.leasing_enabled and self.leases is not None:
+                lease = self.leases.grant(ad_id, payload.lease_duration)
+                lease_id = lease.lease_id
+                duration = lease.duration
+                expires_at = lease.expires_at
+            self.durability.log_store(
+                ad, lease_id=lease_id, duration=duration,
+                expires_at=expires_at, origin_epoch=epoch,
+            )
+            self._notify_subscribers(ad)
+            acked = 1
+
+        def on_success() -> None:
+            self.send(
+                requester,
+                protocol.PUBLISH_ACK,
+                protocol.PublishAck(
+                    ad_id=ad_id, lease_id=lease_id,
+                    lease_duration=duration, model_id=payload.model_id,
+                ),
+            )
+
+        def on_failure() -> None:
+            self.send(
+                requester,
+                protocol.PUBLISH_NACK,
+                protocol.PublishNack(
+                    ad_id=ad_id, model_id=payload.model_id, reason="quorum",
+                ),
+            )
+
+        others = [r for r in replicas if r != me]
+        needed = min(self.shard.cfg.write_quorum, max(len(replicas), 1))
+        if not others:
+            on_success() if acked >= needed else on_failure()
+            return
+        entry = protocol.AdForwardPayload(
+            advertisement=ad, lease_duration=duration, epoch=epoch,
+        )
+        request_id = self.shard.begin_write(
+            ad_id=ad_id, targets=others, needed=needed, acked=acked,
+            on_success=on_success, on_failure=on_failure,
+        )
+        # The hint copy carries no request id — replays need no ack.
+        self.shard.park_hint_payload(
+            request_id, protocol.SHARD_STORE,
+            protocol.ShardStorePayload(request_id="", entry=entry),
+        )
+        store_payload = protocol.ShardStorePayload(request_id=request_id, entry=entry)
+        for target in others:
+            self.send(target, protocol.SHARD_STORE, store_payload)
+
+    def _shard_renew_relay(self, requester: str, payload: protocol.RenewPayload) -> None:
+        """Relay a renewal for an advertisement we do not replicate."""
+        ad_id = payload.ad_id
+        replicas = [r for r in self.shard.replicas_for(ad_id) if r != self.node_id]
+        if not replicas:
+            self.send(requester, protocol.RENEW_NACK, payload)
+            return
+
+        def on_success() -> None:
+            self.send(requester, protocol.RENEW_ACK, payload)
+
+        def on_failure() -> None:
+            # No replica still holds the lease: the service republishes.
+            self.send(requester, protocol.RENEW_NACK, payload)
+
+        request_id = self.shard.begin_write(
+            ad_id=ad_id, targets=tuple(replicas), needed=1,
+            on_success=on_success, on_failure=on_failure,
+        )
+        renew = protocol.ShardRenewPayload(
+            request_id=request_id, ad_id=ad_id,
+            epoch=self._lease_epoch(), duration=self.config.lease_duration,
+        )
+        for target in replicas:
+            self.send(target, protocol.SHARD_RENEW, renew)
+
+    def _shard_refresh(self, ad_id: str) -> None:
+        """Fire-and-forget replica-lease refresh after a local renewal."""
+        renew = protocol.ShardRenewPayload(
+            request_id="", ad_id=ad_id,
+            epoch=self._lease_epoch(), duration=self.config.lease_duration,
+        )
+        for target in self.shard.replicas_for(ad_id):
+            if target != self.node_id:
+                self.send(target, protocol.SHARD_RENEW, renew)
+
+    def _shard_remove(self, requester: str, payload: protocol.RemovePayload) -> None:
+        """Quorum remove: tombstone the ad across its replica set.
+
+        The service is always acked (removal is idempotent and leases
+        expire regardless); the quorum machinery still tracks W acks so
+        silent replicas get a tombstone hint replayed later instead of
+        resurrecting the ad through anti-entropy.
+        """
+        ad_id = payload.ad_id
+        replicas = self.shard.replicas_for(ad_id)
+        me = self.node_id
+        acked = 0
+        removed = self.store.discard(ad_id)
+        if self.leases is not None:
+            self.leases.cancel_for_ad(ad_id)
+        if removed is not None:
+            self.rim.removals += 1
+            self.antientropy.note_removed(ad_id, removed.version)
+            self.durability.log_remove(ad_id, removed.version)
+        if me in replicas:
+            acked = 1
+        self.send(requester, protocol.REMOVE_ACK, payload)
+        others = [r for r in replicas if r != me]
+        if not others:
+            return
+        needed = min(self.shard.cfg.write_quorum, max(len(replicas), 1))
+        request_id = self.shard.begin_write(
+            ad_id=ad_id, targets=others, needed=needed, acked=acked,
+            on_success=lambda: None, on_failure=lambda: None,
+        )
+        self.shard.park_hint_payload(
+            request_id, protocol.SHARD_REMOVE,
+            protocol.ShardRemovePayload(request_id="", ad_id=ad_id),
+        )
+        remove = protocol.ShardRemovePayload(request_id=request_id, ad_id=ad_id)
+        for target in others:
+            self.send(target, protocol.SHARD_REMOVE, remove)
+
+    def handle_shard_store(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ShardStorePayload):
+            return
+        if self._fence_stale(envelope):
+            return
+        absorbed = self._absorb_replica(payload.entry)
+        ad_id = payload.entry.advertisement.ad_id
+        held = ad_id in self.store
+        if payload.request_id:
+            self.send(
+                envelope.src,
+                protocol.SHARD_STORE_ACK,
+                protocol.ShardAckPayload(
+                    request_id=payload.request_id,
+                    ad_id=ad_id,
+                    # Holding an equal-or-newer copy satisfies the write
+                    # even when the incoming version was stale.
+                    found=absorbed or held,
+                    version=self.store.get(ad_id).version if held else 0,
+                ),
+            )
+        self.shard.publish_gauges()
+
+    def handle_shard_store_ack(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ShardAckPayload):
+            return
+        if self._fence_stale(envelope):
+            return
+        self.shard.on_ack(payload.request_id, envelope.src, ok=payload.found)
+        # An ack is proof of life: flush any hints parked for the peer.
+        self.shard.peer_alive(envelope.src)
+
+    def handle_shard_renew(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ShardRenewPayload):
+            return
+        if self._fence_stale(envelope):
+            return
+        found = payload.ad_id in self.store
+        if found:
+            if self.config.leasing_enabled and self.leases is not None:
+                lease = self.leases.grant(payload.ad_id, payload.duration)
+                self.durability.log_renew(
+                    payload.ad_id, expires_at=lease.expires_at,
+                    origin_epoch=payload.epoch,
+                )
+            self.antientropy.note_stored(payload.ad_id, payload.epoch)
+        if payload.request_id:
+            version = self.store.get(payload.ad_id).version if found else 0
+            self.send(
+                envelope.src,
+                protocol.SHARD_RENEW_ACK,
+                protocol.ShardAckPayload(
+                    request_id=payload.request_id, ad_id=payload.ad_id,
+                    found=found, version=version,
+                ),
+            )
+
+    def handle_shard_renew_ack(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ShardAckPayload):
+            return
+        if self._fence_stale(envelope):
+            return
+        self.shard.on_ack(payload.request_id, envelope.src, ok=payload.found)
+        self.shard.peer_alive(envelope.src)
+
+    def handle_shard_remove(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ShardRemovePayload):
+            return
+        if self._fence_stale(envelope):
+            return
+        removed = self.store.discard(payload.ad_id)
+        if self.leases is not None:
+            self.leases.cancel_for_ad(payload.ad_id)
+        if removed is not None:
+            self.rim.removals += 1
+            self.antientropy.note_removed(payload.ad_id, removed.version)
+            self.durability.log_remove(payload.ad_id, removed.version)
+        if payload.request_id:
+            self.send(
+                envelope.src,
+                protocol.SHARD_REMOVE_ACK,
+                protocol.ShardAckPayload(
+                    request_id=payload.request_id, ad_id=payload.ad_id,
+                ),
+            )
+
+    def handle_shard_remove_ack(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, protocol.ShardAckPayload):
+            return
+        if self._fence_stale(envelope):
+            return
+        self.shard.on_ack(payload.request_id, envelope.src, ok=payload.found)
+        self.shard.peer_alive(envelope.src)
+
+    def handle_shard_transfer(self, envelope: Envelope) -> None:
+        """Bulk key movement from a rebalancing peer: absorb, don't flood."""
+        payload = envelope.payload
+        if not isinstance(payload, protocol.SyncAdsPayload):
+            return
+        if self._fence_stale(envelope):
+            return
+        for entry in payload.ads:
+            if self._absorb_replica(entry):
+                self.shard.ads_moved_in += 1
+        self.shard.publish_gauges()
+
+    def on_registry_observed(self, description: RegistryDescription) -> None:
+        """Federation learned of a registry: place it on the shard ring."""
+        self.shard.note_member(
+            description.registry_id,
+            description.ring_id or description.registry_id,
+            at=description.issued_at,
+        )
+
+    def on_peer_departed(self, peer: str, *, left_ring: bool = False) -> None:
+        """A federation member left gracefully or was declared dead.
+
+        In-flight aggregations waiting on it drain immediately (an empty
+        answer) so queries re-resolve to surviving replicas instead of
+        riding out the timeout against a tombstoned member, and the
+        router forgets its health/cooldown state. Only a *graceful*
+        departure shrinks the shard ring — a crash is masked by replica
+        selection and hinted handoff, so flapping cannot thrash keys.
+        """
+        self.router.forget(peer)
+        for pending in list(self._pending.values()):
+            pending.drain_target(peer)
+        if left_ring:
+            self.shard.drop_member(peer)
+
+    def on_departing(self) -> None:
+        """We are leaving the federation: answer what we can, now."""
+        for pending in list(self._pending.values()):
+            pending.flush()
 
     # -- anti-entropy reconciliation ----------------------------------------------
 
@@ -710,6 +1079,10 @@ class RegistryNode(Node):
         if self._fence_stale(envelope):
             return
         if isinstance(envelope.payload, protocol.DigestPayload):
+            # A digest is direct proof of life: replay any hinted writes
+            # before reconciling, so the peer's digest round converges on
+            # the post-handoff store.
+            self.shard.peer_alive(envelope.src)
             self.antientropy.handle_digest(envelope.src, envelope.payload)
 
     def handle_antientropy_pull(self, envelope: Envelope) -> None:
@@ -923,6 +1296,11 @@ class RegistryNode(Node):
         span = self._query_span("registry.query", envelope, payload)
         if self._overload_shortcut(client, payload, span):
             return
+        if self.shard.active():
+            # Sharded federation: contact one healthy member per replica
+            # group instead of flooding every neighbor.
+            self._start_shard_query(client, payload, span=span)
+            return
         if self.config.strategy == STRATEGY_EXPANDING_RING:
             self._start_ring(client, payload, span=span)
         elif self.config.strategy == STRATEGY_RANDOM_WALK:
@@ -931,6 +1309,58 @@ class RegistryNode(Node):
             self._start_informed(client, payload, span=span)
         else:
             self._start_flood(client, payload, span=span)
+
+    # .. sharded replica reads ..............................................
+
+    def _start_shard_query(
+        self, client: str, payload: protocol.QueryPayload, *, span: Span | None = None
+    ) -> None:
+        """Bounded scatter-gather over a replica-group cover set.
+
+        Advertisements are sharded by ``ad_id``, which a query does not
+        know — so full coverage needs one live replica of *every* shard.
+        The cover is ~S/R registries (vs all S under flooding), chosen
+        health-first so fail-stopped replicas are masked; a chosen
+        replica that stays silent is retried once on a sibling replica
+        before the aggregation gives up on its groups.
+        """
+        local = self._local_hits(payload, parent=span)
+        self.shard.observe_read(payload.query_id, self.node_id, local)
+        targets = self.shard.read_cover()
+        if not targets:
+            self.shard.end_read(payload.query_id)
+            self._respond(client, payload.query_id, local, 1, span=span)
+            return
+        self._fan_out(
+            payload.with_ttl(0),
+            targets,
+            local,
+            on_complete=lambda hits, responders: self._respond(
+                client, payload.query_id, hits, responders, span=span
+            ),
+            parent=span,
+            retarget_planner=self._shard_retarget_planner(),
+        )
+
+    def _shard_retarget_planner(self):
+        """Alternate-replica picker for fan-out targets that stay silent."""
+        if not self.shard.cfg.read_retry:
+            return None
+
+        def plan(failed: list[str], contacted: set[str]) -> list[str]:
+            replacements: list[str] = []
+            used = set(contacted)
+            for target in failed:
+                alternate = self.shard.alternate_for(target, used)
+                if alternate is not None:
+                    replacements.append(alternate)
+                    used.add(alternate)
+                    self.shard.read_retries += 1
+                    if self.network is not None:
+                        self.network.metrics.counter("shard.read_retries").inc()
+            return replacements
+
+        return plan
 
     # .. flooding ..........................................................
 
@@ -962,6 +1392,7 @@ class RegistryNode(Node):
         on_complete,
         parent: Span | None = None,
         hops: int = 1,
+        retarget_planner=None,
     ) -> None:
         """Forward to ``targets`` and aggregate their responses.
 
@@ -1005,11 +1436,29 @@ class RegistryNode(Node):
 
         def complete(hits: list[QueryHit], responders: int) -> None:
             self._pending.pop(query_id, None)
+            self.shard.end_read(query_id)
             if fanout is not None and trace is not None:
                 trace.end_span(
                     fanout, attrs={"hits": len(hits), "responders": responders}
                 )
             on_complete(hits, responders)
+
+        headers: dict[str, Any] | None = None
+        if fanout is not None:
+            headers = {}
+            TraceRecorder.inject(headers, fanout.context)
+
+        on_retarget = None
+        if retarget_planner is not None:
+            def on_retarget(failed: list[str], contacted: tuple[str, ...]) -> list[str]:
+                replacements = retarget_planner(failed, set(contacted))
+                for alternate in replacements:
+                    self.send(
+                        alternate, protocol.QUERY_FORWARD, forwarded,
+                        headers=headers, hops=hops,
+                    )
+                    self.rim.queries_forwarded += 1
+                return replacements
 
         # The timeout must cover the *downstream* aggregation chain: a
         # child forwarding with TTL t may itself wait ~t units for its own
@@ -1026,11 +1475,8 @@ class RegistryNode(Node):
             on_complete=complete,
             on_target_timeout=self._forward_target_timeout,
             trace_ctx=fanout.context if fanout is not None else None,
+            on_retarget=on_retarget,
         )
-        headers: dict[str, Any] | None = None
-        if fanout is not None:
-            headers = {}
-            TraceRecorder.inject(headers, fanout.context)
         for target in allowed:
             self.send(
                 target, protocol.QUERY_FORWARD, forwarded, headers=headers, hops=hops
@@ -1125,6 +1571,9 @@ class RegistryNode(Node):
                 ctx=self._trace_ctx,
                 attrs={"from": envelope.src, "hits": len(payload.hits)},
             )
+        # Read repair: compare this replica's answer versions against the
+        # freshest seen so far, pushing the newer copy to stale holders.
+        self.shard.observe_read(payload.query_id, envelope.src, payload.hits)
         pending.add_response(payload, src=envelope.src)
 
     # .. summary-informed routing ............................................

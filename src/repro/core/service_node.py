@@ -346,6 +346,13 @@ class ServiceNode(Node):
             health.record_request("publish", ok=False)
         if self.tracker.current != envelope.src:
             return
+        if payload.reason == "quorum":
+            # A missed write quorum is transient (a replica is down and
+            # hinted handoff will replay): keep the retry chain armed at
+            # send time running against the same coordinator instead of
+            # excluding it. Arming a fresh chain here would stack one
+            # more chain per NACK — an exponential publish storm.
+            return
         self.tracker.excluded.add(envelope.src)
         self.tracker.registry_failed()
 

@@ -1,0 +1,749 @@
+"""Sharded, replicated federation: consistent hashing + quorum writes.
+
+Today every registry in replicate-advertisements cooperation holds the
+full advertisement set and WAN queries flood to all neighbors, so store
+size, fan-out, and anti-entropy digests all grow with the deployment.
+This module partitions the advertisement space instead: a deterministic
+consistent-hash ring (seeded virtual nodes, ads keyed by ``ad_id``)
+assigns each advertisement to ``replication_factor`` replica registries.
+
+* **Publishes/removes become quorum writes** — the registry a service
+  talks to acts as coordinator, pushes the write to the replica set, and
+  acks the service after ``write_quorum`` of them confirmed.  A replica
+  that stays silent gets the write buffered as a *hint* and replayed on
+  its next proof of life (hinted handoff).
+* **Queries route to replicas, not everyone** — the entry registry picks
+  the healthiest member of each replica group (passive health + circuit
+  breakers mask faults) and runs a bounded scatter-gather over that
+  cover set, ~S/R registries instead of all S.  Version mismatches
+  between replica answers trigger read repair.
+* **Rebalancing is bounded** — ring membership changes move only the
+  ~K/S advertisements whose replica set actually changed.
+
+Everything here is **inert by default**: ``ShardingConfig(enabled=False)``
+leaves the replicate-everywhere flood byte-identical to previous
+releases (the obs-smoke determinism gate enforces this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.registry_node import RegistryNode
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Knobs for the sharded federation. The default is **off** — the
+    deployment keeps replicate-everywhere semantics and byte-identical
+    traces; enabling sharding switches publish/remove to quorum writes
+    and queries to replica-set routing.
+    """
+
+    #: Master switch. Off ⇒ every field below is ignored.
+    enabled: bool = False
+    #: R: registries holding a copy of each advertisement.
+    replication_factor: int = 3
+    #: W: replica acks required before the coordinator acks the service.
+    write_quorum: int = 2
+    #: Virtual nodes per registry on the ring (uniformity knob).
+    virtual_nodes: int = 64
+    #: Seed mixed into every ring position — two deployments with the
+    #: same members and seed place identically.
+    ring_seed: int = 0
+    #: Seconds the write coordinator waits for quorum acks.
+    quorum_timeout: float = 1.0
+    #: Buffer writes for unreachable replicas and replay them on the
+    #: replica's next proof of life.
+    hinted_handoff: bool = True
+    #: Hints buffered per down replica before the oldest are dropped.
+    handoff_limit: int = 256
+    #: Push the freshest version to stale replicas spotted during reads.
+    read_repair: bool = True
+    #: Re-send a query once to an alternate replica when the chosen one
+    #: stays silent past the aggregation timeout (fault-masked reads).
+    read_retry: bool = True
+    #: A promoted warm standby inherits the ring identity of the dead
+    #: registry it replaces, so promotion moves no keys (satellite fix).
+    standby_inherit_ring: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ReproError("replication_factor must be >= 1")
+        if not 1 <= self.write_quorum <= self.replication_factor:
+            raise ReproError(
+                "write_quorum must be in 1..replication_factor, got "
+                f"{self.write_quorum} (R={self.replication_factor})"
+            )
+        if self.virtual_nodes < 1:
+            raise ReproError("virtual_nodes must be >= 1")
+        if self.quorum_timeout <= 0:
+            raise ReproError("quorum_timeout must be positive")
+        if self.handoff_limit < 0:
+            raise ReproError("handoff_limit must be >= 0")
+
+
+def _hash64(data: str) -> int:
+    """Stable 64-bit ring point (Python's ``hash`` is salted per run)."""
+    return int.from_bytes(hashlib.blake2b(data.encode(), digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """A deterministic consistent-hash ring over registry members.
+
+    Members are registered under a *ring identity* — normally their node
+    id, but a promoted warm standby registers under the identity of the
+    registry it replaced, reproducing its virtual-node positions exactly
+    so promotion moves no keys.  Two members may transiently share a
+    ring identity (failback overlap); position collisions keep both, in
+    sorted member order, and replica walks simply skip duplicates.
+    """
+
+    def __init__(self, *, virtual_nodes: int = 64, seed: int = 0) -> None:
+        self.virtual_nodes = virtual_nodes
+        self.seed = seed
+        self._ring_ids: dict[str, str] = {}
+        #: Sorted (point, member) pairs — the walk order of the ring.
+        self._points: list[tuple[int, str]] = []
+        #: Bumped on every membership change; caches key off it.
+        self.version = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def add(self, member: str, ring_id: str | None = None) -> bool:
+        """Register ``member``; returns True when the ring changed."""
+        ring_id = ring_id or member
+        if self._ring_ids.get(member) == ring_id:
+            return False
+        self._ring_ids[member] = ring_id
+        self._rebuild()
+        return True
+
+    def remove(self, member: str) -> bool:
+        if member not in self._ring_ids:
+            return False
+        del self._ring_ids[member]
+        self._rebuild()
+        return True
+
+    def _rebuild(self) -> None:
+        points: list[tuple[int, str]] = []
+        for member, ring_id in self._ring_ids.items():
+            for vnode in range(self.virtual_nodes):
+                points.append((_hash64(f"{ring_id}#{vnode}#{self.seed}"), member))
+        points.sort()
+        self._points = points
+        self.version += 1
+
+    def members(self) -> tuple[str, ...]:
+        return tuple(sorted(self._ring_ids))
+
+    def ring_id_of(self, member: str) -> str | None:
+        return self._ring_ids.get(member)
+
+    def clone(self) -> "ConsistentHashRing":
+        other = ConsistentHashRing(virtual_nodes=self.virtual_nodes, seed=self.seed)
+        other._ring_ids = dict(self._ring_ids)
+        other._points = list(self._points)
+        return other
+
+    def __len__(self) -> int:
+        return len(self._ring_ids)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._ring_ids
+
+    # -- placement ----------------------------------------------------------
+
+    def replicas_for(self, key: str, r: int) -> tuple[str, ...]:
+        """The ``r`` distinct members owning ``key``, in ring-walk order.
+
+        Fewer than ``r`` members ⇒ every member replicates every key —
+        sharding degrades gracefully to full replication on tiny rings.
+        """
+        points = self._points
+        if not points:
+            return ()
+        start = bisect_right(points, (_hash64(key), "￿"))
+        replicas: list[str] = []
+        seen: set[str] = set()
+        n = len(points)
+        for offset in range(n):
+            member = points[(start + offset) % n][1]
+            if member not in seen:
+                seen.add(member)
+                replicas.append(member)
+                if len(replicas) >= r:
+                    break
+        return tuple(replicas)
+
+    def owns(self, member: str, key: str, r: int) -> bool:
+        return member in self.replicas_for(key, r)
+
+    def replica_groups(self, r: int) -> tuple[tuple[str, ...], ...]:
+        """Every distinct replica set across the ring's arcs, sorted.
+
+        Any key's replica set is one of these (the set starting at the
+        arc the key hashes into) — the query planner covers *groups*, so
+        one healthy contact per group answers for every key in it.
+        """
+        points = self._points
+        n = len(points)
+        groups: set[tuple[str, ...]] = set()
+        for start in range(n):
+            replicas: list[str] = []
+            seen: set[str] = set()
+            for offset in range(n):
+                member = points[(start + offset) % n][1]
+                if member not in seen:
+                    seen.add(member)
+                    replicas.append(member)
+                    if len(replicas) >= r:
+                        break
+            groups.add(tuple(replicas))
+        return tuple(sorted(groups))
+
+    def partners(self, member: str, r: int) -> tuple[str, ...]:
+        """Members sharing at least one replica group with ``member``."""
+        shared: set[str] = set()
+        for group in self.replica_groups(r):
+            if member in group:
+                shared.update(group)
+        shared.discard(member)
+        return tuple(sorted(shared))
+
+
+class _PendingQuorumWrite:
+    """One in-flight quorum write awaiting replica acks."""
+
+    def __init__(
+        self,
+        manager: "ShardManager",
+        *,
+        request_id: str,
+        ad_id: str,
+        targets: tuple[str, ...],
+        needed: int,
+        acked: int,
+        on_success: Callable[[], None],
+        on_failure: Callable[[], None],
+    ) -> None:
+        self.manager = manager
+        self.request_id = request_id
+        self.ad_id = ad_id
+        self.silent: set[str] = set(targets)
+        self.needed = needed
+        self.acked = acked
+        self.on_success = on_success
+        self.on_failure = on_failure
+        self.done = False
+        registry = manager.registry
+        self._timer = registry.after(
+            manager.cfg.quorum_timeout, self._timeout
+        )
+        if self.acked >= self.needed:
+            # Degenerate quorum (W=1 and the coordinator is a replica):
+            # succeed immediately; silent replicas become hints on the
+            # timeout tick as usual.
+            self._finish(success=True)
+
+    def ack(self, src: str) -> None:
+        if src in self.silent:
+            self.silent.discard(src)
+            self.acked += 1
+        if not self.done and self.acked >= self.needed:
+            self._finish(success=True)
+
+    def nack(self, src: str) -> None:
+        """A replica refused the write (capacity): it will never ack."""
+        self.silent.discard(src)
+        if not self.done and self.acked + len(self.silent) < self.needed:
+            self._finish(success=False)
+
+    def _timeout(self) -> None:
+        self.manager.hint_silent(self)
+        if not self.done:
+            self._finish(success=self.acked >= self.needed)
+        self.manager.retire(self)
+
+    def _finish(self, *, success: bool) -> None:
+        self.done = True
+        if success:
+            self.on_success()
+        else:
+            self.on_failure()
+
+
+class ShardManager:
+    """Per-registry sharding state: ring view, quorum writes, hints.
+
+    Owned by every :class:`RegistryNode`; a no-op shell unless
+    ``config.sharding.enabled`` (so the default deployment pays nothing).
+    Ring membership follows the federation's gossip: every observed
+    registry description adds a member, a graceful FEDERATION_LEAVE
+    removes one.  *Crashes do not shrink the ring* — transient failures
+    are masked by health-aware replica selection and hinted handoff, so
+    flapping nodes cannot thrash K/S keys back and forth.
+    """
+
+    def __init__(self, registry: "RegistryNode", config) -> None:
+        self.registry = registry
+        self.cfg: ShardingConfig = config.sharding
+        self.ring = ConsistentHashRing(
+            virtual_nodes=self.cfg.virtual_nodes, seed=self.cfg.ring_seed
+        )
+        #: In-flight quorum writes by request id.
+        self._writes: dict[str, _PendingQuorumWrite] = {}
+        #: Hinted handoff buffers: down replica → [(msg_type, payload)].
+        self._hints: dict[str, list[tuple[str, object]]] = {}
+        #: Write payloads parked until the quorum timer decides who to hint.
+        self._hint_payloads: dict[str, tuple[str, object]] = {}
+        #: Per-query read state for repair: query_id → ad_id → (version, src).
+        self._reads: dict[str, dict[str, tuple[int, str]]] = {}
+        #: Ring-identity claims: ring_id → (claim time, member). The
+        #: freshest claimant holds the identity's virtual-node positions;
+        #: an older claimant is evicted (a promoted heir supersedes the
+        #: dead original, and a failed-back original — whose beacons
+        #: carry a newer ``issued_at`` — reclaims it from the heir).
+        #: Stale gossip replaying a pre-crash snapshot loses the
+        #: comparison, so membership cannot ping-pong.
+        self._identity_claims: dict[str, tuple[float, str]] = {}
+        self._write_seq = 0
+        self._rebalance_armed = False
+        # Counters (surfaced via :meth:`counters` and experiment tables).
+        self.quorum_writes = 0
+        self.quorum_acked = 0
+        self.quorum_failed = 0
+        self.late_acks = 0
+        self.hints_buffered = 0
+        self.hints_replayed = 0
+        self.hints_dropped = 0
+        self.read_repairs = 0
+        self.read_retries = 0
+        self.rebalances = 0
+        self.ads_moved_out = 0
+        self.ads_moved_in = 0
+
+    # -- config gates -------------------------------------------------------
+
+    def configured(self) -> bool:
+        """Sharding requested in the config (regardless of cooperation)."""
+        return self.cfg.enabled
+
+    def active(self) -> bool:
+        """Sharding actually governs this registry's replication."""
+        from repro.core.config import COOPERATION_REPLICATE_ADS
+
+        return self.cfg.enabled and \
+            self.registry.config.cooperation == COOPERATION_REPLICATE_ADS
+
+    @property
+    def r(self) -> int:
+        return self.cfg.replication_factor
+
+    # -- ring membership ----------------------------------------------------
+
+    def reset(self) -> None:
+        """Restart hygiene: volatile state dies with the incarnation."""
+        self.ring = ConsistentHashRing(
+            virtual_nodes=self.cfg.virtual_nodes, seed=self.cfg.ring_seed
+        )
+        self._writes.clear()
+        self._hints.clear()
+        self._reads.clear()
+        self._identity_claims.clear()
+        self._rebalance_armed = False
+
+    def note_member(self, member: str, ring_id: str | None = None,
+                    at: float = 0.0) -> None:
+        """A registry exists (gossip/join/beacon): place it on the ring.
+
+        ``at`` is the announcement's freshness (the description's
+        ``issued_at``); the freshest claimant of a ring identity wins
+        its positions and the superseded claimant leaves the ring.
+        """
+        if not self.configured():
+            return
+        rid = ring_id or member
+        holder = self._identity_claims.get(rid)
+        if holder is not None and holder[1] != member and at <= holder[0]:
+            return  # identity held by a fresher claimant
+        if holder is not None and holder[1] == member:
+            at = max(at, holder[0])  # a stale self-echo never ages a claim
+        prev = self.ring.clone() if len(self.ring) else None
+        changed = False
+        if holder is not None and holder[1] != member \
+                and self.ring.ring_id_of(holder[1]) == rid:
+            changed |= self.ring.remove(holder[1])
+        self._identity_claims[rid] = (at, member)
+        changed |= self.ring.add(member, rid)
+        if changed:
+            self._schedule_rebalance(prev)
+
+    def drop_member(self, member: str) -> None:
+        """A registry *gracefully left*: its ranges move to successors."""
+        if not self.configured():
+            return
+        prev = self.ring.clone() if len(self.ring) else None
+        if self.ring.remove(member):
+            self._hints.pop(member, None)
+            for rid, (_, claimant) in list(self._identity_claims.items()):
+                if claimant == member:
+                    del self._identity_claims[rid]
+            self._schedule_rebalance(prev)
+
+    def replicas_for(self, ad_id: str) -> tuple[str, ...]:
+        return self.ring.replicas_for(ad_id, self.r)
+
+    def owns_local(self, ad_id: str) -> bool:
+        return self.ring.owns(self.registry.node_id, ad_id, self.r)
+
+    def co_owned(self, ad_id: str, peer: str) -> bool:
+        """Both this registry and ``peer`` replicate ``ad_id``."""
+        replicas = self.replicas_for(ad_id)
+        return self.registry.node_id in replicas and peer in replicas
+
+    def shard_peers(self) -> tuple[str, ...]:
+        """Registries sharing at least one replica range with us —
+        the per-shard anti-entropy gossip set."""
+        return self.ring.partners(self.registry.node_id, self.r)
+
+    # -- quorum writes ------------------------------------------------------
+
+    def next_request_id(self) -> str:
+        self._write_seq += 1
+        return f"{self.registry.node_id}/w{self._write_seq}"
+
+    def begin_write(
+        self,
+        *,
+        ad_id: str,
+        targets: Iterable[str],
+        needed: int,
+        acked: int = 0,
+        on_success: Callable[[], None],
+        on_failure: Callable[[], None],
+    ) -> str:
+        """Track a quorum write; returns the request id to stamp sends."""
+        request_id = self.next_request_id()
+        self.quorum_writes += 1
+        self._writes[request_id] = _PendingQuorumWrite(
+            self,
+            request_id=request_id,
+            ad_id=ad_id,
+            targets=tuple(targets),
+            needed=needed,
+            acked=acked,
+            on_success=on_success,
+            on_failure=on_failure,
+        )
+        return request_id
+
+    def on_ack(self, request_id: str, src: str, *, ok: bool = True) -> None:
+        write = self._writes.get(request_id)
+        if write is None:
+            self.late_acks += 1
+            return
+        if ok:
+            write.ack(src)
+        else:
+            write.nack(src)
+
+    def retire(self, write: _PendingQuorumWrite) -> None:
+        self._writes.pop(write.request_id, None)
+        if write.done and write.acked >= write.needed:
+            self.quorum_acked += 1
+        else:
+            self.quorum_failed += 1
+
+    # -- hinted handoff -----------------------------------------------------
+
+    def hint_silent(self, write: _PendingQuorumWrite) -> None:
+        """Buffer the write for every replica that never answered."""
+        if not self.cfg.hinted_handoff or not write.silent:
+            return
+        payload = self._hint_payloads.pop(write.request_id, None)
+        if payload is None:
+            return
+        msg_type, body = payload
+        for target in sorted(write.silent):
+            self.buffer_hint(target, msg_type, body)
+
+    def park_hint_payload(self, request_id: str, msg_type: str, body) -> None:
+        self._hint_payloads[request_id] = (msg_type, body)
+
+    def buffer_hint(self, target: str, msg_type: str, body) -> None:
+        queue = self._hints.setdefault(target, [])
+        queue.append((msg_type, body))
+        self.hints_buffered += 1
+        overflow = len(queue) - self.cfg.handoff_limit
+        if overflow > 0:
+            del queue[:overflow]
+            self.hints_dropped += overflow
+        if self.registry.network is not None:
+            self.registry.network.metrics.counter("shard.hints_buffered").inc()
+
+    def peer_alive(self, peer: str) -> None:
+        """Proof of life from ``peer``: replay its buffered hints."""
+        if not self.active():
+            return
+        queue = self._hints.pop(peer, None)
+        if not queue:
+            return
+        for msg_type, body in queue:
+            self.registry.send(peer, msg_type, body)
+            self.hints_replayed += 1
+        if self.registry.network is not None:
+            self.registry.network.metrics.counter(
+                "shard.hints_replayed").inc(len(queue))
+            trace = self.registry.trace
+            if trace is not None:
+                trace.event(
+                    "shard.handoff_replay",
+                    node=self.registry.node_id,
+                    ctx=self.registry._trace_ctx,
+                    attrs={"peer": peer, "hints": len(queue)},
+                )
+
+    # -- read repair --------------------------------------------------------
+
+    def observe_read(self, query_id: str, src: str, hits) -> None:
+        """Track per-replica answer versions; repair stale replicas."""
+        if not (self.active() and self.cfg.read_repair):
+            return
+        best = self._reads.setdefault(query_id, {})
+        for hit in hits:
+            ad = hit.advertisement
+            known = best.get(ad.ad_id)
+            if known is None:
+                best[ad.ad_id] = (ad.version, src)
+            elif ad.version > known[0]:
+                self._repair(known[1], ad)
+                best[ad.ad_id] = (ad.version, src)
+            elif ad.version < known[0]:
+                # ``src`` answered stale; push it the fresh copy we hold
+                # (the fresh holder's full ad came in an earlier batch —
+                # re-fetch it from our own store or skip if we lack it).
+                fresh = self.registry.store.get(ad.ad_id) \
+                    if ad.ad_id in self.registry.store else None
+                if fresh is not None and fresh.version > ad.version:
+                    self._repair(src, fresh)
+
+    def _repair(self, stale_src: str, ad) -> None:
+        from repro.core import protocol
+
+        if stale_src == self.registry.node_id:
+            return
+        self.read_repairs += 1
+        self.registry.send(
+            stale_src,
+            protocol.SHARD_STORE,
+            protocol.ShardStorePayload(
+                request_id="",
+                entry=protocol.AdForwardPayload(
+                    advertisement=ad,
+                    lease_duration=self.registry.config.lease_duration,
+                    epoch=self.registry._lease_epoch(),
+                ),
+            ),
+        )
+        if self.registry.network is not None:
+            self.registry.network.metrics.counter("shard.read_repairs").inc()
+
+    def end_read(self, query_id: str) -> None:
+        self._reads.pop(query_id, None)
+
+    # -- query planning -----------------------------------------------------
+
+    def read_cover(self, *, exclude: frozenset[str] = frozenset()) -> list[str]:
+        """A health-aware minimal contact set covering every replica group.
+
+        Greedy set cover: repeatedly pick the usable registry covering
+        the most still-uncovered groups (deterministic tie-break by id;
+        this registry's own groups are pre-covered — we answer locally).
+        Members with open circuit breakers are avoided unless a group has
+        no other member, masking fail-stopped replicas.
+        """
+        me = self.registry.node_id
+        groups = [
+            frozenset(g) for g in self.ring.replica_groups(self.r)
+            if me not in g
+        ]
+        uncovered = [g for g in groups if not (g & exclude)]
+        registry = self.registry
+        healthy = {
+            m for m in self.ring.members()
+            if m != me and registry.federation.breaker_allows(m)
+            and not registry.router.cooldowns.in_cooldown(m)
+        }
+        cover: list[str] = []
+        while uncovered:
+            counts: dict[str, int] = {}
+            for group in uncovered:
+                candidates = (group & healthy) or set(group)
+                for member in candidates:
+                    if member != me:
+                        counts[member] = counts.get(member, 0) + 1
+            if not counts:
+                break
+            pick = max(sorted(counts), key=lambda m: (counts[m], m in healthy))
+            cover.append(pick)
+            uncovered = [g for g in uncovered if pick not in g]
+        return cover
+
+    def alternate_for(self, target: str, contacted: set[str]) -> str | None:
+        """A fresh replica able to stand in for a silent ``target``."""
+        me = self.registry.node_id
+        candidates: set[str] = set()
+        for group in self.ring.replica_groups(self.r):
+            if target in group and me not in group:
+                candidates.update(group)
+        candidates -= contacted
+        candidates.discard(target)
+        candidates.discard(me)
+        allowed = [
+            m for m in sorted(candidates)
+            if self.registry.federation.breaker_allows(m)
+        ]
+        ordered = self.registry.router.order(allowed)
+        return ordered[0] if ordered else None
+
+    # -- rebalancing --------------------------------------------------------
+
+    def _schedule_rebalance(self, prev: ConsistentHashRing | None) -> None:
+        """Coalesce a burst of membership changes into one rebalance pass.
+
+        The *first* pre-change ring of the burst is kept as the baseline
+        so one pass sees the net movement, not every intermediate step.
+        """
+        if not self.active() or self.registry.network is None:
+            return
+        if self._rebalance_armed:
+            return
+        self._rebalance_armed = True
+        baseline = prev
+        self.registry.after(0.0, lambda: self._rebalance(baseline))
+
+    def _rebalance(self, prev: ConsistentHashRing | None) -> None:
+        from repro.core import protocol
+
+        self._rebalance_armed = False
+        registry = self.registry
+        if not registry.alive or not self.active():
+            return
+        me = registry.node_id
+        epoch = registry._lease_epoch()
+        outgoing: dict[str, list] = {}
+        dropped = 0
+        for ad in list(registry.store.all()):
+            new_set = self.replicas_for(ad.ad_id)
+            if not new_set:
+                continue
+            old_set = prev.replicas_for(ad.ad_id, self.r) if prev is not None else ()
+            entry = None
+            if me not in new_set:
+                # No longer ours: hand the copy to the new owners, drop it.
+                entry = self._transfer_entry(ad, epoch)
+                for target in new_set:
+                    outgoing.setdefault(target, []).append(entry)
+                registry.store.discard(ad.ad_id)
+                if registry.leases is not None:
+                    registry.leases.cancel_for_ad(ad.ad_id)
+                registry.antientropy.note_dropped(ad.ad_id)
+                registry.durability.log_expire(ad.ad_id)
+                dropped += 1
+            else:
+                # Still ours: the lowest surviving co-owner seeds members
+                # that just joined the set (exactly one pusher per ad).
+                gained = [t for t in new_set if t not in old_set and t != me]
+                survivors = sorted(set(old_set) & set(new_set)) or [me]
+                if gained and survivors[0] == me:
+                    entry = self._transfer_entry(ad, epoch)
+                    for target in gained:
+                        outgoing.setdefault(target, []).append(entry)
+        moved = 0
+        for target in sorted(outgoing):
+            entries = outgoing[target]
+            moved += len(entries)
+            registry.send(
+                target, protocol.SHARD_TRANSFER,
+                protocol.SyncAdsPayload(ads=tuple(entries)),
+            )
+        if moved or dropped:
+            self.rebalances += 1
+            self.ads_moved_out += moved
+            network = registry.network
+            if network is not None:
+                network.metrics.counter("shard.rebalances").inc()
+                network.metrics.counter("shard.ads_moved").inc(moved)
+                trace = registry.trace
+                if trace is not None:
+                    span = trace.start_span(
+                        "shard.rebalance",
+                        node=me,
+                        attrs={"moved": moved, "dropped": dropped,
+                               "members": len(self.ring)},
+                    )
+                    trace.end_span(span)
+        self.publish_gauges()
+
+    def sweep_strays(self) -> None:
+        """Hand off advertisements this registry no longer owns.
+
+        Ring-change rebalancing runs only on nodes whose *own* ring view
+        changed; a transfer or hint that landed here while the sender's
+        ring was still converging leaves a stray copy nobody reclaims
+        (renewals never reach it, so it would linger until lease expiry).
+        The periodic sweep — piggybacked on anti-entropy rounds — moves
+        such ads to their current owners and drops the local copy.
+        Diffing against the *current* ring makes it a pure stray sweep:
+        owned ads see no gained members and are untouched.
+        """
+        if self.active() and not self._rebalance_armed:
+            self._rebalance(self.ring.clone())
+
+    def _transfer_entry(self, ad, epoch: int):
+        from repro.core import protocol
+
+        registry = self.registry
+        duration = registry.config.lease_duration
+        if registry.leases is not None:
+            lease = registry.leases.lease_for_ad(ad.ad_id)
+            if lease is not None:
+                duration = max(0.0, lease.expires_at - registry.sim.now)
+        return protocol.AdForwardPayload(
+            advertisement=ad, lease_duration=duration, epoch=epoch,
+        )
+
+    # -- observability ------------------------------------------------------
+
+    def publish_gauges(self) -> None:
+        network = self.registry.network
+        if network is None or not self.active():
+            return
+        network.metrics.gauge(
+            f"shard.store_size.{self.registry.node_id}"
+        ).set(len(self.registry.store))
+        network.metrics.gauge("shard.ring_members").set(len(self.ring))
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "quorum_writes": self.quorum_writes,
+            "quorum_acked": self.quorum_acked,
+            "quorum_failed": self.quorum_failed,
+            "late_acks": self.late_acks,
+            "hints_buffered": self.hints_buffered,
+            "hints_replayed": self.hints_replayed,
+            "hints_dropped": self.hints_dropped,
+            "read_repairs": self.read_repairs,
+            "read_retries": self.read_retries,
+            "rebalances": self.rebalances,
+            "ads_moved_out": self.ads_moved_out,
+            "ads_moved_in": self.ads_moved_in,
+        }

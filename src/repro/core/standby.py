@@ -64,6 +64,9 @@ class StandbyRegistry(RegistryNode):
         #: windows measure from here).
         self.last_promoted_at: float | None = None
         self._beacon_seen: dict[str, float] = {}
+        #: Ring identity each beaconing registry occupies (sharded
+        #: federation) — what a promotion inherits from a dead peer.
+        self._beacon_ring: dict[str, str] = {}
         self._promotion_pending = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -84,12 +87,15 @@ class StandbyRegistry(RegistryNode):
         """
         self.active = False
         self._beacon_seen.clear()
+        self._beacon_ring.clear()
         self._promotion_pending = False
         self._peer_incarnations.clear()
         self.store.clear()
         self.repository.clear()
         self.federation.reset()
         self.antientropy.reset()
+        self.shard.reset()
+        self.ring_identity = self.node_id
         self.start()
 
     def _watch_interval(self) -> float:
@@ -112,7 +118,11 @@ class StandbyRegistry(RegistryNode):
         if envelope.msg_type == protocol.REGISTRY_BEACON and isinstance(
             envelope.payload, RegistryDescription
         ):
-            self._beacon_seen[envelope.payload.registry_id] = self.sim.now
+            description = envelope.payload
+            self._beacon_seen[description.registry_id] = self.sim.now
+            self._beacon_ring[description.registry_id] = (
+                description.ring_id or description.registry_id
+            )
 
     def _live_lan_registries(self) -> list[str]:
         """Registries heard beaconing on this LAN recently (not ourselves)."""
@@ -151,6 +161,10 @@ class StandbyRegistry(RegistryNode):
                 attrs={"promotions": self.promotions},
             )
         self.cancel_tasks()
+        # Take over the dead registry's ring position *before* start()
+        # registers us on the ring (satellite: re-hashing under our own
+        # id would move ~K/S unrelated advertisements).
+        self._inherit_ring_identity()
         super().start()
         self.every(self._watch_interval(), self._evaluate_active)
         # Recover persisted state from a previous active life *before*
@@ -160,6 +174,28 @@ class StandbyRegistry(RegistryNode):
         # Announce immediately so peer standbys stand down and clients
         # attach without waiting a full beacon interval.
         self._beacon()
+
+    def _inherit_ring_identity(self) -> None:
+        """Adopt the ring identity of the registry this promotion replaces.
+
+        The most recently silenced LAN registry (freshest beacon now past
+        the horizon) is the one whose death triggered the promotion; its
+        beaconed ``ring_id`` carries the virtual-node seeds we take over,
+        so promotion is a pure ownership transfer instead of a re-hash.
+        """
+        cfg = self.config.sharding
+        self.ring_identity = self.node_id
+        if not (cfg.enabled and cfg.standby_inherit_ring):
+            return
+        horizon = self.sim.now - self._beacon_horizon()
+        silenced = [
+            (seen, rid) for rid, seen in self._beacon_seen.items()
+            if seen < horizon and rid != self.node_id
+        ]
+        if not silenced:
+            return
+        _seen, dead = max(silenced)
+        self.ring_identity = self._beacon_ring.get(dead, dead)
 
     def _warm_sync(self) -> None:
         """Bootstrap the store from live peers instead of activating empty.
@@ -191,7 +227,11 @@ class StandbyRegistry(RegistryNode):
 
     def handle_registry_beacon(self, envelope: Envelope) -> None:
         if isinstance(envelope.payload, RegistryDescription):
-            self._beacon_seen[envelope.payload.registry_id] = self.sim.now
+            description = envelope.payload
+            self._beacon_seen[description.registry_id] = self.sim.now
+            self._beacon_ring[description.registry_id] = (
+                description.ring_id or description.registry_id
+            )
         super().handle_registry_beacon(envelope)
 
     def _evaluate_active(self) -> None:
@@ -221,6 +261,8 @@ class StandbyRegistry(RegistryNode):
         self.cancel_tasks()
         self.store.clear()
         self.antientropy.reset()
+        self.shard.reset()
+        self.ring_identity = self.node_id
         # A graceful step-down hands the content back to the LAN's live
         # registries; replaying it at the *next* promotion would resurrect
         # stale ads, so drop the WAL + snapshot (the incarnation survives).

@@ -31,6 +31,7 @@ from repro.netsim.messages import SizeModel
 from repro.netsim.network import Network
 from repro.netsim.simulator import Simulator
 from repro.obs.health import HealthMonitor
+from repro.registry.advertisements import reset_uuids
 from repro.semantics.ontology import Ontology
 from repro.semantics.profiles import ServiceProfile, ServiceRequest
 
@@ -76,6 +77,7 @@ class DiscoverySystem:
         size_model: SizeModel | None = None,
         loss_rate: float = 0.0,
     ) -> None:
+        reset_uuids()  # ids restart per system: same seed ⇒ same ad ids
         self.config = config or DiscoveryConfig()
         self.ontology = ontology
         self.sim = Simulator(seed=seed)

@@ -52,6 +52,7 @@ KIND_LOSS = "loss-window"
 KIND_LATENCY = "latency-spike"
 KIND_DISK_TORN = "disk-torn-write"
 KIND_DISK_CORRUPT = "disk-corruption"
+KIND_REPLICA_KILL = "replica-kill"
 
 
 @dataclass(frozen=True)
@@ -65,11 +66,17 @@ class FaultAction:
     window: LossWindow | None = None
     spike: LatencySpike | None = None
     file: str = ""
+    #: Shard key whose replica set a targeted kill resolves at fire time.
+    key: str = ""
+    #: How many of the key's alive replicas a targeted kill crashes.
+    count: int = 0
 
     def describe(self) -> str:
         """Human-readable one-liner for histories and experiment notes."""
         if self.kind in (KIND_CRASH, KIND_RESTART):
             return f"t={self.time:g} {self.kind} {self.node_id}"
+        if self.kind == KIND_REPLICA_KILL:
+            return f"t={self.time:g} replica-kill {self.count} of key {self.key!r}"
         if self.kind in (KIND_DISK_TORN, KIND_DISK_CORRUPT):
             return f"t={self.time:g} {self.kind} {self.node_id}:{self.file}"
         if self.kind == KIND_PARTITION:
@@ -134,6 +141,22 @@ class FaultPlan:
         """
         self._actions.append(
             FaultAction(time=at, kind=KIND_DISK_CORRUPT, node_id=node_id, file=file)
+        )
+        return self
+
+    def kill_replicas(self, at: float, key: str, count: int) -> "FaultPlan":
+        """Crash ``count`` alive replicas of shard key ``key`` at ``at``.
+
+        Placement is resolved *at fire time* from the first (sorted)
+        alive registry with an active shard manager, so the kill targets
+        whatever the ring then assigns — the adversarial fault E21 uses
+        to knock out R−1 copies of one shard at once. No-op when no
+        sharded registry is alive.
+        """
+        if count < 1:
+            raise SimulationError(f"kill_replicas count must be >= 1, got {count}")
+        self._actions.append(
+            FaultAction(time=at, kind=KIND_REPLICA_KILL, key=key, count=count)
         )
         return self
 
@@ -303,10 +326,35 @@ class AppliedFaults:
             disk = self.network.disks.get(action.node_id)
             if disk is None or not disk.corrupt(action.file):
                 return
+        elif action.kind == KIND_REPLICA_KILL:
+            victims = self._resolve_replicas(action.key, action.count)
+            if not victims:
+                return
+            for node_id in victims:
+                self.network.nodes[node_id].crash()
+                self.history.append(FailureEvent(now, KIND_CRASH, node_id))
         # Loss windows and latency spikes were installed at apply time
         # (they are time-scoped); this event just marks their onset.
         self.network.stats.record_fault(action.kind)
         self.history.append(FailureEvent(now, action.kind, action.node_id))
+
+    def _resolve_replicas(self, key: str, count: int) -> list[str]:
+        """First ``count`` alive replicas of ``key``, per the live ring."""
+        for node_id in sorted(self.network.nodes):
+            node = self.network.nodes[node_id]
+            shard = getattr(node, "shard", None)
+            if (
+                node.alive
+                and getattr(node, "active", True)  # skip dormant standbys
+                and shard is not None
+                and shard.active()
+            ):
+                replicas = [
+                    rid for rid in shard.replicas_for(key)
+                    if (peer := self.network.nodes.get(rid)) is not None and peer.alive
+                ]
+                return replicas[:count]
+        return []
 
     def counts(self) -> dict[str, int]:
         """Executed fault events by kind."""

@@ -16,6 +16,19 @@ from repro.netsim.messages import estimate_payload_size
 
 _uuid_counter = itertools.count(1)
 
+
+def reset_uuids() -> None:
+    """Restart the UUID counter (new simulation run).
+
+    Identifiers are only meaningful within one simulated system, but the
+    counter is process-global — and under sharding the raw ``ad_id``
+    string drives consistent-hash placement, so two same-seed systems
+    built in one process would otherwise place the same advertisements
+    on different replica sets.
+    """
+    global _uuid_counter
+    _uuid_counter = itertools.count(1)
+
 #: Record overhead beyond the description payload: UUID, endpoint,
 #: timestamps, lease linkage.
 _RECORD_OVERHEAD_BYTES = 96

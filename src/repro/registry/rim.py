@@ -43,13 +43,20 @@ class RegistryDescription:
     #: When this snapshot was taken (simulated time); gossip keeps the
     #: freshest snapshot per registry.
     issued_at: float = 0.0
+    #: Consistent-hash ring identity (sharded federation): the id whose
+    #: virtual-node positions this registry occupies. Empty when sharding
+    #: is off (and then contributes zero bytes); differs from
+    #: ``registry_id`` only for a promoted warm standby, which inherits
+    #: the dead registry's positions.
+    ring_id: str = ""
 
     def size_bytes(self) -> int:
         return (
             len(self.registry_id) + len(self.lan_name)
             + sum(len(m) + 8 for m in self.supported_models)
             + sum(len(a) + 8 for a in self.artifact_names)
-            + sum(len(t) + 8 for t in self.summary_terms) + 32
+            + sum(len(t) + 8 for t in self.summary_terms)
+            + len(self.ring_id) + 32
         )
 
 
@@ -78,7 +85,8 @@ class RegistryInfoModel:
     def describe(self, *, advertisement_count: int, neighbor_count: int,
                  artifact_names: tuple[str, ...] = (),
                  summary_terms: tuple[str, ...] = (),
-                 issued_at: float = 0.0) -> RegistryDescription:
+                 issued_at: float = 0.0,
+                 ring_id: str = "") -> RegistryDescription:
         """A snapshot suitable for beacons and signalling messages."""
         return RegistryDescription(
             registry_id=self.registry_id,
@@ -89,6 +97,7 @@ class RegistryInfoModel:
             artifact_names=artifact_names,
             summary_terms=summary_terms,
             issued_at=issued_at,
+            ring_id=ring_id,
         )
 
     def stats(self) -> dict[str, int]:

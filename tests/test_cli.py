@@ -48,7 +48,7 @@ def test_parser_requires_command():
 
 
 def test_experiment_ids_match_design_numbering():
-    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 21)}
+    assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 22)}
 
 
 def test_experiment_chart_flag(capsys):

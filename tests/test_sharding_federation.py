@@ -1,0 +1,217 @@
+"""Membership churn in the sharded federation.
+
+Graceful leaves shrink the ring and drain in-flight aggregation state;
+crashes do *not* shrink the ring (replica selection and hinted handoff
+mask them, so flapping cannot thrash keys); and a promoted warm standby
+inherits the dead registry's ring identity so promotion moves no keys
+between the surviving members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import COOPERATION_REPLICATE_ADS, DiscoveryConfig
+from repro.core.forwarding import PendingAggregation
+from repro.core.invariants import check_convergence, check_shard_placement
+from repro.core.sharding import ShardingConfig
+from repro.core.system import DiscoverySystem
+from repro.semantics.generator import battlefield_ontology
+from repro.semantics.profiles import ServiceProfile, ServiceRequest
+
+REQUEST = ServiceRequest.build("ncw:SensorService", outputs=["ncw:Track"])
+
+
+def _radar(name):
+    return ServiceProfile.build(name, "ncw:RadarService",
+                                outputs=["ncw:AirTrack"])
+
+
+def _cluster(seed=11, *, n=4, r=3, w=2, services=4, standby_on=None,
+             inherit=True):
+    config = DiscoveryConfig(
+        cooperation=COOPERATION_REPLICATE_ADS, default_ttl=0,
+        antientropy_interval=2.0, lease_duration=30.0, purge_interval=2.0,
+        query_timeout=2.0, aggregation_timeout=0.3,
+        sharding=ShardingConfig(
+            enabled=True, replication_factor=r, write_quorum=w,
+            quorum_timeout=0.5, standby_inherit_ring=inherit,
+        ),
+    )
+    system = DiscoverySystem(seed=seed, ontology=battlefield_ontology(),
+                             config=config)
+    registries = []
+    for i in range(n):
+        system.add_lan(f"lan-{i}")
+    for i in range(n):
+        registries.append(
+            system.add_registry(f"lan-{i}", node_id=f"registry-{i:02d}",
+                                seeds=(f"registry-{(i + 1) % n:02d}",))
+        )
+    standby = None
+    if standby_on is not None:
+        standby = system.add_standby_registry(
+            standby_on, node_id="standby-00", lan_target=1,
+            seeds=tuple(r.node_id for r in registries),
+        )
+    for i in range(services):
+        system.add_service(f"lan-{i % n}", _radar(f"radar-{i}"))
+    return system, registries, standby
+
+
+# -- graceful departure -----------------------------------------------------
+
+
+def test_graceful_leave_shrinks_ring_and_rebalances():
+    system, registries, _ = _cluster()
+    client = system.add_client("lan-0")
+    system.run(until=10.0)
+    leaver = registries[3]
+    leaver_ads = {ad.ad_id for ad in leaver.store.all()}
+    assert leaver_ads
+    leaver.federation.leave()
+    leaver.crash()  # departed for real, not merely quiet
+    system.run_for(15.0)
+    survivors = registries[:3]
+    for registry in survivors:
+        assert leaver.node_id not in registry.shard.ring
+    assert any(r.shard.rebalances > 0 for r in survivors)
+    # With three survivors and R=3 every ad is fully replicated again,
+    # including the copies only the leaver used to own.
+    assert check_shard_placement(system) == []
+    assert check_convergence(system) == []
+    live = {ad.ad_id for r in survivors for ad in r.store.all()}
+    assert live  # the leaver's departure did not lose the shard
+    call = system.discover(client, REQUEST, timeout=20.0)
+    assert call.completed and len(call.hits) == 4
+
+
+def test_leave_drains_pending_aggregations():
+    """on_peer_departed / on_departing release waiting fan-outs at once
+    instead of riding out the aggregation timeout (satellite 1)."""
+    system, registries, _ = _cluster()
+    system.run(until=5.0)
+    coordinator = registries[0]
+
+    completed = []
+    pending = PendingAggregation(
+        coordinator, query_id="q-drain", local_hits=[],
+        targets=("registry-03",), timeout=30.0, max_results=None,
+        on_complete=lambda hits, responders: completed.append(responders),
+    )
+    coordinator._pending["q-drain"] = pending
+    coordinator.on_peer_departed("registry-03", left_ring=True)
+    assert pending.done and completed == [1]
+    # The departed member's ring slot and router state went with it.
+    assert "registry-03" not in coordinator.shard.ring
+    assert not coordinator.router.cooldowns.in_cooldown("registry-03")
+
+    flushed = []
+    ours = PendingAggregation(
+        coordinator, query_id="q-flush", local_hits=[],
+        targets=("registry-01", "registry-02"), timeout=30.0,
+        max_results=None,
+        on_complete=lambda hits, responders: flushed.append(responders),
+    )
+    coordinator._pending["q-flush"] = ours
+    coordinator.on_departing()  # we are the one leaving
+    assert ours.done and flushed == [1]
+
+
+def test_crash_does_not_shrink_ring():
+    system, registries, _ = _cluster()
+    system.run(until=10.0)
+    victim = registries[2]
+    victim.crash()
+    system.run_for(15.0)
+    for registry in registries:
+        if registry is not victim:
+            assert victim.node_id in registry.shard.ring
+    victim.restart()
+    system.run_for(15.0)
+    assert check_shard_placement(system) == []
+    assert check_convergence(system) == []
+
+
+# -- standby promotion ring inheritance -------------------------------------
+
+
+def test_standby_promotion_inherits_ring_identity():
+    system, registries, standby = _cluster(standby_on="lan-0")
+    client = system.add_client("lan-1")
+    system.run(until=10.0)
+    registries[0].crash()
+    system.run_for(20.0)
+    assert standby.active and standby.promotions == 1
+    # The heir occupies the dead registry's exact virtual-node positions.
+    assert standby.ring_identity == registries[0].node_id
+    for peer in registries[1:]:
+        assert peer.shard.ring.ring_id_of(standby.node_id) \
+            == registries[0].node_id
+    system.run_for(10.0)
+    assert check_shard_placement(system) == []
+    call = system.discover(client, REQUEST, timeout=20.0)
+    assert call.completed and len(call.hits) == 4
+
+
+def test_standby_inheritance_limits_rebalance_movement():
+    """Regression for the promotion-churn satellite: with ring
+    inheritance on, promotion moves no keys between surviving members,
+    so strictly fewer advertisements cross the wire than when the
+    standby hashes to fresh positions."""
+    moved = {}
+    for inherit in (True, False):
+        system, registries, standby = _cluster(standby_on="lan-0",
+                                               inherit=inherit)
+        system.run(until=10.0)
+        baseline = sum(r.shard.ads_moved_in for r in system.registries)
+        registries[0].crash()
+        system.run_for(30.0)
+        assert standby.active
+        moved[inherit] = (
+            sum(r.shard.ads_moved_in for r in system.registries) - baseline
+        )
+    assert moved[True] <= moved[False]
+
+
+def test_demoted_standby_resets_ring_identity():
+    system, registries, standby = _cluster(standby_on="lan-0")
+    system.run(until=10.0)
+    registries[0].crash()
+    system.run_for(20.0)
+    assert standby.active
+    assert standby.ring_identity == registries[0].node_id
+    registries[0].restart()
+    system.run_for(30.0)  # failback: the standby yields to the original
+    assert not standby.active
+    assert standby.ring_identity == standby.node_id
+
+
+# -- placement checker ------------------------------------------------------
+
+
+def test_placement_checker_detects_stray_copy():
+    system, registries, _ = _cluster()
+    system.run(until=20.0)  # ring converged, stray sweeps drained
+    assert check_shard_placement(system) == []
+    # Plant a copy on a registry outside the ad's replica set.
+    donor = next(r for r in registries if len(r.store))
+    ad = next(iter(donor.store.all()))
+    r = system.config.sharding.replication_factor
+    outsider = next(
+        reg for reg in registries
+        if not reg.shard.ring.owns(reg.node_id, ad.ad_id, r)
+    )
+    outsider.store.put(replace(ad))
+    violations = check_shard_placement(system)
+    assert any(ad.ad_id in v and outsider.node_id in v for v in violations)
+
+
+def test_placement_checker_vacuous_when_sharding_off():
+    system = DiscoverySystem(seed=3, ontology=battlefield_ontology(),
+                             config=DiscoveryConfig())
+    system.add_lan("lan-0")
+    system.add_registry("lan-0")
+    system.add_service("lan-0", _radar("radar"))
+    system.run(until=5.0)
+    assert check_shard_placement(system) == []
